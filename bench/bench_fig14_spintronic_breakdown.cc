@@ -1,0 +1,61 @@
+// Figure 14 (Appendix A): breakdown of write energy into approx and refine
+// stages at the 33%-saving operating point, normalized to 3-bit LSD's
+// approx stage.
+#include <cstdio>
+
+#include "approx/spintronic.h"
+#include "bench/bench_lib.h"
+#include "common/table_printer.h"
+
+namespace approxmem {
+namespace {
+
+int Main(int argc, char** argv) {
+  const bench::BenchEnv env = bench::ParseBenchEnv(argc, argv, 100000);
+  bench::PrintRunHeader("Figure 14: spintronic write-energy breakdown", env);
+  core::ApproxSortEngine engine = bench::MakeEngine(env);
+  const auto keys =
+      core::MakeKeys(core::WorkloadKind::kUniform, env.n, env.seed);
+  const approx::SpintronicConfig config =
+      approx::PaperSpintronicConfigs()[2];  // 33% saving, 1e-5 per bit.
+
+  struct Row {
+    std::string name;
+    double approx_energy;
+    double refine_energy;
+  };
+  std::vector<Row> rows;
+  for (const auto& algorithm : bench::PanelAlgorithms()) {
+    const auto outcome = engine.SortSpintronicRefine(keys, algorithm, config);
+    if (!outcome.ok()) {
+      std::fprintf(stderr, "%s\n", outcome.status().ToString().c_str());
+      return 1;
+    }
+    rows.push_back(Row{algorithm.Name(),
+                       outcome->refine.ApproxStageWriteCost(),
+                       outcome->refine.RefineStageWriteCost()});
+  }
+
+  const double unit = rows.front().approx_energy;
+  TablePrinter table(
+      "Figure 14: normalized write energy (unit = 3-bit LSD approx stage; "
+      "33%-saving operating point)");
+  table.SetHeader({"algorithm", "approx", "refine", "total", "refine_share"});
+  for (const Row& row : rows) {
+    const double total = row.approx_energy + row.refine_energy;
+    table.AddRow({row.name, TablePrinter::Fmt(row.approx_energy / unit, 3),
+                  TablePrinter::Fmt(row.refine_energy / unit, 3),
+                  TablePrinter::Fmt(total / unit, 3),
+                  TablePrinter::FmtPercent(row.refine_energy / total, 1)});
+  }
+  table.Print();
+  std::printf(
+      "\nPaper shape: refine energy is negligible for everything except "
+      "mergesort.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace approxmem
+
+int main(int argc, char** argv) { return approxmem::Main(argc, argv); }

@@ -1,0 +1,85 @@
+// Shared plumbing for the figure/table regeneration binaries.
+//
+// Every bench accepts:
+//   --n=<elements>   input size (default kDefaultN; the paper uses 16M)
+//   --full           run at the paper's full scale (n = 16,000,000)
+//   --seed=<uint>    experiment seed
+//   --csv_dir=<dir>  where CSV artifacts are written (default
+//                    bench_artifacts/ under the current directory)
+// plus the APPROX_BENCH_N environment variable as an n override.
+#ifndef APPROXMEM_BENCH_BENCH_LIB_H_
+#define APPROXMEM_BENCH_BENCH_LIB_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/flags.h"
+#include "core/engine.h"
+#include "core/workload.h"
+#include "sort/sort_common.h"
+
+namespace approxmem::bench {
+
+inline constexpr size_t kDefaultN = 160000;
+inline constexpr size_t kPaperN = 16000000;
+
+struct BenchEnv {
+  size_t n = kDefaultN;
+  uint64_t seed = 42;
+  bool full = false;
+  std::string csv_dir = "bench_artifacts";
+  Flags flags;
+};
+
+/// Parses flags/environment; exits the process on malformed flags.
+inline BenchEnv ParseBenchEnv(int argc, char** argv,
+                              size_t default_n = kDefaultN) {
+  StatusOr<Flags> flags = Flags::Parse(argc, argv);
+  if (!flags.ok()) {
+    std::fprintf(stderr, "%s\n", flags.status().ToString().c_str());
+    std::exit(2);
+  }
+  BenchEnv env;
+  env.flags = *flags;
+  env.full = flags->GetBool("full", false);
+  const size_t base = env.full ? kPaperN : default_n;
+  env.n = static_cast<size_t>(flags->GetInt(
+      "n", static_cast<int64_t>(Flags::EnvSize("APPROX_BENCH_N", base))));
+  env.seed = static_cast<uint64_t>(flags->GetInt("seed", 42));
+  env.csv_dir = flags->GetString("csv_dir", "bench_artifacts");
+  return env;
+}
+
+/// The T grid of Figures 4 and 9: 0.025 .. 0.1 in steps of 0.005.
+inline std::vector<double> PaperTGrid() {
+  std::vector<double> grid;
+  for (int i = 0; i <= 15; ++i) grid.push_back(0.025 + 0.005 * i);
+  return grid;
+}
+
+/// The ten algorithm instances of the Figure 9/10/11 panels.
+inline std::vector<sort::AlgorithmId> PanelAlgorithms() {
+  return sort::StudyAlgorithms();
+}
+
+inline core::ApproxSortEngine MakeEngine(const BenchEnv& env) {
+  core::EngineOptions options;
+  options.seed = env.seed;
+  options.calibration_trials = static_cast<uint64_t>(
+      env.flags.GetInt("calibration_trials", 200000));
+  return core::ApproxSortEngine(options);
+}
+
+inline void PrintRunHeader(const char* what, const BenchEnv& env) {
+  std::printf("# %s | n=%zu seed=%llu%s\n", what, env.n,
+              static_cast<unsigned long long>(env.seed),
+              env.full ? " (paper scale)" : "");
+  std::printf(
+      "# Shapes should match the paper; absolute values depend on the "
+      "simulated substrate. Run with --full for the paper's n=16M.\n");
+}
+
+}  // namespace approxmem::bench
+
+#endif  // APPROXMEM_BENCH_BENCH_LIB_H_

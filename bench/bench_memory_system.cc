@@ -1,0 +1,90 @@
+// Substrate demonstration: replay a traced quicksort through the Table 1
+// memory system (write-through L1/L2/L3 + banked PCM with read-priority
+// scheduling) and report cache hit rates, queue behaviour, and how the
+// total write latency shrinks when the PCM banks run approximately.
+#include <cstdio>
+
+#include "approx/approx_memory.h"
+#include "bench/bench_lib.h"
+#include "common/table_printer.h"
+#include "mem/memory_system.h"
+#include "sort/sort_common.h"
+
+namespace approxmem {
+namespace {
+
+int Main(int argc, char** argv) {
+  const bench::BenchEnv env = bench::ParseBenchEnv(argc, argv, 100000);
+  bench::PrintRunHeader(
+      "Memory-system substrate: traced quicksort through cache + PCM", env);
+
+  // Trace a quicksort over precise arrays.
+  mem::TraceBuffer trace;
+  approx::ApproxMemory::Options options;
+  options.seed = env.seed;
+  options.trace = &trace;
+  approx::ApproxMemory memory(options);
+  const auto keys =
+      core::MakeKeys(core::WorkloadKind::kUniform, env.n, env.seed);
+  approx::ApproxArrayU32 array = memory.NewPreciseArray(env.n);
+  array.Store(keys);
+  sort::SortSpec spec;
+  spec.keys = &array;
+  Rng rng(env.seed);
+  const Status status =
+      sort::RunSort(spec, {sort::SortKind::kQuicksort, 0}, rng);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+
+  // Replay through the paper's memory system, precise and approximate.
+  mem::MemorySystem precise = mem::MemorySystem::PaperDefault();
+  const mem::MemorySystemStats precise_stats = precise.Replay(trace);
+
+  mem::MemorySystem approximate = mem::MemorySystem::PaperDefault();
+  const double p = 0.66;  // p(0.055): approximate write service latency.
+  for (const mem::MemEvent& event : trace.events()) {
+    if (event.kind == mem::AccessKind::kRead) {
+      approximate.Read(event.address);
+    } else {
+      approximate.Write(event.address, 1000.0 * p);
+    }
+  }
+  const mem::MemorySystemStats approx_stats = approximate.Finish();
+
+  TablePrinter table("Trace replay through the Table 1 memory system");
+  table.SetHeader({"metric", "precise PCM", "approx PCM (T=0.055)"});
+  auto add = [&table](const std::string& name, double a, double b,
+                      const char* unit) {
+    table.AddRow({name, TablePrinter::Fmt(a, 0) + unit,
+                  TablePrinter::Fmt(b, 0) + unit});
+  };
+  table.AddRow({"trace events",
+                TablePrinter::FmtInt(static_cast<long long>(trace.size())),
+                TablePrinter::FmtInt(static_cast<long long>(trace.size()))});
+  add("reads", static_cast<double>(precise_stats.reads),
+      static_cast<double>(approx_stats.reads), "");
+  add("writes", static_cast<double>(precise_stats.writes),
+      static_cast<double>(approx_stats.writes), "");
+  add("L1 read hits", static_cast<double>(precise_stats.l1_read_hits),
+      static_cast<double>(approx_stats.l1_read_hits), "");
+  add("PCM reads", static_cast<double>(precise_stats.memory_reads),
+      static_cast<double>(approx_stats.memory_reads), "");
+  add("total write latency", precise_stats.total_write_latency_ns / 1e6,
+      approx_stats.total_write_latency_ns / 1e6, " ms");
+  add("CPU write stalls", precise_stats.write_stall_ns / 1e6,
+      approx_stats.write_stall_ns / 1e6, " ms");
+  add("completion time", precise_stats.completion_time_ns / 1e6,
+      approx_stats.completion_time_ns / 1e6, " ms");
+  table.Print();
+  std::printf(
+      "\nThe approximate replay shows the p(t)=0.66 write-latency scaling "
+      "end to end, including its knock-on effect on write-queue stalls.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace approxmem
+
+int main(int argc, char** argv) { return approxmem::Main(argc, argv); }

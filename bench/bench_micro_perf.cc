@@ -1,0 +1,77 @@
+// Micro-benchmarks (google-benchmark) of the simulator's hot paths: cell
+// writes (exact vs calibrated fast path), instrumented sorting throughput,
+// and the LIS/Rem computation. These measure the *simulator's* speed, not
+// the simulated device's.
+#include <benchmark/benchmark.h>
+
+#include "approx/approx_memory.h"
+#include "common/random.h"
+#include "core/workload.h"
+#include "mlc/calibration.h"
+#include "mlc/cell.h"
+#include "sort/sort_common.h"
+#include "sortedness/lis.h"
+
+namespace approxmem {
+namespace {
+
+void BM_ExactCellWrite(benchmark::State& state) {
+  const mlc::MlcConfig config =
+      mlc::MlcConfig().WithT(static_cast<double>(state.range(0)) / 1000.0);
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        mlc::WriteCell(static_cast<int>(rng.UniformInt(4)), config, rng));
+  }
+}
+BENCHMARK(BM_ExactCellWrite)->Arg(25)->Arg(55)->Arg(100);
+
+void BM_FastWordWrite(benchmark::State& state) {
+  approx::ApproxMemory::Options options;
+  options.calibration_trials = 50000;
+  approx::ApproxMemory memory(options);
+  approx::ApproxArrayU32 array = memory.NewApproxArray(1, 0.055);
+  Rng rng(2);
+  for (auto _ : state) {
+    array.Set(0, rng.NextU32());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_FastWordWrite);
+
+void BM_InstrumentedQuicksort(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  approx::ApproxMemory::Options options;
+  options.calibration_trials = 50000;
+  approx::ApproxMemory memory(options);
+  const auto keys = core::MakeKeys(core::WorkloadKind::kUniform, n, 3);
+  for (auto _ : state) {
+    approx::ApproxArrayU32 array = memory.NewApproxArray(n, 0.055);
+    array.Store(keys);
+    sort::SortSpec spec;
+    spec.keys = &array;
+    Rng rng(4);
+    benchmark::DoNotOptimize(
+        sort::RunSort(spec, {sort::SortKind::kQuicksort, 0}, rng));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_InstrumentedQuicksort)->Arg(1 << 12)->Arg(1 << 16);
+
+void BM_LisRem(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(5);
+  const std::vector<uint32_t> values = UniformKeys(n, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sortedness::Rem(values));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_LisRem)->Arg(1 << 14)->Arg(1 << 18);
+
+}  // namespace
+}  // namespace approxmem
+
+BENCHMARK_MAIN();

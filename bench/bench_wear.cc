@@ -1,0 +1,62 @@
+// Endurance extension: PCM cells wear out per RESET/SET pulse, i.e. per
+// program-and-verify iteration. Approximate writes converge in fewer
+// iterations, so besides latency they also save wear. This bench reports
+// total P&V iterations per element for a full approx-refine sort vs the
+// precise baseline — the endurance co-benefit the latency numbers imply.
+#include <cstdio>
+
+#include "bench/bench_lib.h"
+#include "common/table_printer.h"
+
+namespace approxmem {
+namespace {
+
+int Main(int argc, char** argv) {
+  const bench::BenchEnv env = bench::ParseBenchEnv(argc, argv, 100000);
+  bench::PrintRunHeader("Extension: P&V wear of approx-refine vs precise",
+                        env);
+  core::ApproxSortEngine engine = bench::MakeEngine(env);
+  const auto keys =
+      core::MakeKeys(core::WorkloadKind::kUniform, env.n, env.seed);
+  const sort::AlgorithmId algorithm{sort::SortKind::kLsdRadix, 3};
+
+  TablePrinter table("P&V iterations (wear) per element, 3-bit LSD");
+  table.SetHeader({"T", "p(t)", "wear_approx_refine", "wear_precise",
+                   "wear_reduction", "write_reduction"});
+  for (const double t : {0.035, 0.045, 0.055, 0.065}) {
+    const auto outcome = engine.SortApproxRefine(keys, algorithm, t);
+    if (!outcome.ok()) {
+      std::fprintf(stderr, "%s\n", outcome.status().ToString().c_str());
+      return 1;
+    }
+    const double dn = static_cast<double>(env.n);
+    const double refine_wear =
+        (outcome->refine.prep_approx.pv_iterations +
+         outcome->refine.prep_precise.pv_iterations +
+         outcome->refine.sort_approx.pv_iterations +
+         outcome->refine.sort_precise.pv_iterations +
+         outcome->refine.refine_precise.pv_iterations) /
+        dn;
+    const double baseline_wear = (outcome->baseline.keys.pv_iterations +
+                                  outcome->baseline.ids.pv_iterations) /
+                                 dn;
+    table.AddRow({TablePrinter::Fmt(t, 3),
+                  TablePrinter::Fmt(engine.PvRatio(t), 3),
+                  TablePrinter::Fmt(refine_wear, 1),
+                  TablePrinter::Fmt(baseline_wear, 1),
+                  TablePrinter::FmtPercent(1.0 - refine_wear / baseline_wear,
+                                           1),
+                  TablePrinter::FmtPercent(outcome->write_reduction, 1)});
+  }
+  table.Print();
+  std::printf(
+      "\nWear tracks latency: at the sweet spot the approximate stage's "
+      "cells see ~p(t) of the precise pulse count, extending device "
+      "lifetime alongside the write-latency win.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace approxmem
+
+int main(int argc, char** argv) { return approxmem::Main(argc, argv); }

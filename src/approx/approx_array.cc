@@ -1,0 +1,91 @@
+#include "approx/approx_array.h"
+
+namespace approxmem::approx {
+
+ApproxArrayU32::ApproxArrayU32(size_t n, WriteModel* model, Rng rng,
+                               mem::TraceBuffer* trace, uint64_t base_address,
+                               double sequential_write_discount)
+    : actual_(n, 0),
+      intended_(n, 0),
+      model_(model),
+      rng_(rng),
+      trace_(trace),
+      base_address_(base_address),
+      read_cost_(model != nullptr ? model->ReadCost() : 0.0),
+      seq_discount_(sequential_write_discount),
+      last_written_(static_cast<size_t>(-1)) {
+  // A null model is only legal for empty placeholder arrays.
+  APPROXMEM_CHECK(model != nullptr || n == 0);
+}
+
+ApproxArrayU32::~ApproxArrayU32() { FlushStats(); }
+
+ApproxArrayU32::ApproxArrayU32(ApproxArrayU32&& other) noexcept
+    : actual_(std::move(other.actual_)),
+      intended_(std::move(other.intended_)),
+      model_(other.model_),
+      rng_(other.rng_),
+      trace_(other.trace_),
+      base_address_(other.base_address_),
+      read_cost_(other.read_cost_),
+      seq_discount_(other.seq_discount_),
+      last_written_(other.last_written_),
+      stats_(other.stats_),
+      stats_sink_(other.stats_sink_) {
+  // The source must not double-flush to the sink.
+  other.stats_ = MemoryStats{};
+  other.stats_sink_ = nullptr;
+}
+
+ApproxArrayU32& ApproxArrayU32::operator=(ApproxArrayU32&& other) noexcept {
+  if (this != &other) {
+    FlushStats();
+    actual_ = std::move(other.actual_);
+    intended_ = std::move(other.intended_);
+    model_ = other.model_;
+    rng_ = other.rng_;
+    trace_ = other.trace_;
+    base_address_ = other.base_address_;
+    read_cost_ = other.read_cost_;
+    seq_discount_ = other.seq_discount_;
+    last_written_ = other.last_written_;
+    stats_ = other.stats_;
+    stats_sink_ = other.stats_sink_;
+    other.stats_ = MemoryStats{};
+    other.stats_sink_ = nullptr;
+  }
+  return *this;
+}
+
+void ApproxArrayU32::FlushStats() {
+  if (stats_sink_ != nullptr) {
+    *stats_sink_ += stats_;
+    stats_ = MemoryStats{};
+  }
+}
+
+void ApproxArrayU32::Store(const std::vector<uint32_t>& values) {
+  APPROXMEM_CHECK(values.size() <= actual_.size());
+  for (size_t i = 0; i < values.size(); ++i) Set(i, values[i]);
+}
+
+void ApproxArrayU32::CopyFrom(ApproxArrayU32& src) {
+  APPROXMEM_CHECK(src.size() == size());
+  for (size_t i = 0; i < size(); ++i) Set(i, src.Get(i));
+}
+
+size_t ApproxArrayU32::DeviatingElements() const {
+  size_t deviating = 0;
+  for (size_t i = 0; i < actual_.size(); ++i) {
+    if (actual_[i] != intended_[i]) ++deviating;
+  }
+  return deviating;
+}
+
+double ApproxArrayU32::ErrorRate() const {
+  if (actual_.empty()) return 0.0;
+  return static_cast<double>(DeviatingElements()) /
+         static_cast<double>(actual_.size());
+}
+
+}  // namespace approxmem::approx

@@ -1,0 +1,126 @@
+// Instrumented 32-bit arrays living in a precision domain.
+//
+// ApproxArrayU32 is the analogue of the paper's `approx_alloc` interface:
+// every Get/Set is one simulated memory access. The array tracks, per
+// element, both the value the program intended to store and the value the
+// memory actually holds, so that error rates ("proportion of elements whose
+// values deviate from their original values") can be measured exactly.
+#ifndef APPROXMEM_APPROX_APPROX_ARRAY_H_
+#define APPROXMEM_APPROX_APPROX_ARRAY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "approx/memory_stats.h"
+#include "approx/write_model.h"
+#include "common/check.h"
+#include "common/random.h"
+#include "mem/trace.h"
+
+namespace approxmem::approx {
+
+/// A fixed-size array of 32-bit words stored through a WriteModel.
+///
+/// The array does not own its WriteModel (ApproxMemory does); it owns its
+/// own RNG stream so results do not depend on operation interleaving across
+/// arrays. Move-only.
+class ApproxArrayU32 {
+ public:
+  /// `trace` may be null; when set, every access appends a MemEvent with
+  /// addresses starting at `base_address`. `sequential_write_discount`
+  /// scales the cost of a write that lands at (last written index + 1) —
+  /// the sequential-vs-random PCM write asymmetry the paper's Section 5
+  /// discussion calls for (1.0 disables it).
+  ApproxArrayU32(size_t n, WriteModel* model, Rng rng,
+                 mem::TraceBuffer* trace = nullptr, uint64_t base_address = 0,
+                 double sequential_write_discount = 1.0);
+  ~ApproxArrayU32();
+
+  ApproxArrayU32(ApproxArrayU32&& other) noexcept;
+  ApproxArrayU32& operator=(ApproxArrayU32&& other) noexcept;
+  ApproxArrayU32(const ApproxArrayU32&) = delete;
+  ApproxArrayU32& operator=(const ApproxArrayU32&) = delete;
+
+  size_t size() const { return actual_.size(); }
+
+  /// Reads element `i` (one simulated memory read).
+  uint32_t Get(size_t i) {
+    APPROXMEM_CHECK(i < actual_.size());
+    ++stats_.word_reads;
+    stats_.read_cost += read_cost_;
+    if (trace_ != nullptr) trace_->AppendRead(base_address_ + i * 4u);
+    return actual_[i];
+  }
+
+  /// Writes element `i` (one simulated memory write, possibly corrupted).
+  void Set(size_t i, uint32_t value) {
+    APPROXMEM_CHECK(i < actual_.size());
+    const WordWriteOutcome outcome = model_->Write(value, rng_);
+    actual_[i] = outcome.stored;
+    intended_[i] = value;
+    ++stats_.word_writes;
+    stats_.pv_iterations += outcome.pv_iterations;
+    if (last_written_ != static_cast<size_t>(-1) &&
+        i == last_written_ + 1) {
+      stats_.write_cost += outcome.cost * seq_discount_;
+      ++stats_.sequential_writes;
+    } else {
+      stats_.write_cost += outcome.cost;
+    }
+    last_written_ = i;
+    if (outcome.stored != value) ++stats_.corrupted_writes;
+    if (trace_ != nullptr) trace_->AppendWrite(base_address_ + i * 4u);
+  }
+
+  /// Writes `values` into the array front (one Set per element).
+  void Store(const std::vector<uint32_t>& values);
+
+  /// Copies all of `src`'s current values into this array, one read from
+  /// `src` plus one write here per element (the approx-preparation copy).
+  void CopyFrom(ApproxArrayU32& src);
+
+  /// Current stored values, without touching access counters.
+  std::vector<uint32_t> Snapshot() const { return actual_; }
+
+  /// Peeks at a stored value without accounting (for verification only).
+  uint32_t PeekActual(size_t i) const { return actual_[i]; }
+  uint32_t PeekIntended(size_t i) const { return intended_[i]; }
+
+  /// Number of positions where the stored value deviates from the intended
+  /// one; ErrorRate() is the paper's "imprecise elements rate".
+  size_t DeviatingElements() const;
+  double ErrorRate() const;
+
+  const MemoryStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = MemoryStats{}; }
+
+  /// Registers an accumulator that receives this array's stats when the
+  /// array is destroyed (or FlushStats is called). Lets pipelines account
+  /// for scratch buffers that sorts allocate and drop internally.
+  void SetStatsSink(MemoryStats* sink) { stats_sink_ = sink; }
+
+  /// Adds current stats to the sink (if any) and resets them.
+  void FlushStats();
+
+  uint64_t base_address() const { return base_address_; }
+  bool precise() const { return model_->IsPrecise(); }
+
+ private:
+  std::vector<uint32_t> actual_;
+  std::vector<uint32_t> intended_;
+  WriteModel* model_;
+  Rng rng_;
+  mem::TraceBuffer* trace_;
+  uint64_t base_address_;
+  double read_cost_;
+  double seq_discount_;
+  // Index of the most recent write; SIZE_MAX means "none yet", so the very
+  // first write is never treated as sequential.
+  size_t last_written_;
+  MemoryStats stats_;
+  MemoryStats* stats_sink_ = nullptr;
+};
+
+}  // namespace approxmem::approx
+
+#endif  // APPROXMEM_APPROX_APPROX_ARRAY_H_

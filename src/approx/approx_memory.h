@@ -1,0 +1,90 @@
+// Hybrid precise/approximate memory: the allocation facade.
+//
+// ApproxMemory plays the role of the paper's hybrid memory system (Fig. 3):
+// it hands out precise arrays and approximate arrays (PCM at a chosen T, or
+// spintronic at a chosen energy/error point) that share one experiment seed
+// and one calibration cache. It is the only way to construct arrays, so all
+// accounting flows through one place.
+#ifndef APPROXMEM_APPROX_APPROX_MEMORY_H_
+#define APPROXMEM_APPROX_APPROX_MEMORY_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "approx/approx_array.h"
+#include "approx/spintronic.h"
+#include "approx/write_model.h"
+#include "common/random.h"
+#include "mem/trace.h"
+#include "mlc/calibration.h"
+#include "mlc/mlc_config.h"
+
+namespace approxmem::approx {
+
+/// Simulation fidelity of approximate PCM writes.
+enum class SimulationMode {
+  /// Samples errors and #P from Monte-Carlo-calibrated tables (default).
+  kFast,
+  /// Runs the full program-and-verify loop per cell (slow, reference).
+  kExact,
+};
+
+/// Factory and owner of write models, calibrations, and the RNG tree.
+class ApproxMemory {
+ public:
+  struct Options {
+    mlc::MlcConfig mlc;
+    SimulationMode mode = SimulationMode::kFast;
+    uint64_t calibration_trials = 200000;
+    uint64_t seed = 42;
+    /// Optional trace sink; when set, arrays log accesses for replay
+    /// through mem::MemorySystem.
+    mem::TraceBuffer* trace = nullptr;
+    /// Cost multiplier for writes at (previous index + 1). The paper's
+    /// Section 5 discussion conjectures that modeling PCM's cheaper
+    /// sequential writes raises the approx-refine gain (the refine stage is
+    /// mostly sequential); 1.0 keeps the paper's uniform-latency model.
+    double sequential_write_discount = 1.0;
+  };
+
+  explicit ApproxMemory(const Options& options);
+
+  /// Allocates an array in precise PCM (no errors, 1 us writes).
+  ApproxArrayU32 NewPreciseArray(size_t n);
+
+  /// Allocates an array in approximate PCM with target-range half-width `t`.
+  ApproxArrayU32 NewApproxArray(size_t n, double t);
+
+  /// Allocates an array in approximate spintronic memory (Appendix A).
+  ApproxArrayU32 NewSpintronicArray(size_t n, const SpintronicConfig& config);
+
+  /// Allocates a *precise* spintronic array (unit write energy, no errors),
+  /// the Appendix-A baseline.
+  ApproxArrayU32 NewPreciseSpintronicArray(size_t n);
+
+  /// Calibration access for the cost model and benches.
+  mlc::CalibrationCache& calibration() { return calibration_; }
+
+  /// p(t) = avg #P at t / avg #P at the precise T (Section 2.2).
+  double PvRatio(double t) { return calibration_.PvRatio(t); }
+
+  const mlc::MlcConfig& mlc_config() const { return options_.mlc; }
+  const Options& options() const { return options_; }
+
+ private:
+  WriteModel* PcmModelForT(double t);
+
+  Options options_;
+  mlc::CalibrationCache calibration_;
+  Rng rng_;
+  uint64_t next_base_address_ = 0;
+  std::unique_ptr<WriteModel> precise_model_;
+  std::unique_ptr<WriteModel> precise_spintronic_model_;
+  std::vector<std::pair<double, std::unique_ptr<WriteModel>>> pcm_models_;
+  std::vector<std::unique_ptr<WriteModel>> spintronic_models_;
+};
+
+}  // namespace approxmem::approx
+
+#endif  // APPROXMEM_APPROX_APPROX_MEMORY_H_

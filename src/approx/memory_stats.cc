@@ -1,0 +1,16 @@
+#include "approx/memory_stats.h"
+
+namespace approxmem::approx {
+
+MemoryStats& MemoryStats::operator+=(const MemoryStats& other) {
+  word_reads += other.word_reads;
+  word_writes += other.word_writes;
+  write_cost += other.write_cost;
+  read_cost += other.read_cost;
+  corrupted_writes += other.corrupted_writes;
+  sequential_writes += other.sequential_writes;
+  pv_iterations += other.pv_iterations;
+  return *this;
+}
+
+}  // namespace approxmem::approx

@@ -1,0 +1,37 @@
+// Access accounting shared by all array types.
+#ifndef APPROXMEM_APPROX_MEMORY_STATS_H_
+#define APPROXMEM_APPROX_MEMORY_STATS_H_
+
+#include <cstdint>
+
+namespace approxmem::approx {
+
+/// Counters accumulated by one array (or aggregated across arrays).
+///
+/// `write_cost` / `read_cost` are in the owning write model's unit:
+/// nanoseconds for the PCM models (the paper's total-memory-write-latency
+/// metric) and normalized energy units for the spintronic model.
+struct MemoryStats {
+  uint64_t word_reads = 0;
+  uint64_t word_writes = 0;
+  double write_cost = 0.0;
+  double read_cost = 0.0;
+  /// Writes whose stored value differs from the intended value.
+  uint64_t corrupted_writes = 0;
+  /// Writes that landed at (previous index + 1) — the sequential pattern
+  /// that receives the sequential-write discount when one is configured.
+  uint64_t sequential_writes = 0;
+  /// Total program-and-verify iterations across all writes (PCM wear
+  /// proxy: each iteration is one RESET/SET pulse on the cells).
+  double pv_iterations = 0.0;
+
+  MemoryStats& operator+=(const MemoryStats& other);
+  friend MemoryStats operator+(MemoryStats a, const MemoryStats& b) {
+    a += b;
+    return a;
+  }
+};
+
+}  // namespace approxmem::approx
+
+#endif  // APPROXMEM_APPROX_MEMORY_STATS_H_

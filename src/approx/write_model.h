@@ -1,0 +1,49 @@
+// Abstraction over how a 32-bit word behaves when stored.
+//
+// A WriteModel decides (a) what value a write actually leaves in memory
+// (error injection) and (b) what the write and read cost. Concrete models:
+// precise PCM, approximate MLC PCM (fast calibrated path and exact
+// Monte-Carlo path), and the Appendix-A spintronic bit-flip model.
+#ifndef APPROXMEM_APPROX_WRITE_MODEL_H_
+#define APPROXMEM_APPROX_WRITE_MODEL_H_
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/random.h"
+
+namespace approxmem::approx {
+
+/// What one word write did.
+struct WordWriteOutcome {
+  /// The digital value subsequent reads will observe (sticky until the next
+  /// write of the same word).
+  uint32_t stored = 0;
+  /// Cost of this write in the model's unit (ns or energy units).
+  double cost = 0.0;
+  /// Total program-and-verify iterations spent across the word's cells
+  /// (wear/endurance proxy for PCM models; 0 for non-P&V technologies).
+  double pv_iterations = 0.0;
+};
+
+/// Interface implemented by each memory technology / precision domain.
+class WriteModel {
+ public:
+  virtual ~WriteModel() = default;
+
+  /// Performs one word write of `intended`; may corrupt the stored value.
+  virtual WordWriteOutcome Write(uint32_t intended, Rng& rng) = 0;
+
+  /// Cost of one word read in the model's unit.
+  virtual double ReadCost() const = 0;
+
+  /// Unit label for reports: "ns" or "energy".
+  virtual std::string_view CostUnit() const = 0;
+
+  /// True if writes never corrupt (precise domains).
+  virtual bool IsPrecise() const = 0;
+};
+
+}  // namespace approxmem::approx
+
+#endif  // APPROXMEM_APPROX_WRITE_MODEL_H_

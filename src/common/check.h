@@ -1,0 +1,41 @@
+// CHECK macros for invariants that must hold in correct programs.
+//
+// These abort the process with a diagnostic rather than throwing: the
+// library is exception-free, and a violated invariant in a memory simulator
+// means every downstream number would be garbage.
+#ifndef APPROXMEM_COMMON_CHECK_H_
+#define APPROXMEM_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/status.h"
+
+namespace approxmem::internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr) {
+  std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace approxmem::internal
+
+#define APPROXMEM_CHECK(expr)                                         \
+  do {                                                                \
+    if (!(expr)) {                                                    \
+      ::approxmem::internal::CheckFailed(__FILE__, __LINE__, #expr);  \
+    }                                                                 \
+  } while (false)
+
+#define APPROXMEM_CHECK_OK(status_expr)                                   \
+  do {                                                                    \
+    const ::approxmem::Status approxmem_check_status = (status_expr);     \
+    if (!approxmem_check_status.ok()) {                                   \
+      ::approxmem::internal::CheckFailed(                                 \
+          __FILE__, __LINE__, approxmem_check_status.ToString().c_str()); \
+    }                                                                     \
+  } while (false)
+
+#endif  // APPROXMEM_COMMON_CHECK_H_

@@ -1,0 +1,65 @@
+// Streaming statistics helpers used by calibration and the bench harness.
+#ifndef APPROXMEM_COMMON_STATS_H_
+#define APPROXMEM_COMMON_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace approxmem {
+
+/// Accumulates count/mean/variance/min/max in one pass (Welford's method).
+class RunningStat {
+ public:
+  void Add(double x);
+
+  size_t count() const { return count_; }
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+  double min() const { return min_; }
+  double max() const { return max_; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double sum() const { return mean_ * static_cast<double>(count_); }
+
+  /// Merges another accumulator into this one.
+  void Merge(const RunningStat& other);
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Fixed-bin histogram over [lo, hi); out-of-range samples clamp to the
+/// boundary bins. Used to record program-and-verify iteration counts and
+/// stored-offset distributions during calibration.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, size_t bins);
+
+  void Add(double x);
+
+  size_t bins() const { return counts_.size(); }
+  uint64_t bin_count(size_t i) const { return counts_[i]; }
+  uint64_t total() const { return total_; }
+  double bin_center(size_t i) const;
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+
+  /// Returns the p-quantile (p in [0,1]) estimated from bin centers.
+  double Quantile(double p) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<uint64_t> counts_;
+  uint64_t total_ = 0;
+};
+
+}  // namespace approxmem
+
+#endif  // APPROXMEM_COMMON_STATS_H_

@@ -1,0 +1,99 @@
+// Minimal Status / StatusOr error-propagation types.
+//
+// Library code in this project does not use exceptions (Google style).
+// Recoverable errors are surfaced through Status; programming errors and
+// violated invariants abort through the CHECK macros in common/check.h.
+#ifndef APPROXMEM_COMMON_STATUS_H_
+#define APPROXMEM_COMMON_STATUS_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace approxmem {
+
+/// Error categories carried by Status.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kFailedPrecondition,
+  kInternal,
+  kUnimplemented,
+};
+
+/// Returns a short human-readable name ("OK", "INVALID_ARGUMENT", ...).
+std::string_view StatusCodeName(StatusCode code);
+
+/// Value-semantic result of an operation that can fail.
+///
+/// A default-constructed Status is OK. Non-OK statuses carry a code and a
+/// message. Statuses are cheap to copy in the OK case.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string message) {
+    return Status(StatusCode::kInvalidArgument, std::move(message));
+  }
+  static Status OutOfRange(std::string message) {
+    return Status(StatusCode::kOutOfRange, std::move(message));
+  }
+  static Status FailedPrecondition(std::string message) {
+    return Status(StatusCode::kFailedPrecondition, std::move(message));
+  }
+  static Status Internal(std::string message) {
+    return Status(StatusCode::kInternal, std::move(message));
+  }
+  static Status Unimplemented(std::string message) {
+    return Status(StatusCode::kUnimplemented, std::move(message));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders "OK" or "CODE: message" for logs and test failures.
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value of type T or a non-OK Status explaining why there is none.
+template <typename T>
+class StatusOr {
+ public:
+  /// Constructs from a value (implicit on purpose: mirrors absl::StatusOr).
+  StatusOr(T value) : status_(), value_(std::move(value)) {}  // NOLINT
+  /// Constructs from a non-OK status. Must not be called with an OK status.
+  StatusOr(Status status) : status_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& { return value_; }
+  T& value() & { return value_; }
+  T&& value() && { return std::move(value_); }
+
+  const T& operator*() const& { return value_; }
+  T& operator*() & { return value_; }
+  const T* operator->() const { return &value_; }
+  T* operator->() { return &value_; }
+
+ private:
+  Status status_;
+  T value_{};
+};
+
+}  // namespace approxmem
+
+#endif  // APPROXMEM_COMMON_STATUS_H_

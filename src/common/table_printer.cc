@@ -1,0 +1,79 @@
+#include "common/table_printer.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace approxmem {
+
+void TablePrinter::SetHeader(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  rows_.push_back(std::move(row));
+}
+
+std::string TablePrinter::Fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string TablePrinter::FmtPercent(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", precision, v * 100.0);
+  return buf;
+}
+
+std::string TablePrinter::FmtInt(long long v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", v);
+  return buf;
+}
+
+void TablePrinter::Print(std::FILE* out) const {
+  std::vector<size_t> widths;
+  auto widen = [&widths](const std::vector<std::string>& row) {
+    if (widths.size() < row.size()) widths.resize(row.size(), 0);
+    for (size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  };
+  widen(header_);
+  for (const auto& row : rows_) widen(row);
+
+  std::fprintf(out, "\n== %s ==\n", title_.c_str());
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      std::fprintf(out, "%-*s%s", static_cast<int>(widths[i]), row[i].c_str(),
+                   i + 1 == row.size() ? "" : "  ");
+    }
+    std::fprintf(out, "\n");
+  };
+  if (!header_.empty()) {
+    print_row(header_);
+    size_t total = 0;
+    for (size_t w : widths) total += w + 2;
+    std::string rule(total > 2 ? total - 2 : total, '-');
+    std::fprintf(out, "%s\n", rule.c_str());
+  }
+  for (const auto& row : rows_) print_row(row);
+  std::fflush(out);
+}
+
+bool TablePrinter::WriteCsv(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  auto write_row = [f](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      std::fprintf(f, "%s%s", row[i].c_str(), i + 1 == row.size() ? "" : ",");
+    }
+    std::fprintf(f, "\n");
+  };
+  if (!header_.empty()) write_row(header_);
+  for (const auto& row : rows_) write_row(row);
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace approxmem

@@ -1,0 +1,43 @@
+// Aligned-column table printing for the benchmark harness.
+//
+// Every bench binary regenerates one of the paper's tables or figures and
+// prints it as an aligned text table (and optionally CSV), so the output in
+// bench_output.txt can be compared side by side with the paper.
+#ifndef APPROXMEM_COMMON_TABLE_PRINTER_H_
+#define APPROXMEM_COMMON_TABLE_PRINTER_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace approxmem {
+
+/// Collects rows of string cells and prints them with aligned columns.
+class TablePrinter {
+ public:
+  /// `title` is printed above the table, e.g. "Figure 4(b): Rem ratio".
+  explicit TablePrinter(std::string title) : title_(std::move(title)) {}
+
+  void SetHeader(std::vector<std::string> header);
+  void AddRow(std::vector<std::string> row);
+
+  /// Formats helpers for cells.
+  static std::string Fmt(double v, int precision = 4);
+  static std::string FmtPercent(double v, int precision = 2);
+  static std::string FmtInt(long long v);
+
+  /// Prints the aligned table to `out` (defaults to stdout).
+  void Print(std::FILE* out = stdout) const;
+
+  /// Writes the table as CSV to `path`. Returns false on I/O failure.
+  bool WriteCsv(const std::string& path) const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace approxmem
+
+#endif  // APPROXMEM_COMMON_TABLE_PRINTER_H_

@@ -1,0 +1,164 @@
+#include "core/engine.h"
+
+#include <utility>
+
+#include "refine/cost_model.h"
+
+namespace approxmem::core {
+namespace {
+
+approx::ApproxMemory::Options ToMemoryOptions(const EngineOptions& options) {
+  approx::ApproxMemory::Options memory_options;
+  memory_options.mlc = options.mlc;
+  memory_options.mode = options.mode;
+  memory_options.calibration_trials = options.calibration_trials;
+  memory_options.seed = options.seed;
+  memory_options.sequential_write_discount =
+      options.sequential_write_discount;
+  return memory_options;
+}
+
+}  // namespace
+
+ApproxSortEngine::ApproxSortEngine(const EngineOptions& options)
+    : options_(options), memory_(ToMemoryOptions(options)) {}
+
+StatusOr<ApproxOnlyResult> ApproxSortEngine::SortOnlyImpl(
+    const std::vector<uint32_t>& keys, const sort::AlgorithmId& algorithm,
+    const refine::ArrayAlloc& approx_alloc,
+    const refine::ArrayAlloc& precise_alloc, std::vector<uint32_t>* output) {
+  ApproxOnlyResult result;
+
+  // Approximate run. The input already resides in approximate memory in the
+  // Section 3 setup, so loading it is not part of the measured cost.
+  {
+    approx::ApproxArrayU32 array = approx_alloc(keys.size());
+    array.Store(keys);
+    array.ResetStats();
+    approx::MemoryStats scratch_stats;
+    sort::SortSpec spec;
+    spec.keys = &array;
+    spec.ids = nullptr;
+    spec.alloc_key_buffer = [&](size_t n) {
+      approx::ApproxArrayU32 buffer = approx_alloc(n);
+      buffer.SetStatsSink(&scratch_stats);
+      return buffer;
+    };
+    Rng rng(options_.seed ^ 0x5047ULL);
+    const Status status = sort::RunSort(spec, algorithm, rng);
+    if (!status.ok()) return status;
+    result.sortedness = sortedness::Measure(array);
+    result.approx_stats = array.stats() + scratch_stats;
+    if (output != nullptr) *output = array.Snapshot();
+  }
+
+  // Precise baseline run (same algorithm, same input, no payload).
+  {
+    StatusOr<refine::PreciseBaselineReport> baseline =
+        refine::PreciseSortBaseline(keys, algorithm, precise_alloc,
+                                    options_.seed ^ 0x5047ULL,
+                                    /*with_ids=*/false);
+    if (!baseline.ok()) return baseline.status();
+    result.precise_stats = baseline->keys + baseline->ids;
+  }
+
+  result.write_reduction =
+      result.precise_stats.write_cost > 0.0
+          ? 1.0 - result.approx_stats.write_cost /
+                      result.precise_stats.write_cost
+          : 0.0;
+  return result;
+}
+
+StatusOr<ApproxOnlyResult> ApproxSortEngine::SortApproxOnly(
+    const std::vector<uint32_t>& keys, const sort::AlgorithmId& algorithm,
+    double t, std::vector<uint32_t>* output) {
+  const Status valid = options_.mlc.WithT(t).Validate();
+  if (!valid.ok()) return valid;
+  return SortOnlyImpl(
+      keys, algorithm,
+      [this, t](size_t n) { return memory_.NewApproxArray(n, t); },
+      [this](size_t n) { return memory_.NewPreciseArray(n); }, output);
+}
+
+StatusOr<ApproxOnlyResult> ApproxSortEngine::SortSpintronicOnly(
+    const std::vector<uint32_t>& keys, const sort::AlgorithmId& algorithm,
+    const approx::SpintronicConfig& config, std::vector<uint32_t>* output) {
+  const Status valid = config.Validate();
+  if (!valid.ok()) return valid;
+  return SortOnlyImpl(
+      keys, algorithm,
+      [this, config](size_t n) { return memory_.NewSpintronicArray(n, config); },
+      [this](size_t n) { return memory_.NewPreciseSpintronicArray(n); },
+      output);
+}
+
+StatusOr<RefineOutcome> ApproxSortEngine::RefineImpl(
+    const std::vector<uint32_t>& keys, const sort::AlgorithmId& algorithm,
+    const refine::ArrayAlloc& approx_alloc,
+    const refine::ArrayAlloc& precise_alloc, double pv_ratio,
+    std::vector<uint32_t>* final_keys, std::vector<uint32_t>* final_ids) {
+  RefineOutcome outcome;
+
+  refine::RefineOptions refine_options;
+  refine_options.algorithm = algorithm;
+  refine_options.approx_alloc = approx_alloc;
+  refine_options.precise_alloc = precise_alloc;
+  refine_options.sort_seed = options_.seed ^ 0x4e414cULL;
+  StatusOr<refine::RefineReport> report = refine::ApproxRefineSort(
+      keys, refine_options, final_keys, final_ids);
+  if (!report.ok()) return report.status();
+  outcome.refine = std::move(report.value());
+
+  StatusOr<refine::PreciseBaselineReport> baseline =
+      refine::PreciseSortBaseline(keys, algorithm, precise_alloc,
+                                  refine_options.sort_seed,
+                                  /*with_ids=*/true);
+  if (!baseline.ok()) return baseline.status();
+  outcome.baseline = std::move(baseline.value());
+
+  outcome.write_reduction = refine::WriteReduction(outcome.refine,
+                                                   outcome.baseline);
+  outcome.predicted_write_reduction = refine::PredictWriteReduction(
+      algorithm, keys.size(), pv_ratio, outcome.refine.rem_estimate);
+  return outcome;
+}
+
+StatusOr<RefineOutcome> ApproxSortEngine::SortApproxRefine(
+    const std::vector<uint32_t>& keys, const sort::AlgorithmId& algorithm,
+    double t, std::vector<uint32_t>* final_keys,
+    std::vector<uint32_t>* final_ids) {
+  const Status valid = options_.mlc.WithT(t).Validate();
+  if (!valid.ok()) return valid;
+  return RefineImpl(
+      keys, algorithm,
+      [this, t](size_t n) { return memory_.NewApproxArray(n, t); },
+      [this](size_t n) { return memory_.NewPreciseArray(n); },
+      memory_.PvRatio(t), final_keys, final_ids);
+}
+
+StatusOr<RefineOutcome> ApproxSortEngine::SortSpintronicRefine(
+    const std::vector<uint32_t>& keys, const sort::AlgorithmId& algorithm,
+    const approx::SpintronicConfig& config,
+    std::vector<uint32_t>* final_keys, std::vector<uint32_t>* final_ids) {
+  const Status valid = config.Validate();
+  if (!valid.ok()) return valid;
+  // Under the energy model, the analogue of p(t) is the per-write energy
+  // ratio of approximate to precise writes.
+  const double energy_ratio =
+      config.ApproxWriteEnergy() / config.precise_write_energy;
+  return RefineImpl(
+      keys, algorithm,
+      [this, config](size_t n) { return memory_.NewSpintronicArray(n, config); },
+      [this](size_t n) { return memory_.NewPreciseSpintronicArray(n); },
+      energy_ratio, final_keys, final_ids);
+}
+
+bool ApproxSortEngine::RecommendApproxRefine(
+    const sort::AlgorithmId& algorithm, size_t n, double t,
+    size_t expected_rem) {
+  return refine::ShouldUseApproxRefine(algorithm, n, memory_.PvRatio(t),
+                                       expected_rem);
+}
+
+}  // namespace approxmem::core

@@ -1,0 +1,128 @@
+// ApproxSortEngine: the library's public facade.
+//
+// One engine instance owns the simulated hybrid memory (calibrations, write
+// models, RNG tree) and exposes the paper's three experiment families:
+//   * SortApproxOnly    — Section 3: sort in approximate memory only and
+//                         measure sortedness vs. write-latency savings.
+//   * SortApproxRefine  — Sections 4-5: the approx-refine mechanism with a
+//                         precise-baseline comparison (write reduction).
+//   * Spintronic variants of both — Appendix A (energy instead of latency).
+//
+// Quickstart:
+//   core::ApproxSortEngine engine({});
+//   auto keys = core::MakeKeys(core::WorkloadKind::kUniform, 1 << 20, 7);
+//   auto result = engine.SortApproxRefine(
+//       keys, sort::AlgorithmId{sort::SortKind::kLsdRadix, 3}, 0.055);
+//   // result->write_reduction, result->refine.verified, ...
+#ifndef APPROXMEM_CORE_ENGINE_H_
+#define APPROXMEM_CORE_ENGINE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "approx/approx_memory.h"
+#include "approx/spintronic.h"
+#include "common/status.h"
+#include "refine/approx_refine.h"
+#include "sort/sort_common.h"
+#include "sortedness/measures.h"
+
+namespace approxmem::core {
+
+/// Engine-wide configuration; defaults reproduce the paper's Tables 1-2.
+struct EngineOptions {
+  mlc::MlcConfig mlc;
+  approx::SimulationMode mode = approx::SimulationMode::kFast;
+  uint64_t calibration_trials = 200000;
+  uint64_t seed = 42;
+  /// See approx::ApproxMemory::Options::sequential_write_discount; 1.0
+  /// reproduces the paper's uniform write-latency model.
+  double sequential_write_discount = 1.0;
+};
+
+/// Result of sorting in approximate memory only (no precise output).
+struct ApproxOnlyResult {
+  sortedness::SortednessReport sortedness;
+  /// Accounting of the approximate run (keys and approximate scratch).
+  approx::MemoryStats approx_stats;
+  /// Accounting of the same sort executed in precise memory.
+  approx::MemoryStats precise_stats;
+  /// Equation 1: 1 - (approx write cost) / (precise write cost).
+  double write_reduction = 0.0;
+};
+
+/// Result of one approx-refine execution plus its precise baseline.
+struct RefineOutcome {
+  refine::RefineReport refine;
+  refine::PreciseBaselineReport baseline;
+  /// Equation 2, measured.
+  double write_reduction = 0.0;
+  /// Equation 4, predicted from p(t) and the heuristic Rem~.
+  double predicted_write_reduction = 0.0;
+};
+
+class ApproxSortEngine {
+ public:
+  explicit ApproxSortEngine(const EngineOptions& options);
+
+  /// Section 3 study: sorts `keys` in approximate PCM at half-width `t`
+  /// (payload untouched, as in the paper) and measures the sortedness of
+  /// the output and the write cost against a precise-run baseline.
+  /// `output`, when non-null, receives the (possibly unsorted) result.
+  StatusOr<ApproxOnlyResult> SortApproxOnly(
+      const std::vector<uint32_t>& keys, const sort::AlgorithmId& algorithm,
+      double t, std::vector<uint32_t>* output = nullptr);
+
+  /// Appendix A variant of SortApproxOnly on spintronic memory.
+  StatusOr<ApproxOnlyResult> SortSpintronicOnly(
+      const std::vector<uint32_t>& keys, const sort::AlgorithmId& algorithm,
+      const approx::SpintronicConfig& config,
+      std::vector<uint32_t>* output = nullptr);
+
+  /// Sections 4-5: approx-refine on PCM at half-width `t`, compared with
+  /// the precise-only baseline. Outputs exactly sorted <Key, ID> pairs.
+  StatusOr<RefineOutcome> SortApproxRefine(
+      const std::vector<uint32_t>& keys, const sort::AlgorithmId& algorithm,
+      double t, std::vector<uint32_t>* final_keys = nullptr,
+      std::vector<uint32_t>* final_ids = nullptr);
+
+  /// Appendix A: approx-refine on spintronic memory (energy accounting).
+  StatusOr<RefineOutcome> SortSpintronicRefine(
+      const std::vector<uint32_t>& keys, const sort::AlgorithmId& algorithm,
+      const approx::SpintronicConfig& config,
+      std::vector<uint32_t>* final_keys = nullptr,
+      std::vector<uint32_t>* final_ids = nullptr);
+
+  /// p(t) — the calibrated write-latency ratio (Section 2.2).
+  double PvRatio(double t) { return memory_.PvRatio(t); }
+
+  /// Decision helper: should approx-refine be used for this workload?
+  /// Uses Equation 4 with the calibrated p(t) and an expected Rem~.
+  bool RecommendApproxRefine(const sort::AlgorithmId& algorithm, size_t n,
+                             double t, size_t expected_rem);
+
+  approx::ApproxMemory& memory() { return memory_; }
+  const EngineOptions& options() const { return options_; }
+
+ private:
+  StatusOr<ApproxOnlyResult> SortOnlyImpl(
+      const std::vector<uint32_t>& keys, const sort::AlgorithmId& algorithm,
+      const refine::ArrayAlloc& approx_alloc,
+      const refine::ArrayAlloc& precise_alloc,
+      std::vector<uint32_t>* output);
+
+  StatusOr<RefineOutcome> RefineImpl(const std::vector<uint32_t>& keys,
+                                     const sort::AlgorithmId& algorithm,
+                                     const refine::ArrayAlloc& approx_alloc,
+                                     const refine::ArrayAlloc& precise_alloc,
+                                     double pv_ratio,
+                                     std::vector<uint32_t>* final_keys,
+                                     std::vector<uint32_t>* final_ids);
+
+  EngineOptions options_;
+  approx::ApproxMemory memory_;
+};
+
+}  // namespace approxmem::core
+
+#endif  // APPROXMEM_CORE_ENGINE_H_

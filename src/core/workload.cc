@@ -1,0 +1,54 @@
+#include "core/workload.h"
+
+#include <algorithm>
+
+#include "common/random.h"
+
+namespace approxmem::core {
+
+StatusOr<WorkloadKind> ParseWorkloadKind(const std::string& name) {
+  if (name == "uniform") return WorkloadKind::kUniform;
+  if (name == "skewed") return WorkloadKind::kSkewed;
+  if (name == "nearly_sorted") return WorkloadKind::kNearlySorted;
+  if (name == "reversed") return WorkloadKind::kReversed;
+  if (name == "all_equal") return WorkloadKind::kAllEqual;
+  return Status::InvalidArgument("unknown workload: " + name);
+}
+
+std::string WorkloadName(WorkloadKind kind) {
+  switch (kind) {
+    case WorkloadKind::kUniform:
+      return "uniform";
+    case WorkloadKind::kSkewed:
+      return "skewed";
+    case WorkloadKind::kNearlySorted:
+      return "nearly_sorted";
+    case WorkloadKind::kReversed:
+      return "reversed";
+    case WorkloadKind::kAllEqual:
+      return "all_equal";
+  }
+  return "unknown";
+}
+
+std::vector<uint32_t> MakeKeys(WorkloadKind kind, size_t n, uint64_t seed) {
+  Rng rng(seed);
+  switch (kind) {
+    case WorkloadKind::kUniform:
+      return UniformKeys(n, rng);
+    case WorkloadKind::kSkewed:
+      return SkewedKeys(n, /*skew=*/0.5, rng);
+    case WorkloadKind::kNearlySorted:
+      return NearlySortedKeys(n, /*swaps=*/n / 100 + 1, rng);
+    case WorkloadKind::kReversed: {
+      std::vector<uint32_t> keys = UniformKeys(n, rng);
+      std::sort(keys.begin(), keys.end(), std::greater<uint32_t>());
+      return keys;
+    }
+    case WorkloadKind::kAllEqual:
+      return std::vector<uint32_t>(n, 0xDEADBEEF);
+  }
+  return {};
+}
+
+}  // namespace approxmem::core

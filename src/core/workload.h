@@ -1,0 +1,36 @@
+// Workload generators for experiments and examples.
+//
+// The paper evaluates uniformly distributed 32-bit keys; the extra
+// distributions exercise the algorithms' adaptivity and are used by the
+// ablation benches and examples.
+#ifndef APPROXMEM_CORE_WORKLOAD_H_
+#define APPROXMEM_CORE_WORKLOAD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace approxmem::core {
+
+enum class WorkloadKind {
+  kUniform,       // Uniform over the full 32-bit range (the paper's input).
+  kSkewed,        // Heavy-duplicate power-law keys.
+  kNearlySorted,  // Sorted plus a few random transpositions.
+  kReversed,      // Strictly decreasing (adversarial for Rem).
+  kAllEqual,      // One repeated value (duplicate-handling edge case).
+};
+
+/// Parses "uniform" / "skewed" / "nearly_sorted" / "reversed" / "all_equal".
+StatusOr<WorkloadKind> ParseWorkloadKind(const std::string& name);
+
+/// Human-readable name of `kind`.
+std::string WorkloadName(WorkloadKind kind);
+
+/// Generates `n` keys of the given distribution, deterministic in `seed`.
+std::vector<uint32_t> MakeKeys(WorkloadKind kind, size_t n, uint64_t seed);
+
+}  // namespace approxmem::core
+
+#endif  // APPROXMEM_CORE_WORKLOAD_H_

@@ -1,0 +1,63 @@
+#include "dbops/aggregate.h"
+
+#include <algorithm>
+
+namespace approxmem::dbops {
+
+StatusOr<GroupByResult> GroupByAggregate(core::ApproxSortEngine& engine,
+                                         const std::vector<uint32_t>& keys,
+                                         const std::vector<uint32_t>& values,
+                                         const GroupByOptions& options) {
+  if (keys.size() != values.size()) {
+    return Status::InvalidArgument("keys and values must be the same size");
+  }
+  GroupByResult result;
+  if (keys.empty()) {
+    result.verified = true;
+    return result;
+  }
+
+  std::vector<uint32_t> sorted_keys;
+  std::vector<uint32_t> row_ids;
+  const auto outcome = engine.SortApproxRefine(
+      keys, options.algorithm, options.t, &sorted_keys, &row_ids);
+  if (!outcome.ok()) return outcome.status();
+  if (!outcome->refine.verified) {
+    return Status::Internal("approx-refine sort failed verification");
+  }
+  result.sort_write_reduction = outcome->write_reduction;
+
+  // Fold the sorted (key, row-id) stream into groups. Values are fetched
+  // from precise memory via the record ids — exactly the paper's payload
+  // recovery pattern.
+  GroupRow current;
+  bool open = false;
+  for (size_t i = 0; i < sorted_keys.size(); ++i) {
+    const uint32_t key = sorted_keys[i];
+    const uint32_t value = values[row_ids[i]];
+    if (!open || key != current.group_key) {
+      if (open) result.groups.push_back(current);
+      current = GroupRow{key, 0, 0, value, value};
+      open = true;
+    }
+    ++current.count;
+    current.sum += value;
+    current.min = std::min(current.min, value);
+    current.max = std::max(current.max, value);
+  }
+  if (open) result.groups.push_back(current);
+
+  // Verification: group keys strictly ascending and counts cover n.
+  uint64_t total = 0;
+  bool ok = true;
+  for (size_t g = 0; g < result.groups.size(); ++g) {
+    total += result.groups[g].count;
+    if (g > 0 && result.groups[g].group_key <= result.groups[g - 1].group_key) {
+      ok = false;
+    }
+  }
+  result.verified = ok && total == keys.size();
+  return result;
+}
+
+}  // namespace approxmem::dbops

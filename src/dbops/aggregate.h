@@ -1,0 +1,51 @@
+// Sort-based GROUP BY aggregation on approximate memory — the "other
+// database operations (such as aggregations)" the paper's conclusion names
+// as future work.
+//
+// The group-key column is sorted with approx-refine (exact output), then a
+// single precise scan folds each group's values. The aggregate results are
+// exact; the savings come from the sort.
+#ifndef APPROXMEM_DBOPS_AGGREGATE_H_
+#define APPROXMEM_DBOPS_AGGREGATE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "core/engine.h"
+#include "sort/sort_common.h"
+
+namespace approxmem::dbops {
+
+/// One output group of GroupByAggregate.
+struct GroupRow {
+  uint32_t group_key = 0;
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  uint32_t min = 0;
+  uint32_t max = 0;
+};
+
+struct GroupByOptions {
+  sort::AlgorithmId algorithm{sort::SortKind::kMsdRadix, 6};
+  double t = 0.055;
+};
+
+struct GroupByResult {
+  std::vector<GroupRow> groups;  // In ascending group_key order.
+  /// Write reduction of the underlying sort vs precise-only (Eq. 2).
+  double sort_write_reduction = 0.0;
+  bool verified = false;
+};
+
+/// Computes SELECT key, COUNT(*), SUM(value), MIN(value), MAX(value)
+/// FROM (keys, values) GROUP BY key ORDER BY key. `keys` and `values` must
+/// have equal length.
+StatusOr<GroupByResult> GroupByAggregate(core::ApproxSortEngine& engine,
+                                         const std::vector<uint32_t>& keys,
+                                         const std::vector<uint32_t>& values,
+                                         const GroupByOptions& options);
+
+}  // namespace approxmem::dbops
+
+#endif  // APPROXMEM_DBOPS_AGGREGATE_H_

@@ -1,0 +1,83 @@
+#include "dbops/join.h"
+
+namespace approxmem::dbops {
+
+StatusOr<JoinResult> SortMergeJoin(core::ApproxSortEngine& engine,
+                                   const std::vector<uint32_t>& left_keys,
+                                   const std::vector<uint32_t>& right_keys,
+                                   const JoinOptions& options) {
+  JoinResult result;
+
+  std::vector<uint32_t> left_sorted;
+  std::vector<uint32_t> left_ids;
+  std::vector<uint32_t> right_sorted;
+  std::vector<uint32_t> right_ids;
+  if (!left_keys.empty()) {
+    const auto left = engine.SortApproxRefine(left_keys, options.algorithm,
+                                              options.t, &left_sorted,
+                                              &left_ids);
+    if (!left.ok()) return left.status();
+    if (!left->refine.verified) {
+      return Status::Internal("left sort failed verification");
+    }
+    result.left_sort_write_reduction = left->write_reduction;
+  }
+  if (!right_keys.empty()) {
+    const auto right = engine.SortApproxRefine(right_keys, options.algorithm,
+                                               options.t, &right_sorted,
+                                               &right_ids);
+    if (!right.ok()) return right.status();
+    if (!right->refine.verified) {
+      return Status::Internal("right sort failed verification");
+    }
+    result.right_sort_write_reduction = right->write_reduction;
+  }
+
+  // Merge scan: for each run of equal keys on both sides, emit the cross
+  // product of row ids.
+  size_t l = 0;
+  size_t r = 0;
+  while (l < left_sorted.size() && r < right_sorted.size()) {
+    if (left_sorted[l] < right_sorted[r]) {
+      ++l;
+    } else if (left_sorted[l] > right_sorted[r]) {
+      ++r;
+    } else {
+      const uint32_t key = left_sorted[l];
+      size_t l_end = l;
+      while (l_end < left_sorted.size() && left_sorted[l_end] == key) {
+        ++l_end;
+      }
+      size_t r_end = r;
+      while (r_end < right_sorted.size() && right_sorted[r_end] == key) {
+        ++r_end;
+      }
+      for (size_t i = l; i < l_end; ++i) {
+        for (size_t j = r; j < r_end; ++j) {
+          if (options.max_output_pairs != 0 &&
+              result.pairs.size() >= options.max_output_pairs) {
+            result.truncated = true;
+            result.verified = true;
+            return result;
+          }
+          result.pairs.push_back(JoinPair{left_ids[i], right_ids[j]});
+        }
+      }
+      l = l_end;
+      r = r_end;
+    }
+  }
+
+  // Verification: every emitted pair joins on equal original keys.
+  bool ok = true;
+  for (const JoinPair& pair : result.pairs) {
+    if (left_keys[pair.left_row] != right_keys[pair.right_row]) {
+      ok = false;
+      break;
+    }
+  }
+  result.verified = ok;
+  return result;
+}
+
+}  // namespace approxmem::dbops

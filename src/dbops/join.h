@@ -1,0 +1,50 @@
+// Sort-merge equi-join with approx-refine sorting on both inputs.
+//
+// Both join columns are sorted in approximate memory and repaired, then a
+// precise merge scan emits matching row-id pairs. Join output is exact;
+// the write savings come from the two sorts — the heaviest write phase of
+// a classic sort-merge join.
+#ifndef APPROXMEM_DBOPS_JOIN_H_
+#define APPROXMEM_DBOPS_JOIN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "core/engine.h"
+#include "sort/sort_common.h"
+
+namespace approxmem::dbops {
+
+struct JoinOptions {
+  sort::AlgorithmId algorithm{sort::SortKind::kMsdRadix, 6};
+  double t = 0.055;
+  /// Safety cap on emitted pairs (cross-product blowup on heavy
+  /// duplicates); 0 = unlimited.
+  size_t max_output_pairs = 0;
+};
+
+/// One matched pair of row ids.
+struct JoinPair {
+  uint32_t left_row = 0;
+  uint32_t right_row = 0;
+};
+
+struct JoinResult {
+  std::vector<JoinPair> pairs;  // Ordered by join key.
+  double left_sort_write_reduction = 0.0;
+  double right_sort_write_reduction = 0.0;
+  bool truncated = false;  // Hit max_output_pairs.
+  bool verified = false;
+};
+
+/// Computes SELECT l.row, r.row FROM left l JOIN right r
+/// ON l.key = r.key, via approx-refine sort-merge.
+StatusOr<JoinResult> SortMergeJoin(core::ApproxSortEngine& engine,
+                                   const std::vector<uint32_t>& left_keys,
+                                   const std::vector<uint32_t>& right_keys,
+                                   const JoinOptions& options);
+
+}  // namespace approxmem::dbops
+
+#endif  // APPROXMEM_DBOPS_JOIN_H_

@@ -1,0 +1,78 @@
+#include "extsort/disk_model.h"
+
+#include <algorithm>
+#include <cstddef>
+
+#include "common/check.h"
+
+namespace approxmem::extsort {
+
+Status DiskConfig::Validate() const {
+  if (block_elements == 0) {
+    return Status::InvalidArgument("block_elements must be positive");
+  }
+  if (read_latency_us_per_block < 0.0 || write_latency_us_per_block < 0.0) {
+    return Status::InvalidArgument("latencies must be non-negative");
+  }
+  return Status::Ok();
+}
+
+SimulatedDisk::SimulatedDisk(const DiskConfig& config) : config_(config) {
+  APPROXMEM_CHECK_OK(config.Validate());
+}
+
+int SimulatedDisk::CreateFile() {
+  files_.emplace_back();
+  return static_cast<int>(files_.size()) - 1;
+}
+
+uint64_t SimulatedDisk::BlocksCovering(size_t begin_element,
+                                       size_t end_element) const {
+  if (end_element <= begin_element) return 0;
+  const size_t first = begin_element / config_.block_elements;
+  const size_t last = (end_element - 1) / config_.block_elements;
+  return last - first + 1;
+}
+
+void SimulatedDisk::Append(int file, const std::vector<uint32_t>& values) {
+  APPROXMEM_CHECK(file >= 0 && static_cast<size_t>(file) < files_.size());
+  if (values.empty()) return;
+  std::vector<uint32_t>& data = files_[static_cast<size_t>(file)];
+  const size_t begin = data.size();
+  data.insert(data.end(), values.begin(), values.end());
+  const uint64_t blocks = BlocksCovering(begin, data.size());
+  stats_.blocks_written += blocks;
+  stats_.write_time_us +=
+      static_cast<double>(blocks) * config_.write_latency_us_per_block;
+}
+
+size_t SimulatedDisk::FileSize(int file) const {
+  APPROXMEM_CHECK(file >= 0 && static_cast<size_t>(file) < files_.size());
+  return files_[static_cast<size_t>(file)].size();
+}
+
+std::vector<uint32_t> SimulatedDisk::Read(int file, size_t offset,
+                                          size_t count) {
+  APPROXMEM_CHECK(file >= 0 && static_cast<size_t>(file) < files_.size());
+  const std::vector<uint32_t>& data = files_[static_cast<size_t>(file)];
+  const size_t begin = std::min(offset, data.size());
+  const size_t end = std::min(offset + count, data.size());
+  const uint64_t blocks = BlocksCovering(begin, end);
+  stats_.blocks_read += blocks;
+  stats_.read_time_us +=
+      static_cast<double>(blocks) * config_.read_latency_us_per_block;
+  return std::vector<uint32_t>(data.begin() + static_cast<ptrdiff_t>(begin),
+                               data.begin() + static_cast<ptrdiff_t>(end));
+}
+
+const std::vector<uint32_t>& SimulatedDisk::PeekData(int file) const {
+  APPROXMEM_CHECK(file >= 0 && static_cast<size_t>(file) < files_.size());
+  return files_[static_cast<size_t>(file)];
+}
+
+void SimulatedDisk::Truncate(int file) {
+  APPROXMEM_CHECK(file >= 0 && static_cast<size_t>(file) < files_.size());
+  files_[static_cast<size_t>(file)].clear();
+}
+
+}  // namespace approxmem::extsort

@@ -1,0 +1,80 @@
+// Simulated block device for the external-sorting scenario.
+//
+// Section 4.1: "If the data is initially in the hard disk, we need to adopt
+// more advanced external memory sorting algorithms, for which the proposed
+// approx-refine scheme can be used in their in-memory sorting steps." The
+// disk model is deliberately simple — append-only files of 32-bit elements
+// with block-granular latency accounting — because the experiment's point
+// is how in-memory savings propagate, not disk scheduling.
+#ifndef APPROXMEM_EXTSORT_DISK_MODEL_H_
+#define APPROXMEM_EXTSORT_DISK_MODEL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+
+namespace approxmem::extsort {
+
+/// Geometry and timing of the simulated disk.
+struct DiskConfig {
+  /// Elements (32-bit words) per block; 1024 = 4KB blocks.
+  size_t block_elements = 1024;
+  double read_latency_us_per_block = 100.0;
+  double write_latency_us_per_block = 100.0;
+
+  Status Validate() const;
+};
+
+/// Aggregate I/O accounting.
+struct DiskStats {
+  uint64_t blocks_read = 0;
+  uint64_t blocks_written = 0;
+  double read_time_us = 0.0;
+  double write_time_us = 0.0;
+
+  double TotalTimeUs() const { return read_time_us + write_time_us; }
+};
+
+/// An in-memory simulation of a block device holding append-only files of
+/// uint32 elements. Every Append/Read charges the touched blocks.
+class SimulatedDisk {
+ public:
+  explicit SimulatedDisk(const DiskConfig& config = DiskConfig());
+
+  /// Creates an empty file and returns its id.
+  int CreateFile();
+
+  /// Appends `values` to `file` (charges the covered blocks, including a
+  /// rewrite of a partially filled tail block).
+  void Append(int file, const std::vector<uint32_t>& values);
+
+  /// Number of elements in `file`.
+  size_t FileSize(int file) const;
+
+  /// Reads up to `count` elements starting at `offset` (clamped to the file
+  /// end); charges the covered blocks.
+  std::vector<uint32_t> Read(int file, size_t offset, size_t count);
+
+  /// Unaccounted access to the raw contents — verification only.
+  const std::vector<uint32_t>& PeekData(int file) const;
+
+  /// Deletes a file's contents (run files after merging); free of charge.
+  void Truncate(int file);
+
+  const DiskConfig& config() const { return config_; }
+  const DiskStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = DiskStats{}; }
+
+ private:
+  uint64_t BlocksCovering(size_t begin_element, size_t end_element) const;
+
+  DiskConfig config_;
+  DiskStats stats_;
+  std::vector<std::vector<uint32_t>> files_;
+};
+
+}  // namespace approxmem::extsort
+
+#endif  // APPROXMEM_EXTSORT_DISK_MODEL_H_

@@ -1,0 +1,192 @@
+#include "extsort/external_sort.h"
+
+#include <algorithm>
+
+#include "extsort/loser_tree.h"
+#include "refine/approx_refine.h"
+#include "sortedness/measures.h"
+
+namespace approxmem::extsort {
+namespace {
+
+// Block-buffered cursor over one sorted run on disk.
+class RunCursor {
+ public:
+  RunCursor(SimulatedDisk* disk, int file, size_t begin, size_t end,
+            size_t buffer_elements)
+      : disk_(disk),
+        file_(file),
+        next_(begin),
+        end_(end),
+        buffer_elements_(buffer_elements) {}
+
+  bool Refill() {
+    if (next_ >= end_) return false;
+    const size_t count = std::min(buffer_elements_, end_ - next_);
+    buffer_ = disk_->Read(file_, next_, count);
+    next_ += buffer_.size();
+    pos_ = 0;
+    return !buffer_.empty();
+  }
+
+  // Returns false when the run is exhausted.
+  bool Peek(uint32_t* value) {
+    if (pos_ >= buffer_.size() && !Refill()) return false;
+    *value = buffer_[pos_];
+    return true;
+  }
+
+  void Advance() { ++pos_; }
+
+ private:
+  SimulatedDisk* disk_;
+  int file_;
+  size_t next_;
+  size_t end_;
+  size_t buffer_elements_;
+  std::vector<uint32_t> buffer_;
+  size_t pos_ = 0;
+};
+
+struct Run {
+  int file;
+  size_t begin;
+  size_t end;
+};
+
+// Merges `runs` into a single run appended to `out_file`; returns the
+// merged run's extent.
+Run MergeRuns(SimulatedDisk& disk, const std::vector<Run>& runs,
+              int out_file, const ExternalSortOptions& options) {
+  const size_t begin = disk.FileSize(out_file);
+  std::vector<RunCursor> cursors;
+  cursors.reserve(runs.size());
+  for (const Run& run : runs) {
+    cursors.emplace_back(&disk, run.file, run.begin, run.end,
+                         options.merge_buffer_elements);
+  }
+  LoserTree tree(runs.size());
+  for (size_t way = 0; way < cursors.size(); ++way) {
+    uint32_t head = 0;
+    if (cursors[way].Peek(&head)) tree.Update(way, head, true);
+  }
+  std::vector<uint32_t> out_buffer;
+  out_buffer.reserve(options.merge_buffer_elements);
+  while (!tree.Exhausted()) {
+    const size_t way = tree.MinWay();
+    out_buffer.push_back(tree.MinKey());
+    if (out_buffer.size() >= options.merge_buffer_elements) {
+      disk.Append(out_file, out_buffer);
+      out_buffer.clear();
+    }
+    cursors[way].Advance();
+    uint32_t head = 0;
+    if (cursors[way].Peek(&head)) {
+      tree.Update(way, head, true);
+    } else {
+      tree.Update(way, 0, false);
+    }
+  }
+  if (!out_buffer.empty()) disk.Append(out_file, out_buffer);
+  return Run{out_file, begin, disk.FileSize(out_file)};
+}
+
+}  // namespace
+
+Status ExternalSortOptions::Validate() const {
+  if (memory_budget_elements < 2) {
+    return Status::InvalidArgument("memory budget must be >= 2 elements");
+  }
+  if (merge_fan_in < 2) {
+    return Status::InvalidArgument("merge_fan_in must be >= 2");
+  }
+  if (merge_buffer_elements == 0) {
+    return Status::InvalidArgument("merge_buffer_elements must be positive");
+  }
+  if (t <= 0.0) return Status::InvalidArgument("t must be positive");
+  return Status::Ok();
+}
+
+StatusOr<ExternalSortReport> ExternalSort(core::ApproxSortEngine& engine,
+                                          SimulatedDisk& disk, int input_file,
+                                          const ExternalSortOptions& options,
+                                          int* output_file) {
+  const Status valid = options.Validate();
+  if (!valid.ok()) return valid;
+
+  ExternalSortReport report;
+  report.n = disk.FileSize(input_file);
+
+  // ---- Phase 1: run formation. Each memory-budget chunk is sorted in the
+  // hybrid memory (approx-refine or precise) and written out as a run.
+  int run_file = disk.CreateFile();
+  std::vector<Run> runs;
+  for (size_t offset = 0; offset < report.n;
+       offset += options.memory_budget_elements) {
+    const std::vector<uint32_t> chunk =
+        disk.Read(input_file, offset, options.memory_budget_elements);
+    std::vector<uint32_t> sorted_chunk;
+    if (options.use_approx_refine) {
+      const auto outcome = engine.SortApproxRefine(
+          chunk, options.algorithm, options.t, &sorted_chunk, nullptr);
+      if (!outcome.ok()) return outcome.status();
+      if (!outcome->refine.verified) {
+        return Status::Internal("approx-refine produced unsorted run");
+      }
+      report.memory_write_cost += outcome->refine.TotalWriteCost();
+      report.total_rem += outcome->refine.rem_estimate;
+    } else {
+      const auto baseline = refine::PreciseSortBaseline(
+          chunk, options.algorithm,
+          [&engine](size_t n) { return engine.memory().NewPreciseArray(n); },
+          /*sort_seed=*/offset + 1, /*with_ids=*/true, &sorted_chunk);
+      if (!baseline.ok()) return baseline.status();
+      report.memory_write_cost += baseline->TotalWriteCost();
+    }
+    const size_t begin = disk.FileSize(run_file);
+    disk.Append(run_file, sorted_chunk);
+    runs.push_back(Run{run_file, begin, disk.FileSize(run_file)});
+  }
+  report.initial_runs = runs.size();
+
+  // ---- Phase 2: loser-tree merge passes until one run remains.
+  while (runs.size() > 1) {
+    ++report.merge_passes;
+    const int next_file = disk.CreateFile();
+    std::vector<Run> next_runs;
+    for (size_t group = 0; group < runs.size();
+         group += options.merge_fan_in) {
+      const size_t group_end =
+          std::min(group + options.merge_fan_in, runs.size());
+      const std::vector<Run> group_runs(
+          runs.begin() + static_cast<ptrdiff_t>(group),
+          runs.begin() + static_cast<ptrdiff_t>(group_end));
+      next_runs.push_back(MergeRuns(disk, group_runs, next_file, options));
+    }
+    runs = std::move(next_runs);
+  }
+
+  int final_file;
+  if (runs.empty()) {
+    final_file = disk.CreateFile();  // Empty input -> empty output.
+  } else if (runs.size() == 1 && runs[0].begin == 0 &&
+             runs[0].end == disk.FileSize(runs[0].file)) {
+    final_file = runs[0].file;
+  } else {
+    // Single run embedded in a shared file: copy it out.
+    final_file = disk.CreateFile();
+    disk.Append(final_file, disk.Read(runs[0].file, runs[0].begin,
+                                      runs[0].end - runs[0].begin));
+  }
+
+  // ---- Verification (unaccounted reads).
+  const std::vector<uint32_t>& output = disk.PeekData(final_file);
+  report.verified =
+      output.size() == report.n && sortedness::IsSorted(output) &&
+      sortedness::IsPermutationOf(disk.PeekData(input_file), output);
+  report.disk = disk.stats();
+  if (output_file != nullptr) *output_file = final_file;
+  return report;
+}
+
+}  // namespace approxmem::extsort

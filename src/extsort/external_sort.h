@@ -1,0 +1,63 @@
+// External merge sort whose in-memory sorting step runs under approx-refine
+// (the Section 4.1 scenario).
+//
+// Phase 1 (run formation): read memory-budget-sized chunks from disk, sort
+// each with approx-refine in the hybrid memory (or precisely, for the
+// baseline), write sorted runs back to disk.
+// Phase 2 (merge): k-way loser-tree merge of the runs with block-buffered
+// cursors, repeated in passes while more than `merge_fan_in` runs remain.
+// Disk I/O is identical between the approximate and precise configurations;
+// the entire difference is the in-memory write cost — which is the point.
+#ifndef APPROXMEM_EXTSORT_EXTERNAL_SORT_H_
+#define APPROXMEM_EXTSORT_EXTERNAL_SORT_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/status.h"
+#include "core/engine.h"
+#include "extsort/disk_model.h"
+#include "sort/sort_common.h"
+
+namespace approxmem::extsort {
+
+struct ExternalSortOptions {
+  /// Elements the in-memory phase may hold at once (the run size).
+  size_t memory_budget_elements = 1 << 16;
+  /// Algorithm for the in-memory sorts.
+  sort::AlgorithmId algorithm{sort::SortKind::kLsdRadix, 3};
+  /// Guard-band half-width for the approx stage.
+  double t = 0.055;
+  /// false = precise in-memory sorts (the baseline configuration).
+  bool use_approx_refine = true;
+  /// Maximum runs merged per pass; more runs trigger multiple passes.
+  size_t merge_fan_in = 16;
+  /// Elements buffered per run cursor during merging.
+  size_t merge_buffer_elements = 1024;
+
+  Status Validate() const;
+};
+
+struct ExternalSortReport {
+  size_t n = 0;
+  size_t initial_runs = 0;
+  size_t merge_passes = 0;
+  DiskStats disk;
+  /// Simulated memory write cost of all in-memory sorts (ns).
+  double memory_write_cost = 0.0;
+  /// Heuristic-REM total across runs (0 in precise mode).
+  size_t total_rem = 0;
+  /// Output is exactly sorted and a permutation of the input.
+  bool verified = false;
+};
+
+/// Sorts `input_file` on `disk`; returns the report and stores the output
+/// file id in `*output_file`. The engine provides the hybrid memory.
+StatusOr<ExternalSortReport> ExternalSort(core::ApproxSortEngine& engine,
+                                          SimulatedDisk& disk, int input_file,
+                                          const ExternalSortOptions& options,
+                                          int* output_file);
+
+}  // namespace approxmem::extsort
+
+#endif  // APPROXMEM_EXTSORT_EXTERNAL_SORT_H_

@@ -1,0 +1,73 @@
+#include "extsort/loser_tree.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace approxmem::extsort {
+
+LoserTree::LoserTree(size_t ways)
+    : ways_(ways),
+      keys_(ways, 0),
+      valid_(ways, 0),
+      losers_(std::max<size_t>(ways, 1), 0) {
+  APPROXMEM_CHECK(ways >= 1);
+  Rebuild();
+}
+
+bool LoserTree::Loses(size_t a, size_t b) const {
+  if (valid_[a] != valid_[b]) return valid_[a] == 0;  // Exhausted loses.
+  if (valid_[a] == 0) return a > b;  // Both exhausted: stable order.
+  if (keys_[a] != keys_[b]) return keys_[a] > keys_[b];
+  return a > b;  // Equal keys: lower way wins (stable merge).
+}
+
+void LoserTree::Rebuild() {
+  if (ways_ == 1) {
+    winner_ = 0;
+    return;
+  }
+  // Complete tournament over conceptual leaves k..2k-1 (leaf k+i = way i):
+  // winners[node] is the winning way of the subtree under `node`; the
+  // losing way stays in losers_[node].
+  std::vector<size_t> winners(2 * ways_, 0);
+  for (size_t way = 0; way < ways_; ++way) winners[ways_ + way] = way;
+  for (size_t node = ways_ - 1; node >= 1; --node) {
+    const size_t left = winners[2 * node];
+    const size_t right = winners[2 * node + 1];
+    if (Loses(left, right)) {
+      winners[node] = right;
+      losers_[node] = left;
+    } else {
+      winners[node] = left;
+      losers_[node] = right;
+    }
+  }
+  winner_ = winners[1];
+}
+
+void LoserTree::Update(size_t way, uint32_t key, bool valid) {
+  APPROXMEM_CHECK(way < ways_);
+  const bool was_winner = (way == winner_);
+  keys_[way] = key;
+  valid_[way] = valid ? 1 : 0;
+  if (ways_ == 1) {
+    winner_ = 0;
+    return;
+  }
+  if (!was_winner) {
+    // Arbitrary-way updates (initial head installation) invalidate losers
+    // along the path in ways a replay cannot repair; rebuild. The merge
+    // hot loop always updates the winner, which takes the O(log k) path.
+    Rebuild();
+    return;
+  }
+  // Winner replay: climb from the leaf, swapping with stored losers.
+  size_t cur = way;
+  for (size_t node = (way + ways_) / 2; node >= 1; node /= 2) {
+    if (Loses(cur, losers_[node])) std::swap(cur, losers_[node]);
+  }
+  winner_ = cur;
+}
+
+}  // namespace approxmem::extsort

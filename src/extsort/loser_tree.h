@@ -1,0 +1,54 @@
+// Loser-tree selection for k-way run merging — the classic database
+// external-merge component (Knuth Vol. 3 / TAOCP 5.4.1).
+//
+// The tree keeps the current head key of each input way; MinWay() returns
+// the way holding the global minimum in O(1), and replacing that way's head
+// costs O(log k) comparisons. Exhausted ways are treated as +infinity.
+#ifndef APPROXMEM_EXTSORT_LOSER_TREE_H_
+#define APPROXMEM_EXTSORT_LOSER_TREE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace approxmem::extsort {
+
+class LoserTree {
+ public:
+  /// Builds the tree over `ways` inputs, all initially exhausted. Call
+  /// Update() per way to install the initial heads.
+  explicit LoserTree(size_t ways);
+
+  size_t ways() const { return ways_; }
+
+  /// Replaces way `way`'s head key (valid = false marks it exhausted).
+  /// Updating the current winner costs O(log k) (the merge hot path);
+  /// updating any other way triggers an O(k) rebuild (initialization).
+  void Update(size_t way, uint32_t key, bool valid);
+
+  /// The way currently holding the smallest head key. Meaningless when
+  /// everything is exhausted — check Exhausted() first.
+  size_t MinWay() const { return winner_; }
+
+  /// Current head key of the winning way.
+  uint32_t MinKey() const { return keys_[winner_]; }
+
+  /// True when every way is exhausted.
+  bool Exhausted() const { return !valid_[winner_]; }
+
+ private:
+  // Returns true if way a's head loses to (is >= than) way b's head.
+  bool Loses(size_t a, size_t b) const;
+  // Recomputes the full tournament from keys_/valid_.
+  void Rebuild();
+
+  size_t ways_;
+  std::vector<uint32_t> keys_;   // Current head key per way.
+  std::vector<uint8_t> valid_;   // 0 = exhausted (+infinity).
+  std::vector<size_t> losers_;   // Internal nodes: loser way per node.
+  size_t winner_ = 0;
+};
+
+}  // namespace approxmem::extsort
+
+#endif  // APPROXMEM_EXTSORT_LOSER_TREE_H_

@@ -1,0 +1,171 @@
+#include "mem/cache.h"
+
+#include "common/check.h"
+
+namespace approxmem::mem {
+namespace {
+
+bool IsPowerOfTwo(uint64_t x) { return x != 0 && (x & (x - 1)) == 0; }
+
+}  // namespace
+
+Status CacheConfig::Validate() const {
+  if (!IsPowerOfTwo(line_bytes)) {
+    return Status::InvalidArgument("line_bytes must be a power of two");
+  }
+  if (ways == 0) return Status::InvalidArgument("ways must be positive");
+  if (capacity_bytes % (static_cast<uint64_t>(ways) * line_bytes) != 0) {
+    return Status::InvalidArgument(
+        "capacity must be a multiple of ways * line_bytes");
+  }
+  const uint64_t sets = capacity_bytes / (static_cast<uint64_t>(ways) *
+                                          line_bytes);
+  if (!IsPowerOfTwo(sets)) {
+    return Status::InvalidArgument("number of sets must be a power of two");
+  }
+  if (hit_latency_ns < 0.0) {
+    return Status::InvalidArgument("hit_latency_ns must be non-negative");
+  }
+  return Status::Ok();
+}
+
+Cache::Cache(const CacheConfig& config) : config_(config) {
+  APPROXMEM_CHECK_OK(config.Validate());
+  num_sets_ = static_cast<uint32_t>(
+      config.capacity_bytes /
+      (static_cast<uint64_t>(config.ways) * config.line_bytes));
+  lines_.assign(static_cast<size_t>(num_sets_) * config.ways, Line{});
+}
+
+int Cache::FindWay(uint32_t set, uint64_t tag) const {
+  const Line* base = &lines_[static_cast<size_t>(set) * config_.ways];
+  for (uint32_t w = 0; w < config_.ways; ++w) {
+    if (base[w].valid && base[w].tag == tag) return static_cast<int>(w);
+  }
+  return -1;
+}
+
+void Cache::Touch(uint32_t set, int way) {
+  lines_[static_cast<size_t>(set) * config_.ways + static_cast<size_t>(way)]
+      .last_used = ++clock_;
+}
+
+void Cache::Install(uint32_t set, uint64_t tag) {
+  Line* base = &lines_[static_cast<size_t>(set) * config_.ways];
+  uint32_t victim = 0;
+  uint64_t oldest = ~uint64_t{0};
+  for (uint32_t w = 0; w < config_.ways; ++w) {
+    if (!base[w].valid) {
+      victim = w;
+      break;
+    }
+    if (base[w].last_used < oldest) {
+      oldest = base[w].last_used;
+      victim = w;
+    }
+  }
+  base[victim] = Line{tag, ++clock_, true};
+}
+
+bool Cache::AccessRead(uint64_t address) {
+  const uint64_t line = address / config_.line_bytes;
+  const uint32_t set = static_cast<uint32_t>(line & (num_sets_ - 1));
+  const uint64_t tag = line / num_sets_;
+  const int way = FindWay(set, tag);
+  if (way >= 0) {
+    Touch(set, way);
+    ++hits_;
+    return true;
+  }
+  ++misses_;
+  Install(set, tag);
+  return false;
+}
+
+bool Cache::AccessWrite(uint64_t address) {
+  const uint64_t line = address / config_.line_bytes;
+  const uint32_t set = static_cast<uint32_t>(line & (num_sets_ - 1));
+  const uint64_t tag = line / num_sets_;
+  const int way = FindWay(set, tag);
+  if (way >= 0) {
+    Touch(set, way);
+    ++hits_;
+    return true;
+  }
+  // Write-through, no-write-allocate: a miss just passes through.
+  ++misses_;
+  return false;
+}
+
+void Cache::ResetStats() {
+  hits_ = 0;
+  misses_ = 0;
+}
+
+void Cache::Flush() {
+  for (auto& line : lines_) line = Line{};
+}
+
+CacheHierarchy CacheHierarchy::PaperDefault() {
+  CacheConfig l1;
+  l1.capacity_bytes = 32 * 1024;
+  l1.ways = 8;
+  l1.line_bytes = 64;
+  l1.hit_latency_ns = 1.0;
+  CacheConfig l2;
+  l2.capacity_bytes = 2 * 1024 * 1024;
+  l2.ways = 4;
+  l2.line_bytes = 64;
+  l2.hit_latency_ns = 4.0;
+  CacheConfig l3;
+  l3.capacity_bytes = 32ull * 1024 * 1024;
+  l3.ways = 8;
+  l3.line_bytes = 64;
+  l3.hit_latency_ns = 10.0;  // Table 1: 10ns L3 access latency.
+  return CacheHierarchy(l1, l2, l3);
+}
+
+CacheHierarchy::CacheHierarchy(const CacheConfig& l1, const CacheConfig& l2,
+                               const CacheConfig& l3)
+    : l1_(l1), l2_(l2), l3_(l3) {}
+
+HitLevel CacheHierarchy::Read(uint64_t address) {
+  if (l1_.AccessRead(address)) return HitLevel::kL1;
+  if (l2_.AccessRead(address)) return HitLevel::kL2;
+  if (l3_.AccessRead(address)) return HitLevel::kL3;
+  return HitLevel::kMemory;
+}
+
+void CacheHierarchy::Write(uint64_t address) {
+  l1_.AccessWrite(address);
+  l2_.AccessWrite(address);
+  l3_.AccessWrite(address);
+}
+
+double CacheHierarchy::LatencyNs(HitLevel level) const {
+  switch (level) {
+    case HitLevel::kL1:
+      return l1_.config().hit_latency_ns;
+    case HitLevel::kL2:
+      return l2_.config().hit_latency_ns;
+    case HitLevel::kL3:
+      return l3_.config().hit_latency_ns;
+    case HitLevel::kMemory:
+      return 0.0;
+  }
+  return 0.0;
+}
+
+void CacheHierarchy::ResetStats() {
+  l1_.ResetStats();
+  l2_.ResetStats();
+  l3_.ResetStats();
+}
+
+void CacheHierarchy::Flush() {
+  l1_.Flush();
+  l2_.Flush();
+  l3_.Flush();
+}
+
+}  // namespace approxmem::mem

@@ -1,0 +1,63 @@
+// Full memory system: write-through cache hierarchy in front of banked PCM.
+//
+// This is the trace-driven substrate corresponding to the paper's in-house
+// simulator (Table 1). Reads that hit a cache level cost that level's
+// latency; misses and all writes (write-through) go to PCM.
+#ifndef APPROXMEM_MEM_MEMORY_SYSTEM_H_
+#define APPROXMEM_MEM_MEMORY_SYSTEM_H_
+
+#include <cstdint>
+
+#include "mem/cache.h"
+#include "mem/pcm.h"
+#include "mem/trace.h"
+
+namespace approxmem::mem {
+
+/// Aggregate statistics for a trace replayed through the memory system.
+struct MemorySystemStats {
+  uint64_t reads = 0;
+  uint64_t writes = 0;
+  uint64_t l1_read_hits = 0;
+  uint64_t l2_read_hits = 0;
+  uint64_t l3_read_hits = 0;
+  uint64_t memory_reads = 0;
+  double total_read_latency_ns = 0.0;
+  double total_write_latency_ns = 0.0;  // PCM service time of all writes.
+  double write_stall_ns = 0.0;
+  double completion_time_ns = 0.0;
+};
+
+/// Combines CacheHierarchy and PcmSimulator; accepts a stream of accesses.
+class MemorySystem {
+ public:
+  MemorySystem(CacheHierarchy hierarchy, const PcmConfig& pcm_config);
+
+  /// Builds the Table 1 configuration.
+  static MemorySystem PaperDefault();
+
+  /// Issues one read; returns its end-to-end latency in ns.
+  double Read(uint64_t address);
+
+  /// Issues one write; write-through so it always reaches PCM. An optional
+  /// service latency models approximate-bank writes (latency ~ avg #P).
+  void Write(uint64_t address);
+  void Write(uint64_t address, double pcm_service_latency_ns);
+
+  /// Replays a whole trace and finalizes stats.
+  MemorySystemStats Replay(const TraceBuffer& trace);
+
+  /// Drains PCM queues and returns the final statistics.
+  MemorySystemStats Finish();
+
+  const CacheHierarchy& hierarchy() const { return hierarchy_; }
+
+ private:
+  CacheHierarchy hierarchy_;
+  PcmSimulator pcm_;
+  MemorySystemStats stats_;
+};
+
+}  // namespace approxmem::mem
+
+#endif  // APPROXMEM_MEM_MEMORY_SYSTEM_H_

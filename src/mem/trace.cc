@@ -1,0 +1,28 @@
+#include "mem/trace.h"
+
+namespace approxmem::mem {
+
+void TraceBuffer::Append(const MemEvent& event) {
+  events_.push_back(event);
+  if (event.kind == AccessKind::kRead) {
+    ++read_count_;
+  } else {
+    ++write_count_;
+  }
+}
+
+void TraceBuffer::AppendRead(uint64_t address, uint32_t size) {
+  Append(MemEvent{address, size, AccessKind::kRead});
+}
+
+void TraceBuffer::AppendWrite(uint64_t address, uint32_t size) {
+  Append(MemEvent{address, size, AccessKind::kWrite});
+}
+
+void TraceBuffer::Clear() {
+  events_.clear();
+  read_count_ = 0;
+  write_count_ = 0;
+}
+
+}  // namespace approxmem::mem

@@ -1,0 +1,52 @@
+// Memory-access traces for the trace-driven substrate.
+//
+// The paper collects traces from real executions and replays them in a
+// trace-driven PCM simulator. Here, instrumented arrays (src/approx) emit
+// MemEvents into a TraceBuffer which mem::MemorySystem replays through the
+// cache hierarchy and the banked PCM model.
+#ifndef APPROXMEM_MEM_TRACE_H_
+#define APPROXMEM_MEM_TRACE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace approxmem::mem {
+
+/// Kind of memory access.
+enum class AccessKind : uint8_t { kRead = 0, kWrite = 1 };
+
+/// One memory access. Addresses are byte addresses in a flat space;
+/// `size` is the access width in bytes (4 for the 32-bit keys and IDs).
+struct MemEvent {
+  uint64_t address = 0;
+  uint32_t size = 4;
+  AccessKind kind = AccessKind::kRead;
+};
+
+/// Append-only container of MemEvents with simple aggregate counters.
+class TraceBuffer {
+ public:
+  void Append(const MemEvent& event);
+  void AppendRead(uint64_t address, uint32_t size = 4);
+  void AppendWrite(uint64_t address, uint32_t size = 4);
+
+  size_t size() const { return events_.size(); }
+  bool empty() const { return events_.empty(); }
+  const MemEvent& operator[](size_t i) const { return events_[i]; }
+  const std::vector<MemEvent>& events() const { return events_; }
+
+  uint64_t read_count() const { return read_count_; }
+  uint64_t write_count() const { return write_count_; }
+
+  void Clear();
+
+ private:
+  std::vector<MemEvent> events_;
+  uint64_t read_count_ = 0;
+  uint64_t write_count_ = 0;
+};
+
+}  // namespace approxmem::mem
+
+#endif  // APPROXMEM_MEM_TRACE_H_

@@ -1,0 +1,261 @@
+#include "mlc/calibration.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string_view>
+
+#include "common/check.h"
+#include "mlc/cell.h"
+
+namespace approxmem::mlc {
+
+CellCalibration CellCalibration::Run(const MlcConfig& config,
+                                     uint64_t trials_per_level, Rng& rng) {
+  APPROXMEM_CHECK_OK(config.Validate());
+  APPROXMEM_CHECK(trials_per_level > 0);
+
+  const int levels = config.levels;
+  CellCalibration calib;
+  calib.config_ = config;
+  calib.trials_per_level_ = trials_per_level;
+  calib.avg_pv_per_level_.assign(static_cast<size_t>(levels), 0.0);
+  calib.error_prob_per_level_.assign(static_cast<size_t>(levels), 0.0);
+  calib.read_level_cdf_.assign(static_cast<size_t>(levels * levels), 0.0);
+  calib.pv_cdf_.assign(static_cast<size_t>(levels * kMaxPvBucket), 0.0);
+
+  std::vector<uint64_t> transition(static_cast<size_t>(levels * levels), 0);
+  std::vector<uint64_t> pv_counts(static_cast<size_t>(levels * kMaxPvBucket),
+                                  0);
+
+  for (int written = 0; written < levels; ++written) {
+    uint64_t pv_total = 0;
+    for (uint64_t trial = 0; trial < trials_per_level; ++trial) {
+      const CellWriteResult w = WriteCell(written, config, rng);
+      const int read = ReadCell(w.analog, config, rng);
+      pv_total += w.iterations;
+      ++transition[static_cast<size_t>(written * levels + read)];
+      const int bucket = std::min<int>(static_cast<int>(w.iterations),
+                                       kMaxPvBucket) -
+                         1;
+      ++pv_counts[static_cast<size_t>(written * kMaxPvBucket +
+                                      std::max(bucket, 0))];
+    }
+    calib.avg_pv_per_level_[static_cast<size_t>(written)] =
+        static_cast<double>(pv_total) / static_cast<double>(trials_per_level);
+
+    // Cumulative distributions for fast sampling.
+    double cum = 0.0;
+    for (int read = 0; read < levels; ++read) {
+      cum += static_cast<double>(
+                 transition[static_cast<size_t>(written * levels + read)]) /
+             static_cast<double>(trials_per_level);
+      calib.read_level_cdf_[static_cast<size_t>(written * levels + read)] =
+          cum;
+    }
+    // Force the last entry to exactly 1 so sampling never falls off the end.
+    calib.read_level_cdf_[static_cast<size_t>(written * levels + levels - 1)] =
+        1.0;
+
+    cum = 0.0;
+    for (int b = 0; b < kMaxPvBucket; ++b) {
+      cum += static_cast<double>(
+                 pv_counts[static_cast<size_t>(written * kMaxPvBucket + b)]) /
+             static_cast<double>(trials_per_level);
+      calib.pv_cdf_[static_cast<size_t>(written * kMaxPvBucket + b)] = cum;
+    }
+    calib.pv_cdf_[static_cast<size_t>(written * kMaxPvBucket + kMaxPvBucket -
+                                      1)] = 1.0;
+
+    const double stay =
+        static_cast<double>(
+            transition[static_cast<size_t>(written * levels + written)]) /
+        static_cast<double>(trials_per_level);
+    calib.error_prob_per_level_[static_cast<size_t>(written)] = 1.0 - stay;
+  }
+
+  double pv_sum = 0.0;
+  double err_sum = 0.0;
+  for (int l = 0; l < levels; ++l) {
+    pv_sum += calib.avg_pv_per_level_[static_cast<size_t>(l)];
+    err_sum += calib.error_prob_per_level_[static_cast<size_t>(l)];
+  }
+  calib.avg_pv_ = pv_sum / levels;
+  calib.cell_error_rate_ = err_sum / levels;
+  return calib;
+}
+
+double CellCalibration::AvgPvForLevel(int level) const {
+  APPROXMEM_CHECK(level >= 0 && level < config_.levels);
+  return avg_pv_per_level_[static_cast<size_t>(level)];
+}
+
+double CellCalibration::ErrorProbForLevel(int level) const {
+  APPROXMEM_CHECK(level >= 0 && level < config_.levels);
+  return error_prob_per_level_[static_cast<size_t>(level)];
+}
+
+double CellCalibration::WordErrorRate(int cells) const {
+  // Cells are independent and random-level, so the no-error probabilities
+  // multiply.
+  return 1.0 - std::pow(1.0 - cell_error_rate_, cells);
+}
+
+int CellCalibration::SampleReadLevel(int level, Rng& rng) const {
+  const double u = rng.UniformDouble();
+  const int levels = config_.levels;
+  const double* row = &read_level_cdf_[static_cast<size_t>(level * levels)];
+  for (int read = 0; read < levels - 1; ++read) {
+    if (u < row[read]) return read;
+  }
+  return levels - 1;
+}
+
+uint32_t CellCalibration::SamplePvIterations(int level, Rng& rng) const {
+  const double u = rng.UniformDouble();
+  const double* row = &pv_cdf_[static_cast<size_t>(level * kMaxPvBucket)];
+  for (int b = 0; b < kMaxPvBucket - 1; ++b) {
+    if (u < row[b]) return static_cast<uint32_t>(b + 1);
+  }
+  return kMaxPvBucket;
+}
+
+void CellCalibration::Serialize(std::FILE* out) const {
+  std::fprintf(out, "calibration v1\n");
+  std::fprintf(out, "%d %.17g %.17g %.17g %.17g %.17g %u %llu\n",
+               config_.levels, config_.beta, config_.t_width,
+               config_.drift_mu_per_decade, config_.drift_sigma_per_decade,
+               config_.elapsed_seconds, config_.max_pv_iterations,
+               static_cast<unsigned long long>(trials_per_level_));
+  std::fprintf(out, "%.17g %.17g\n", avg_pv_, cell_error_rate_);
+  auto write_vector = [out](const std::vector<double>& values) {
+    std::fprintf(out, "%zu", values.size());
+    for (const double v : values) std::fprintf(out, " %.17g", v);
+    std::fprintf(out, "\n");
+  };
+  write_vector(avg_pv_per_level_);
+  write_vector(error_prob_per_level_);
+  write_vector(read_level_cdf_);
+  write_vector(pv_cdf_);
+}
+
+StatusOr<CellCalibration> CellCalibration::Deserialize(std::FILE* in) {
+  char header[32] = {};
+  if (std::fscanf(in, "%31[^\n]\n", header) != 1 ||
+      std::string_view(header) != "calibration v1") {
+    return Status::InvalidArgument("bad calibration header");
+  }
+  CellCalibration calib;
+  unsigned long long trials = 0;
+  if (std::fscanf(in, "%d %lg %lg %lg %lg %lg %u %llu\n",
+                  &calib.config_.levels, &calib.config_.beta,
+                  &calib.config_.t_width, &calib.config_.drift_mu_per_decade,
+                  &calib.config_.drift_sigma_per_decade,
+                  &calib.config_.elapsed_seconds,
+                  &calib.config_.max_pv_iterations, &trials) != 8) {
+    return Status::InvalidArgument("bad calibration config line");
+  }
+  calib.trials_per_level_ = trials;
+  if (std::fscanf(in, "%lg %lg\n", &calib.avg_pv_,
+                  &calib.cell_error_rate_) != 2) {
+    return Status::InvalidArgument("bad calibration summary line");
+  }
+  auto read_vector = [in](std::vector<double>* values) {
+    size_t count = 0;
+    if (std::fscanf(in, "%zu", &count) != 1 || count > (1u << 24)) {
+      return false;
+    }
+    values->resize(count);
+    for (double& v : *values) {
+      if (std::fscanf(in, "%lg", &v) != 1) return false;
+    }
+    return true;
+  };
+  if (!read_vector(&calib.avg_pv_per_level_) ||
+      !read_vector(&calib.error_prob_per_level_) ||
+      !read_vector(&calib.read_level_cdf_) ||
+      !read_vector(&calib.pv_cdf_)) {
+    return Status::InvalidArgument("bad calibration vectors");
+  }
+  const Status valid = calib.config_.Validate();
+  if (!valid.ok()) return valid;
+  const size_t levels = static_cast<size_t>(calib.config_.levels);
+  if (calib.avg_pv_per_level_.size() != levels ||
+      calib.error_prob_per_level_.size() != levels ||
+      calib.read_level_cdf_.size() != levels * levels ||
+      calib.pv_cdf_.size() != levels * kMaxPvBucket) {
+    return Status::InvalidArgument("calibration vector sizes inconsistent");
+  }
+  // Eat the trailing newline so the next record starts clean.
+  std::fscanf(in, "\n");
+  return calib;
+}
+
+CalibrationCache::CalibrationCache(MlcConfig base_config,
+                                   uint64_t trials_per_level, uint64_t seed)
+    : base_config_(base_config),
+      trials_per_level_(trials_per_level),
+      rng_(seed) {}
+
+const CellCalibration& CalibrationCache::ForT(double t) {
+  auto it = cache_.find(t);
+  if (it == cache_.end()) {
+    const MlcConfig config = base_config_.WithT(t);
+    auto calib = std::make_unique<CellCalibration>(
+        CellCalibration::Run(config, trials_per_level_, rng_));
+    it = cache_.emplace(t, std::move(calib)).first;
+  }
+  return *it->second;
+}
+
+double CalibrationCache::PvRatio(double t) {
+  const double precise = ForT(base_config_.precise_t_width).AvgPv();
+  return ForT(t).AvgPv() / precise;
+}
+
+bool CalibrationCache::SaveToFile(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fprintf(f, "approxmem-calibrations v1 %zu\n", cache_.size());
+  for (const auto& [t, calib] : cache_) calib->Serialize(f);
+  const bool ok = std::ferror(f) == 0;
+  std::fclose(f);
+  return ok;
+}
+
+StatusOr<size_t> CalibrationCache::LoadFromFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) {
+    return Status::InvalidArgument("cannot open calibration file: " + path);
+  }
+  size_t count = 0;
+  if (std::fscanf(f, "approxmem-calibrations v1 %zu\n", &count) != 1) {
+    std::fclose(f);
+    return Status::InvalidArgument("bad calibration file header");
+  }
+  size_t loaded = 0;
+  for (size_t i = 0; i < count; ++i) {
+    StatusOr<CellCalibration> calib = CellCalibration::Deserialize(f);
+    if (!calib.ok()) {
+      std::fclose(f);
+      return calib.status();
+    }
+    // Only adopt entries whose model parameters match this cache's base
+    // configuration (T varies per entry by design).
+    const MlcConfig& config = calib->config();
+    const MlcConfig& base = base_config_;
+    const bool compatible =
+        config.levels == base.levels && config.beta == base.beta &&
+        config.drift_mu_per_decade == base.drift_mu_per_decade &&
+        config.drift_sigma_per_decade == base.drift_sigma_per_decade &&
+        config.elapsed_seconds == base.elapsed_seconds;
+    if (compatible && cache_.count(config.t_width) == 0) {
+      cache_.emplace(config.t_width, std::make_unique<CellCalibration>(
+                                         std::move(calib.value())));
+      ++loaded;
+    }
+  }
+  std::fclose(f);
+  return loaded;
+}
+
+}  // namespace approxmem::mlc

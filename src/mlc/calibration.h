@@ -1,0 +1,117 @@
+// Monte-Carlo calibration of the cell model.
+//
+// The exact simulation path draws O(#P) normal samples per cell write, which
+// is faithful but slow for 16M-element sorts. Calibration runs the exact
+// model once per (config, T) and summarizes it as:
+//   * avg #P per written level (write latency),
+//   * the distribution of the digital level read back per written level
+//     (error injection),
+// which the fast path then samples with one uniform draw per cell (and, in
+// the common all-correct case, one draw per word). Tests verify the fast
+// path is statistically indistinguishable from the exact path.
+#ifndef APPROXMEM_MLC_CALIBRATION_H_
+#define APPROXMEM_MLC_CALIBRATION_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "mlc/mlc_config.h"
+
+namespace approxmem::mlc {
+
+/// Summary of the exact cell model at one configuration.
+class CellCalibration {
+ public:
+  /// Runs `trials_per_level` exact write+read simulations per level.
+  static CellCalibration Run(const MlcConfig& config,
+                             uint64_t trials_per_level, Rng& rng);
+
+  const MlcConfig& config() const { return config_; }
+  uint64_t trials_per_level() const { return trials_per_level_; }
+
+  /// Average number of P&V iterations for writes of `level`.
+  double AvgPvForLevel(int level) const;
+
+  /// Average #P over uniformly random target levels (paper Fig. 2(a)).
+  double AvgPv() const { return avg_pv_; }
+
+  /// Probability that a write of `level` reads back as a different level.
+  double ErrorProbForLevel(int level) const;
+
+  /// Error probability of a cell written with a uniformly random level
+  /// (paper Fig. 2(b), "2-bit" curve).
+  double CellErrorRate() const { return cell_error_rate_; }
+
+  /// Probability that at least one of `cells` independent random-level cells
+  /// reads back wrong (paper Fig. 2(b), "32-bit" curve for cells = 16).
+  double WordErrorRate(int cells) const;
+
+  /// Samples the level read back after writing `level` (fast path).
+  int SampleReadLevel(int level, Rng& rng) const;
+
+  /// Samples a #P count for a write of `level` from the empirical
+  /// distribution (fast path latency jitter; the mean matches AvgPvForLevel).
+  uint32_t SamplePvIterations(int level, Rng& rng) const;
+
+  /// Serializes the calibration as one text record to `out`.
+  void Serialize(std::FILE* out) const;
+
+  /// Parses one record written by Serialize. Returns InvalidArgument on
+  /// malformed input.
+  static StatusOr<CellCalibration> Deserialize(std::FILE* in);
+
+ private:
+  MlcConfig config_;
+  uint64_t trials_per_level_ = 0;
+  double avg_pv_ = 0.0;
+  double cell_error_rate_ = 0.0;
+  std::vector<double> avg_pv_per_level_;
+  std::vector<double> error_prob_per_level_;
+  // Row-major [written][read] cumulative distribution for fast sampling.
+  std::vector<double> read_level_cdf_;
+  // Per-level empirical #P distribution: cdf over iteration counts 1..kMaxPv.
+  static constexpr int kMaxPvBucket = 64;
+  std::vector<double> pv_cdf_;
+};
+
+/// Lazily calibrates and caches per-T calibrations for a fixed base config.
+/// Keys are the exact T bit patterns, so sweeps over a T grid reuse entries.
+class CalibrationCache {
+ public:
+  /// `trials_per_level` trades calibration accuracy for startup time.
+  explicit CalibrationCache(MlcConfig base_config,
+                            uint64_t trials_per_level = 200000,
+                            uint64_t seed = 0xca11b7a7e5eedULL);
+
+  /// Returns the calibration for the base config with t_width = t.
+  const CellCalibration& ForT(double t);
+
+  /// p(t) of Section 2.2: avg #P at `t` divided by avg #P at the precise T.
+  double PvRatio(double t);
+
+  /// Persists every cached calibration to `path` (overwrites). Returns
+  /// false on I/O failure. Loading on a later run skips recalibration for
+  /// matching configurations — useful for --full-scale bench runs.
+  bool SaveToFile(const std::string& path) const;
+
+  /// Pre-populates the cache from a file written by SaveToFile. Entries
+  /// whose configuration does not match the base config (ignoring T and
+  /// trial count) are skipped. Returns the number of entries loaded.
+  StatusOr<size_t> LoadFromFile(const std::string& path);
+
+ private:
+  MlcConfig base_config_;
+  uint64_t trials_per_level_;
+  Rng rng_;
+  std::map<double, std::unique_ptr<CellCalibration>> cache_;
+};
+
+}  // namespace approxmem::mlc
+
+#endif  // APPROXMEM_MLC_CALIBRATION_H_

@@ -1,0 +1,40 @@
+#include "mlc/cell.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace approxmem::mlc {
+
+CellWriteResult WriteCell(int target_level, const MlcConfig& config,
+                          Rng& rng) {
+  APPROXMEM_CHECK(target_level >= 0 && target_level < config.levels);
+  const double vd = config.LevelCenter(target_level);
+  const double lo = vd - config.t_width;
+  const double hi = vd + config.t_width;
+
+  CellWriteResult result;
+  double v = 0.0;  // Each write first resets the analog value to zero.
+  while ((v < lo || v > hi) && result.iterations < config.max_pv_iterations) {
+    // The paper writes N(vd - v, |beta*(vd - v)|) with N(mu, sigma^2)
+    // notation: the second argument is the *variance* of the step.
+    const double distance = vd - v;
+    v += rng.Normal(distance, std::sqrt(config.beta * std::fabs(distance)));
+    ++result.iterations;
+  }
+  result.analog = v;
+  return result;
+}
+
+double ApplyReadDrift(double analog, const MlcConfig& config, Rng& rng) {
+  const double decades = config.DriftDecades();
+  const double drift = rng.Normal(config.drift_mu_per_decade * decades,
+                                  config.drift_sigma_per_decade * decades);
+  return analog + drift;
+}
+
+int ReadCell(double analog, const MlcConfig& config, Rng& rng) {
+  return config.Quantize(ApplyReadDrift(analog, config, rng));
+}
+
+}  // namespace approxmem::mlc

@@ -1,0 +1,34 @@
+// Single-cell write/read primitives: the Function WRITE program-and-verify
+// loop and the drift read model of Section 2.1.
+#ifndef APPROXMEM_MLC_CELL_H_
+#define APPROXMEM_MLC_CELL_H_
+
+#include <cstdint>
+
+#include "common/random.h"
+#include "mlc/mlc_config.h"
+
+namespace approxmem::mlc {
+
+/// Outcome of one cell write: the analog value left in the cell and the
+/// number of program-and-verify iterations spent (write latency ~ #P).
+struct CellWriteResult {
+  double analog = 0.0;
+  uint32_t iterations = 0;
+};
+
+/// Programs `target_level` into a cell using the iterative P&V loop:
+///   v <- 0; repeat v <- v + N(vd - v, (beta*|vd - v|)^2)
+/// until v lands in [vd - T, vd + T]. Matches Function WRITE in the paper.
+CellWriteResult WriteCell(int target_level, const MlcConfig& config, Rng& rng);
+
+/// Applies the read perturbation: analog + N(mu_d, sigma_d^2) * log10(tw).
+/// Drift is unidirectional (toward larger values), as in Section 2.1.2.
+double ApplyReadDrift(double analog, const MlcConfig& config, Rng& rng);
+
+/// Reads a cell: perturbs the stored analog value and quantizes it.
+int ReadCell(double analog, const MlcConfig& config, Rng& rng);
+
+}  // namespace approxmem::mlc
+
+#endif  // APPROXMEM_MLC_CELL_H_

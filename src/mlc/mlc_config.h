@@ -1,0 +1,83 @@
+// Configuration of the multi-level-cell (MLC) PCM model from Section 2 of
+// the paper (parameters of Table 2, inherited from Sampson et al., MICRO'13).
+#ifndef APPROXMEM_MLC_MLC_CONFIG_H_
+#define APPROXMEM_MLC_MLC_CONFIG_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+
+namespace approxmem::mlc {
+
+/// Parameters of one analog memory cell and its access model.
+///
+/// The analog value space is [0, 1]. A cell with `levels` levels stores
+/// log2(levels) bits; level i targets the analog value (2i+1)/(2*levels).
+/// Writes follow the iterative program-and-verify loop of Function WRITE in
+/// the paper; reads add drift noise and quantize (Section 2.1.2).
+struct MlcConfig {
+  /// Number of discrete levels. 4 (2-bit MLC) throughout the paper.
+  int levels = 4;
+
+  /// Per-step write disturbance: a P&V step from value v toward target vd
+  /// lands at N(vd, (beta*|vd - v|)^2). Table 2: beta = 0.035.
+  double beta = 0.035;
+
+  /// Half-width T of the target analog range accepted by program-and-verify.
+  /// T = 0.025 is the precise configuration (avg #P ~= 2.98); T must stay
+  /// below 1/(2*levels) so that target ranges do not overlap.
+  double t_width = 0.025;
+
+  /// Read drift per decade of elapsed time. Table 2 lists the read
+  /// fluctuation as mu = 0.067 and sigma = 0.027; we apply them per decade as
+  /// mu/10 and sigma/10 (see DESIGN.md "Calibration note") so that the
+  /// precise configuration reaches the paper's ~1e-8 raw bit error rate.
+  double drift_mu_per_decade = 0.0067;
+  double drift_sigma_per_decade = 0.0027;
+
+  /// Time elapsed between write and read, seconds. Table 2: t = 1e5 s.
+  /// The drift multiplier is log10(elapsed_seconds).
+  double elapsed_seconds = 1e5;
+
+  /// Safety cap on P&V iterations (the loop converges in a handful of steps
+  /// in practice; the cap guards against degenerate configurations).
+  uint32_t max_pv_iterations = 10000;
+
+  /// Latency anchors (Table 1): a precise array write costs 1 us and a read
+  /// costs 50 ns. Approximate write latency scales with avg #P relative to
+  /// the precise configuration's avg #P.
+  double precise_write_latency_ns = 1000.0;
+  double read_latency_ns = 50.0;
+
+  /// The T of the precise reference configuration used for latency scaling
+  /// and the p(t) ratio (Section 2.2).
+  double precise_t_width = 0.025;
+
+  /// Returns the center analog value of `level` ((2*level+1)/(2*levels)).
+  double LevelCenter(int level) const;
+
+  /// Quantizes an analog value to the nearest level, clamped to [0, L-1].
+  int Quantize(double analog) const;
+
+  /// Bits stored per cell (log2(levels)); levels must be a power of two.
+  int BitsPerCell() const;
+
+  /// Number of cells holding one 32-bit word (16 for 2-bit cells).
+  int CellsPerWord() const;
+
+  /// log10(elapsed_seconds), the drift multiplier.
+  double DriftDecades() const;
+
+  /// Returns a copy with a different target-range half-width.
+  MlcConfig WithT(double t) const;
+
+  /// Validates ranges (levels power of two >= 2, 0 < T < 1/(2L), ...).
+  Status Validate() const;
+};
+
+/// Upper bound (exclusive) on T for a given level count: 1/(2*levels).
+double MaxTWidth(int levels);
+
+}  // namespace approxmem::mlc
+
+#endif  // APPROXMEM_MLC_MLC_CONFIG_H_

@@ -1,0 +1,42 @@
+#include "mlc/word_codec.h"
+
+#include <cstdlib>
+
+#include "common/check.h"
+
+namespace approxmem::mlc {
+
+WordLevels EncodeWord(uint32_t word, const MlcConfig& config) {
+  const int bits = config.BitsPerCell();
+  const int cells = config.CellsPerWord();
+  const uint32_t mask = (bits == 32) ? ~0u : ((1u << bits) - 1u);
+  WordLevels levels{};
+  for (int c = 0; c < cells; ++c) {
+    const int shift = (cells - 1 - c) * bits;
+    levels[static_cast<size_t>(c)] =
+        static_cast<uint8_t>((word >> shift) & mask);
+  }
+  return levels;
+}
+
+uint32_t DecodeWord(const WordLevels& levels, const MlcConfig& config) {
+  const int bits = config.BitsPerCell();
+  const int cells = config.CellsPerWord();
+  uint32_t word = 0;
+  for (int c = 0; c < cells; ++c) {
+    word = (word << bits) | levels[static_cast<size_t>(c)];
+  }
+  return word;
+}
+
+uint32_t CellFlipMagnitude(uint32_t word, int cell_index, int new_level,
+                           const MlcConfig& config) {
+  APPROXMEM_CHECK(cell_index >= 0 && cell_index < config.CellsPerWord());
+  APPROXMEM_CHECK(new_level >= 0 && new_level < config.levels);
+  WordLevels levels = EncodeWord(word, config);
+  levels[static_cast<size_t>(cell_index)] = static_cast<uint8_t>(new_level);
+  const uint32_t flipped = DecodeWord(levels, config);
+  return flipped > word ? flipped - word : word - flipped;
+}
+
+}  // namespace approxmem::mlc

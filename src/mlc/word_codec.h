@@ -1,0 +1,38 @@
+// Packing of 32-bit words into concatenated MLC cells.
+//
+// A 32-bit integer is stored in 32/bits_per_cell concatenated cells
+// (16 cells for the paper's 2-bit MLC). Cell 0 holds the most significant
+// bits so that "highest-order bits first" bit-priority statements from the
+// approximate-storage literature map onto low cell indices.
+#ifndef APPROXMEM_MLC_WORD_CODEC_H_
+#define APPROXMEM_MLC_WORD_CODEC_H_
+
+#include <array>
+#include <cstdint>
+
+#include "mlc/mlc_config.h"
+
+namespace approxmem::mlc {
+
+/// Maximum number of cells a 32-bit word can occupy (SLC: 32 1-bit cells).
+inline constexpr int kMaxCellsPerWord = 32;
+
+/// Fixed-capacity buffer of per-cell levels for one 32-bit word. Only the
+/// first MlcConfig::CellsPerWord() entries are meaningful.
+using WordLevels = std::array<uint8_t, kMaxCellsPerWord>;
+
+/// Splits `word` into per-cell levels, most significant cell first.
+WordLevels EncodeWord(uint32_t word, const MlcConfig& config);
+
+/// Reassembles a 32-bit word from per-cell levels (inverse of EncodeWord).
+uint32_t DecodeWord(const WordLevels& levels, const MlcConfig& config);
+
+/// Returns the absolute value change caused by replacing the level of
+/// `cell_index` with `new_level` in `word`. Used by tests to reason about
+/// error magnitudes (high cells perturb values by up to 2^30 * delta).
+uint32_t CellFlipMagnitude(uint32_t word, int cell_index, int new_level,
+                           const MlcConfig& config);
+
+}  // namespace approxmem::mlc
+
+#endif  // APPROXMEM_MLC_WORD_CODEC_H_

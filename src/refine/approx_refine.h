@@ -1,0 +1,136 @@
+// The approx-refine execution mechanism (Section 4).
+//
+// Five stages: warm-up (inputs in precise memory), approx preparation (copy
+// keys to approximate memory), approx stage (sort keys approximately, IDs
+// precisely), refine preparation (notation only — Key~ is always recovered
+// through Key0[ID[i]] reads to save writes), and the refine stage:
+//   1. one linear scan extracting an approximate longest increasing
+//      subsequence and the leftover REMID (Listing 1),
+//   2. sort REMID by key value with the same algorithm, in precise memory,
+//   3. one write-limited merge producing finalKey/finalID (Listing 2).
+// The output is exactly sorted regardless of how much the approx stage was
+// corrupted; only its cost depends on the corruption.
+#ifndef APPROXMEM_REFINE_APPROX_REFINE_H_
+#define APPROXMEM_REFINE_APPROX_REFINE_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "approx/approx_array.h"
+#include "approx/memory_stats.h"
+#include "common/random.h"
+#include "common/status.h"
+#include "sort/sort_common.h"
+#include "sortedness/measures.h"
+
+namespace approxmem::refine {
+
+/// Allocator of arrays in some precision domain.
+using ArrayAlloc = std::function<approx::ApproxArrayU32(size_t)>;
+
+/// How step 1 of the refine stage extracts the sorted subsequence.
+enum class LisMode {
+  /// Listing 1's one-pass heuristic: O(n) time, ~Rem~ intermediate writes.
+  kHeuristic,
+  /// Exact patience LIS: finds the true minimum REM but pays O(n log n)
+  /// time and ~2n intermediate precise writes for predecessor state — the
+  /// trade-off the paper rejects in Section 4.2. Provided as an ablation.
+  kExact,
+};
+
+/// Configuration of one approx-refine execution.
+struct RefineOptions {
+  sort::AlgorithmId algorithm;
+  LisMode lis_mode = LisMode::kHeuristic;
+  /// Allocates arrays in the approximate key domain (PCM at some T, or
+  /// spintronic at some operating point).
+  ArrayAlloc approx_alloc;
+  /// Allocates arrays in the precise domain of the same technology.
+  ArrayAlloc precise_alloc;
+  /// Pivot randomness for the sorts.
+  uint64_t sort_seed = 1;
+  /// When true, compute the exact Rem / sortedness of the approx-stage
+  /// output (costs an LIS pass; off for large sweeps if undesired).
+  bool measure_approx_sortedness = true;
+};
+
+/// Cost ledger and verification outcome of one approx-refine execution.
+struct RefineReport {
+  size_t n = 0;
+
+  // Per-stage accounting. "approx" covers the approximate key array and all
+  // approximate scratch; "precise" covers IDs, Key0, outputs and precise
+  // scratch. Units follow the domain's write model (ns or energy).
+  approx::MemoryStats prep_approx;     // Approx preparation: Key0 -> Key~.
+  approx::MemoryStats prep_precise;    // Approx preparation: Key0 reads.
+  approx::MemoryStats sort_approx;     // Approx stage, approximate side.
+  approx::MemoryStats sort_precise;    // Approx stage, ID movements.
+  approx::MemoryStats refine_precise;  // Refine stage (entirely precise).
+
+  /// |REMID| found by the Listing 1 heuristic (Rem~ in the paper).
+  size_t rem_estimate = 0;
+  /// Sortedness of Key~ right after the approx stage (exact Rem etc.),
+  /// filled when RefineOptions.measure_approx_sortedness is set.
+  sortedness::SortednessReport approx_sortedness;
+
+  /// True iff finalKey is non-decreasing, finalID is a permutation of the
+  /// input IDs, and finalKey[i] == Key0[finalID[i]] for all i.
+  bool verified = false;
+
+  /// Total write cost across all stages (the paper's TMWL under
+  /// approx-refine when the domain is PCM).
+  double TotalWriteCost() const;
+  double TotalReadCost() const;
+  double ApproxStageWriteCost() const;
+  double RefineStageWriteCost() const;
+  /// Total precise-domain write *operations* in the refine stage; the paper
+  /// shows this stays below 3n + alpha(Rem~), near the 2n lower bound.
+  uint64_t RefineWriteOps() const { return refine_precise.word_writes; }
+};
+
+/// Listing 1's heuristic on a plain value sequence: returns the positions
+/// NOT in the approximate LIS (an element stays iff it is >= the running
+/// tail and <= its right neighbour; the first element always stays; the
+/// last stays unless it is below the tail). Exposed for tests; the pipeline
+/// runs it over values read back through Key0[ID[i]].
+std::vector<size_t> HeuristicRemPositions(const std::vector<uint32_t>& values);
+
+/// Runs approx-refine over `keys` (record IDs are 0..n-1). Outputs the
+/// exactly sorted keys and the matching permutation of record IDs when the
+/// out-pointers are non-null.
+StatusOr<RefineReport> ApproxRefineSort(const std::vector<uint32_t>& keys,
+                                        const RefineOptions& options,
+                                        std::vector<uint32_t>* final_keys,
+                                        std::vector<uint32_t>* final_ids);
+
+/// Cost ledger of the traditional baseline: the same algorithm run entirely
+/// in precise memory over <Key, ID> pairs.
+struct PreciseBaselineReport {
+  size_t n = 0;
+  approx::MemoryStats keys;
+  approx::MemoryStats ids;
+  bool verified = false;
+
+  double TotalWriteCost() const { return keys.write_cost + ids.write_cost; }
+  uint64_t TotalWriteOps() const {
+    return keys.word_writes + ids.word_writes;
+  }
+};
+
+/// Runs the precise-only baseline (Equation 2's denominator). When
+/// `sorted_keys` is non-null it receives the sorted output (used by the
+/// external-sort baseline configuration).
+StatusOr<PreciseBaselineReport> PreciseSortBaseline(
+    const std::vector<uint32_t>& keys, const sort::AlgorithmId& algorithm,
+    const ArrayAlloc& precise_alloc, uint64_t sort_seed, bool with_ids = true,
+    std::vector<uint32_t>* sorted_keys = nullptr);
+
+/// Write reduction of approx-refine relative to the precise baseline
+/// (Equation 2): 1 - TMWL(approx-refine) / TMWL(precise).
+double WriteReduction(const RefineReport& refine,
+                      const PreciseBaselineReport& baseline);
+
+}  // namespace approxmem::refine
+
+#endif  // APPROXMEM_REFINE_APPROX_REFINE_H_

@@ -1,0 +1,68 @@
+#include "refine/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace approxmem::refine {
+namespace {
+
+double Log2(double x) { return std::log2(std::max(x, 2.0)); }
+
+}  // namespace
+
+double AlphaWrites(const sort::AlgorithmId& algorithm, size_t n) {
+  if (n < 2) return 0.0;
+  const double dn = static_cast<double>(n);
+  const int bits = std::max(algorithm.radix_bits, 1);
+  const int passes = (32 + bits - 1) / bits;
+  // MSD recursions stop once buckets reach the insertion cutoff (~32), so
+  // the effective depth is bounded by both the digit count and log_b(n/32).
+  const double msd_levels =
+      std::min<double>(passes, std::ceil(Log2(dn / 32.0) / bits) + 1.0);
+  switch (algorithm.kind) {
+    case sort::SortKind::kQuicksort:
+      return dn * Log2(dn) / 2.0;
+    case sort::SortKind::kMergesort:
+      return dn * std::ceil(Log2(dn));
+    case sort::SortKind::kLsdRadix:
+      // Queue buckets: one write on push, one on drain, per pass.
+      return 2.0 * dn * passes;
+    case sort::SortKind::kMsdRadix:
+      return 2.0 * dn * msd_levels;
+    case sort::SortKind::kLsdHistogram:
+      // One scatter write per pass, plus the final parity copy.
+      return dn * passes + dn;
+    case sort::SortKind::kMsdHistogram:
+      return dn * msd_levels + dn;
+  }
+  return dn * Log2(dn);
+}
+
+double PredictRefineWrites(const sort::AlgorithmId& algorithm, size_t n,
+                           double pv_ratio, size_t rem) {
+  const double alpha_n = AlphaWrites(algorithm, n);
+  const double alpha_rem = AlphaWrites(algorithm, rem);
+  const double dn = static_cast<double>(n);
+  const double drem = static_cast<double>(rem);
+  return (pv_ratio + 1.0) * alpha_n + 2.0 * drem + (2.0 + pv_ratio) * dn +
+         alpha_rem;
+}
+
+double PredictPreciseWrites(const sort::AlgorithmId& algorithm, size_t n) {
+  return 2.0 * AlphaWrites(algorithm, n);
+}
+
+double PredictWriteReduction(const sort::AlgorithmId& algorithm, size_t n,
+                             double pv_ratio, size_t rem) {
+  const double precise = PredictPreciseWrites(algorithm, n);
+  if (precise <= 0.0) return 0.0;
+  return 1.0 -
+         PredictRefineWrites(algorithm, n, pv_ratio, rem) / precise;
+}
+
+bool ShouldUseApproxRefine(const sort::AlgorithmId& algorithm, size_t n,
+                           double pv_ratio, size_t rem) {
+  return PredictWriteReduction(algorithm, n, pv_ratio, rem) > 0.0;
+}
+
+}  // namespace approxmem::refine

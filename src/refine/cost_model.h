@@ -1,0 +1,47 @@
+// Analytical cost model of Section 4.3.
+//
+// Predicts the write reduction of approx-refine from the algorithm's write
+// count alpha_alg(n), the calibrated latency ratio p(t), and the (expected)
+// Rem~ of the approx-stage output — Equation 4:
+//
+//   WR(n, t) = (1 - p(t))/2
+//            - (Rem~ + (1 + 0.5 p(t)) n) / alpha(n)
+//            - alpha(Rem~) / (2 alpha(n))
+//
+// The model is used to cross-check the measured pipeline and to decide at
+// run time whether approx-refine beats sorting in precise memory only.
+#ifndef APPROXMEM_REFINE_COST_MODEL_H_
+#define APPROXMEM_REFINE_COST_MODEL_H_
+
+#include <cstddef>
+
+#include "sort/sort_common.h"
+
+namespace approxmem::refine {
+
+/// Expected number of key write operations alpha_alg(n) of one execution of
+/// `algorithm` on n uniformly random keys (Section 4.3's accounting:
+/// quicksort ~ n log2 n / 2, mergesort ~ n log2 n, queue radix ~ 2n passes,
+/// histogram radix ~ n passes).
+double AlphaWrites(const sort::AlgorithmId& algorithm, size_t n);
+
+/// Equation 4. `pv_ratio` is p(t); `rem` is Rem~ (heuristic or measured).
+double PredictWriteReduction(const sort::AlgorithmId& algorithm, size_t n,
+                             double pv_ratio, size_t rem);
+
+/// Total equivalent precise write operations of approx-refine (numerator of
+/// Equation 3): (p+1) alpha(n) + 2 Rem~ + (2+p) n + alpha(Rem~).
+double PredictRefineWrites(const sort::AlgorithmId& algorithm, size_t n,
+                           double pv_ratio, size_t rem);
+
+/// Write operations of the traditional precise execution: 2 alpha(n).
+double PredictPreciseWrites(const sort::AlgorithmId& algorithm, size_t n);
+
+/// Decision procedure the paper sketches at the end of Section 4.3:
+/// approx-refine is worth switching to iff the predicted WR is positive.
+bool ShouldUseApproxRefine(const sort::AlgorithmId& algorithm, size_t n,
+                           double pv_ratio, size_t rem);
+
+}  // namespace approxmem::refine
+
+#endif  // APPROXMEM_REFINE_COST_MODEL_H_

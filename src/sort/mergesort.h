@@ -1,0 +1,29 @@
+// Bottom-up mergesort (Section 3.1).
+//
+// Alternates between the input arrays and scratch buffers, one full pass
+// per run-doubling, for n*ceil(log2 n) key writes total — the paper's
+// alpha_mergesort(n) ~ n*log2(n). An optional base-run size models the
+// paper's L2-sized first level: base runs are pre-sorted with insertion
+// sort before the merge passes start.
+#ifndef APPROXMEM_SORT_MERGESORT_H_
+#define APPROXMEM_SORT_MERGESORT_H_
+
+#include "common/status.h"
+#include "sort/sort_common.h"
+
+namespace approxmem::sort {
+
+struct MergesortOptions {
+  /// Elements per pre-sorted base run; 1 means classic bottom-up merging
+  /// from single elements. Values > 1 use insertion sort per base run, so
+  /// keep them small (the write count grows quadratically with this).
+  size_t base_run_elements = 1;
+};
+
+/// Sorts spec.keys (and spec.ids) ascending by key. Requires
+/// spec.alloc_key_buffer (and alloc_id_buffer when ids are present).
+Status Mergesort(SortSpec& spec, const MergesortOptions& options);
+
+}  // namespace approxmem::sort
+
+#endif  // APPROXMEM_SORT_MERGESORT_H_

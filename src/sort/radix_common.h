@@ -1,0 +1,70 @@
+// Shared machinery of the radix-sort family: digit plans and queue-bucket
+// storage (Section 3.1 implements LSD/MSD "using queues as buckets").
+#ifndef APPROXMEM_SORT_RADIX_COMMON_H_
+#define APPROXMEM_SORT_RADIX_COMMON_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "approx/approx_array.h"
+#include "common/status.h"
+#include "sort/sort_common.h"
+
+namespace approxmem::sort {
+
+/// Pass layout for a given digit width over 32-bit keys.
+struct RadixPlan {
+  int bits = 6;             // 3..6 in the paper (8..64 buckets).
+  int passes = 6;           // ceil(32 / bits).
+  uint32_t mask = 63;       // (1 << bits) - 1.
+  uint32_t buckets = 64;    // 1 << bits.
+
+  static RadixPlan ForBits(int bits);
+  /// Digit of `key` for `pass` counted from the least significant digit.
+  uint32_t DigitLsd(uint32_t key, int pass) const;
+  /// Right-shift amount of the most significant digit.
+  int TopShift() const { return bits * (passes - 1); }
+};
+
+/// Queue-bucket storage backed by instrumented scratch arrays.
+///
+/// Pushing appends the key (and id) to a bump arena — one simulated data
+/// write each, in the arena's precision domain — and records the slot in a
+/// per-bucket position list. The position lists are queue metadata
+/// (pointers in a real implementation) and are not counted as data writes.
+/// Draining replays buckets in order back into the destination arrays, one
+/// read + one write per element.
+class BucketQueues {
+ public:
+  /// `key_arena` must have capacity for every pushed element starting at
+  /// `arena_base`; `id_arena` may be null when no ids are tracked.
+  BucketQueues(uint32_t num_buckets, approx::ApproxArrayU32* key_arena,
+               approx::ApproxArrayU32* id_arena, size_t arena_base = 0);
+
+  /// Appends (key, id) to `bucket`. Ignores `id` when ids are not tracked.
+  void Push(uint32_t bucket, uint32_t key, uint32_t id);
+
+  /// Writes all buckets, in bucket order, into keys[out_base...] (and ids).
+  /// Returns the number of elements drained.
+  size_t DrainTo(approx::ApproxArrayU32& keys, approx::ApproxArrayU32* ids,
+                 size_t out_base);
+
+  size_t BucketSize(uint32_t bucket) const {
+    return positions_[bucket].size();
+  }
+  size_t TotalPushed() const { return next_ - arena_base_; }
+
+  /// Clears all queues and resets the bump pointer (arena reuse per pass).
+  void Reset();
+
+ private:
+  approx::ApproxArrayU32* key_arena_;
+  approx::ApproxArrayU32* id_arena_;
+  size_t arena_base_;
+  size_t next_;
+  std::vector<std::vector<uint32_t>> positions_;
+};
+
+}  // namespace approxmem::sort
+
+#endif  // APPROXMEM_SORT_RADIX_COMMON_H_

@@ -1,0 +1,151 @@
+#include "sort/radix_histogram.h"
+
+#include <utility>
+#include <vector>
+
+#include "sort/quicksort.h"
+#include "sort/radix_common.h"
+
+namespace approxmem::sort {
+namespace {
+
+struct Buffers {
+  approx::ApproxArrayU32* keys;
+  approx::ApproxArrayU32* ids;  // Null when ids are not tracked.
+};
+
+// Copies [lo, hi) from src to dst (read + write per element).
+void CopyRange(const Buffers& src, const Buffers& dst, size_t lo, size_t hi) {
+  for (size_t i = lo; i < hi; ++i) {
+    dst.keys->Set(i, src.keys->Get(i));
+    if (src.ids != nullptr) dst.ids->Set(i, src.ids->Get(i));
+  }
+}
+
+// Counts digit occurrences of src[lo, hi) at `shift` (reads only).
+std::vector<size_t> CountDigits(const Buffers& src, size_t lo, size_t hi,
+                                int shift, const RadixPlan& plan) {
+  std::vector<size_t> counts(plan.buckets, 0);
+  for (size_t i = lo; i < hi; ++i) {
+    ++counts[(src.keys->Get(i) >> shift) & plan.mask];
+  }
+  return counts;
+}
+
+// Scatters src[lo, hi) into dst by digit; one write per element. Bucket
+// start offsets come from `counts` (exclusive prefix sums built here).
+// Because an element's stored digit can change between the counting read
+// and the scatter read on approximate memory, cursor overflow into the next
+// bucket is possible; the scatter clamps to the segment so it stays in
+// bounds (the resulting disorder is the phenomenon under study).
+void Scatter(const Buffers& src, const Buffers& dst, size_t lo, size_t hi,
+             int shift, const RadixPlan& plan,
+             const std::vector<size_t>& counts,
+             std::vector<size_t>* bucket_starts) {
+  std::vector<size_t> cursor(plan.buckets);
+  size_t offset = lo;
+  for (uint32_t b = 0; b < plan.buckets; ++b) {
+    cursor[b] = offset;
+    if (bucket_starts != nullptr) (*bucket_starts)[b] = offset;
+    offset += counts[b];
+  }
+  for (size_t i = lo; i < hi; ++i) {
+    const uint32_t key = src.keys->Get(i);
+    const uint32_t digit = (key >> shift) & plan.mask;
+    size_t pos = cursor[digit]++;
+    if (pos >= hi) pos = hi - 1;  // Clamp under cross-read corruption.
+    dst.keys->Set(pos, key);
+    if (src.ids != nullptr) dst.ids->Set(pos, src.ids->Get(i));
+  }
+}
+
+}  // namespace
+
+Status LsdHistogramSort(SortSpec& spec, const HistogramRadixOptions& options) {
+  Status status = ValidateSpec(spec, /*needs_buffers=*/true);
+  if (!status.ok()) return status;
+  if (options.bits < 1 || options.bits > 16) {
+    return Status::InvalidArgument("radix bits must be in [1, 16]");
+  }
+  const size_t n = spec.keys->size();
+  if (n < 2) return Status::Ok();
+
+  const RadixPlan plan = RadixPlan::ForBits(options.bits);
+  approx::ApproxArrayU32 scratch_keys = spec.alloc_key_buffer(n);
+  approx::ApproxArrayU32 scratch_ids_storage =
+      spec.ids != nullptr ? spec.alloc_id_buffer(n)
+                          : approx::ApproxArrayU32(0, nullptr, Rng(0));
+  Buffers primary{spec.keys, spec.ids};
+  Buffers scratch{&scratch_keys,
+                  spec.ids != nullptr ? &scratch_ids_storage : nullptr};
+
+  Buffers src = primary;
+  Buffers dst = scratch;
+  for (int pass = 0; pass < plan.passes; ++pass) {
+    const int shift = plan.bits * pass;
+    const std::vector<size_t> counts = CountDigits(src, 0, n, shift, plan);
+    Scatter(src, dst, 0, n, shift, plan, counts, nullptr);
+    std::swap(src, dst);
+  }
+  if (src.keys != primary.keys) CopyRange(src, primary, 0, n);
+  return Status::Ok();
+}
+
+Status MsdHistogramSort(SortSpec& spec, const HistogramRadixOptions& options) {
+  Status status = ValidateSpec(spec, /*needs_buffers=*/true);
+  if (!status.ok()) return status;
+  if (options.bits < 1 || options.bits > 16) {
+    return Status::InvalidArgument("radix bits must be in [1, 16]");
+  }
+  const size_t n = spec.keys->size();
+  if (n < 2) return Status::Ok();
+
+  const RadixPlan plan = RadixPlan::ForBits(options.bits);
+  approx::ApproxArrayU32 scratch_keys = spec.alloc_key_buffer(n);
+  approx::ApproxArrayU32 scratch_ids_storage =
+      spec.ids != nullptr ? spec.alloc_id_buffer(n)
+                          : approx::ApproxArrayU32(0, nullptr, Rng(0));
+  Buffers primary{spec.keys, spec.ids};
+  Buffers scratch{&scratch_keys,
+                  spec.ids != nullptr ? &scratch_ids_storage : nullptr};
+
+  struct Segment {
+    size_t lo;
+    size_t hi;     // Exclusive.
+    int shift;     // < 0 means digits exhausted.
+    bool in_primary;  // Which buffer currently holds the segment.
+  };
+  std::vector<Segment> stack;
+  stack.push_back(Segment{0, n, plan.TopShift(), true});
+
+  while (!stack.empty()) {
+    const Segment seg = stack.back();
+    stack.pop_back();
+    const size_t len = seg.hi - seg.lo;
+    if (len == 0) continue;
+    const Buffers src = seg.in_primary ? primary : scratch;
+    const Buffers dst = seg.in_primary ? scratch : primary;
+
+    if (len < 2 || len <= options.insertion_cutoff || seg.shift < 0) {
+      // Leaf: make sure the data is back in the primary buffer, then finish
+      // with insertion sort (through the instrumented primary arrays).
+      if (!seg.in_primary) CopyRange(src, primary, seg.lo, seg.hi);
+      if (len >= 2) InsertionSortRange(spec, seg.lo, seg.hi - 1);
+      continue;
+    }
+
+    const std::vector<size_t> counts =
+        CountDigits(src, seg.lo, seg.hi, seg.shift, plan);
+    std::vector<size_t> starts(plan.buckets);
+    Scatter(src, dst, seg.lo, seg.hi, seg.shift, plan, counts, &starts);
+    for (uint32_t b = 0; b < plan.buckets; ++b) {
+      const size_t bucket_lo = starts[b];
+      const size_t bucket_hi = bucket_lo + counts[b];
+      stack.push_back(Segment{bucket_lo, bucket_hi, seg.shift - plan.bits,
+                              !seg.in_primary});
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace approxmem::sort

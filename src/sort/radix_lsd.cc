@@ -1,0 +1,55 @@
+#include "sort/radix_lsd.h"
+
+#include "sort/radix_common.h"
+#include "sort/write_combining.h"
+
+namespace approxmem::sort {
+
+Status LsdRadixSort(SortSpec& spec, const LsdRadixOptions& options) {
+  Status status = ValidateSpec(spec, /*needs_buffers=*/true);
+  if (!status.ok()) return status;
+  if (options.bits < 1 || options.bits > 16) {
+    return Status::InvalidArgument("LSD radix bits must be in [1, 16]");
+  }
+  const size_t n = spec.keys->size();
+  if (n < 2) return Status::Ok();
+
+  const RadixPlan plan = RadixPlan::ForBits(options.bits);
+  const size_t arena_size =
+      options.write_combining
+          ? WriteCombiningQueues::ArenaCapacity(
+                n, plan.buckets, options.combine_chunk_elements)
+          : n;
+  approx::ApproxArrayU32 key_arena = spec.alloc_key_buffer(arena_size);
+  approx::ApproxArrayU32 id_arena_storage =
+      spec.ids != nullptr ? spec.alloc_id_buffer(arena_size)
+                          : approx::ApproxArrayU32(0, nullptr, Rng(0));
+  approx::ApproxArrayU32* id_arena =
+      spec.ids != nullptr ? &id_arena_storage : nullptr;
+
+  // One pass over the data per digit, through either plain bucket queues
+  // or their write-combining variant; both have the same write count.
+  auto run_passes = [&](auto& queues) {
+    for (int pass = 0; pass < plan.passes; ++pass) {
+      for (size_t i = 0; i < n; ++i) {
+        const uint32_t key = spec.keys->Get(i);
+        const uint32_t id = spec.ids != nullptr ? spec.ids->Get(i) : 0;
+        // The digit is computed from the (possibly corrupted) stored key.
+        queues.Push(plan.DigitLsd(key, pass), key, id);
+      }
+      queues.DrainTo(*spec.keys, spec.ids, 0);
+      queues.Reset();
+    }
+  };
+  if (options.write_combining) {
+    WriteCombiningQueues queues(plan.buckets, &key_arena, id_arena,
+                                options.combine_chunk_elements);
+    run_passes(queues);
+  } else {
+    BucketQueues queues(plan.buckets, &key_arena, id_arena);
+    run_passes(queues);
+  }
+  return Status::Ok();
+}
+
+}  // namespace approxmem::sort

@@ -1,0 +1,29 @@
+// Least-significant-digit radix sort with queue buckets (Section 3.1).
+#ifndef APPROXMEM_SORT_RADIX_LSD_H_
+#define APPROXMEM_SORT_RADIX_LSD_H_
+
+#include "common/status.h"
+#include "sort/sort_common.h"
+
+namespace approxmem::sort {
+
+struct LsdRadixOptions {
+  /// Digit width in bits; the paper evaluates 3, 4, 5, and 6.
+  int bits = 6;
+  /// Section 3.1's software write combining: stage bucket pushes in DRAM
+  /// and flush to the arena in sequential chunks. Same write count,
+  /// sequential pattern — pays off under the sequential-write discount.
+  bool write_combining = false;
+  /// Staging-buffer / arena-chunk size when write combining is on.
+  size_t combine_chunk_elements = 64;
+};
+
+/// Sorts spec.keys (and spec.ids) ascending by key. ceil(32/bits) stable
+/// passes from the least significant digit; each pass pushes every element
+/// into a bucket queue (one write) and drains the queues back (one write).
+/// Requires spec.alloc_key_buffer (and alloc_id_buffer when ids are set).
+Status LsdRadixSort(SortSpec& spec, const LsdRadixOptions& options);
+
+}  // namespace approxmem::sort
+
+#endif  // APPROXMEM_SORT_RADIX_LSD_H_

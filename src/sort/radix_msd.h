@@ -1,0 +1,26 @@
+// Most-significant-digit radix sort with queue buckets (Section 3.1).
+#ifndef APPROXMEM_SORT_RADIX_MSD_H_
+#define APPROXMEM_SORT_RADIX_MSD_H_
+
+#include "common/status.h"
+#include "sort/sort_common.h"
+
+namespace approxmem::sort {
+
+struct MsdRadixOptions {
+  /// Digit width in bits; the paper evaluates 3, 4, 5, and 6.
+  int bits = 6;
+  /// Buckets at or below this size finish with insertion sort.
+  size_t insertion_cutoff = 32;
+};
+
+/// Sorts spec.keys (and spec.ids) ascending by key. Recursively partitions
+/// from the most significant digit using bucket queues; like quicksort,
+/// later levels touch ever-smaller ranges, which localizes the damage of
+/// earlier corrupted writes (Section 3.5). Requires spec.alloc_key_buffer
+/// (and alloc_id_buffer when ids are set).
+Status MsdRadixSort(SortSpec& spec, const MsdRadixOptions& options);
+
+}  // namespace approxmem::sort
+
+#endif  // APPROXMEM_SORT_RADIX_MSD_H_

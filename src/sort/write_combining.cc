@@ -1,0 +1,98 @@
+#include "sort/write_combining.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace approxmem::sort {
+
+WriteCombiningQueues::WriteCombiningQueues(uint32_t num_buckets,
+                                           approx::ApproxArrayU32* key_arena,
+                                           approx::ApproxArrayU32* id_arena,
+                                           size_t chunk_elements)
+    : key_arena_(key_arena),
+      id_arena_(id_arena),
+      chunk_elements_(chunk_elements),
+      buckets_(num_buckets) {
+  APPROXMEM_CHECK(key_arena != nullptr);
+  APPROXMEM_CHECK(chunk_elements >= 1);
+  for (Bucket& bucket : buckets_) {
+    bucket.staged_keys.reserve(chunk_elements);
+    bucket.staged_ids.reserve(chunk_elements);
+  }
+}
+
+size_t WriteCombiningQueues::ArenaCapacity(size_t n, uint32_t buckets,
+                                           size_t chunk_elements) {
+  // Worst case: every bucket ends with a nearly empty chunk.
+  const size_t chunks = (n + chunk_elements - 1) / chunk_elements + buckets;
+  return chunks * chunk_elements;
+}
+
+void WriteCombiningQueues::FlushBucket(Bucket& bucket) {
+  if (bucket.staged_keys.empty()) return;
+  const size_t chunk = next_chunk_++;
+  const size_t base = chunk * chunk_elements_;
+  APPROXMEM_CHECK(base + chunk_elements_ <= key_arena_->size());
+  bucket.chunks.push_back(static_cast<uint32_t>(chunk));
+  // The whole point: the flush is one sequential burst into the arena.
+  for (size_t i = 0; i < bucket.staged_keys.size(); ++i) {
+    key_arena_->Set(base + i, bucket.staged_keys[i]);
+    if (id_arena_ != nullptr) id_arena_->Set(base + i, bucket.staged_ids[i]);
+  }
+  bucket.elements += bucket.staged_keys.size();
+  bucket.staged_keys.clear();
+  bucket.staged_ids.clear();
+}
+
+void WriteCombiningQueues::Push(uint32_t bucket_index, uint32_t key,
+                                uint32_t id) {
+  APPROXMEM_CHECK(bucket_index < buckets_.size());
+  Bucket& bucket = buckets_[bucket_index];
+  bucket.staged_keys.push_back(key);
+  bucket.staged_ids.push_back(id);
+  ++total_pushed_;
+  if (bucket.staged_keys.size() >= chunk_elements_) FlushBucket(bucket);
+}
+
+size_t WriteCombiningQueues::BucketSize(uint32_t bucket) const {
+  APPROXMEM_CHECK(bucket < buckets_.size());
+  return buckets_[bucket].elements + buckets_[bucket].staged_keys.size();
+}
+
+size_t WriteCombiningQueues::DrainTo(approx::ApproxArrayU32& keys,
+                                     approx::ApproxArrayU32* ids,
+                                     size_t out_base) {
+  size_t out = out_base;
+  for (Bucket& bucket : buckets_) {
+    FlushBucket(bucket);
+    size_t remaining = bucket.elements;
+    for (const uint32_t chunk : bucket.chunks) {
+      const size_t base = static_cast<size_t>(chunk) * chunk_elements_;
+      const size_t count = std::min(chunk_elements_, remaining);
+      for (size_t i = 0; i < count; ++i) {
+        keys.Set(out, key_arena_->Get(base + i));
+        if (ids != nullptr && id_arena_ != nullptr) {
+          ids->Set(out, id_arena_->Get(base + i));
+        }
+        ++out;
+      }
+      remaining -= count;
+    }
+    APPROXMEM_CHECK(remaining == 0);
+  }
+  return out - out_base;
+}
+
+void WriteCombiningQueues::Reset() {
+  for (Bucket& bucket : buckets_) {
+    bucket.staged_keys.clear();
+    bucket.staged_ids.clear();
+    bucket.chunks.clear();
+    bucket.elements = 0;
+  }
+  next_chunk_ = 0;
+  total_pushed_ = 0;
+}
+
+}  // namespace approxmem::sort

@@ -1,0 +1,74 @@
+// Software-managed write-combining bucket queues (Section 3.1 cites the
+// write-combining technique of Balkesen et al. as "adopted whenever
+// appropriate").
+//
+// Instead of writing each pushed element straight into the arena, elements
+// stage in small per-bucket DRAM buffers and flush to the arena in
+// contiguous chunks. The write *count* is unchanged; what changes is the
+// access pattern: every flush is a sequential burst, which pays off once
+// the memory model distinguishes sequential from random writes (the
+// sequential-write discount / row-buffer model). The arena becomes a
+// chunked free list, so buckets own chains of fixed-size chunks instead of
+// interleaved single slots.
+#ifndef APPROXMEM_SORT_WRITE_COMBINING_H_
+#define APPROXMEM_SORT_WRITE_COMBINING_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "approx/approx_array.h"
+#include "common/status.h"
+
+namespace approxmem::sort {
+
+/// Bucket queues with software write combining. API mirrors BucketQueues.
+class WriteCombiningQueues {
+ public:
+  /// `chunk_elements` is both the DRAM staging-buffer size per bucket and
+  /// the arena chunk size. The arena must hold every pushed element plus
+  /// at most one partially filled chunk per bucket.
+  WriteCombiningQueues(uint32_t num_buckets,
+                       approx::ApproxArrayU32* key_arena,
+                       approx::ApproxArrayU32* id_arena,
+                       size_t chunk_elements = 64);
+
+  /// Stages (key, id) for `bucket`; flushes a full chunk sequentially.
+  void Push(uint32_t bucket, uint32_t key, uint32_t id);
+
+  /// Flushes all partial buffers, then writes every bucket's elements, in
+  /// bucket order, into keys[out_base...] (and ids). Returns the count.
+  size_t DrainTo(approx::ApproxArrayU32& keys, approx::ApproxArrayU32* ids,
+                 size_t out_base);
+
+  size_t BucketSize(uint32_t bucket) const;
+  size_t TotalPushed() const { return total_pushed_; }
+
+  /// Required arena capacity for `n` pushed elements across `buckets`
+  /// buckets at `chunk_elements` chunking (chunk-granular rounding).
+  static size_t ArenaCapacity(size_t n, uint32_t buckets,
+                              size_t chunk_elements);
+
+  void Reset();
+
+ private:
+  struct Bucket {
+    std::vector<uint32_t> staged_keys;  // DRAM staging buffer.
+    std::vector<uint32_t> staged_ids;
+    std::vector<uint32_t> chunks;       // Arena chunk indices, in order.
+    size_t elements = 0;                // Flushed elements.
+  };
+
+  void FlushBucket(Bucket& bucket);
+
+  approx::ApproxArrayU32* key_arena_;
+  approx::ApproxArrayU32* id_arena_;
+  size_t chunk_elements_;
+  size_t next_chunk_ = 0;
+  size_t total_pushed_ = 0;
+  std::vector<Bucket> buckets_;
+};
+
+}  // namespace approxmem::sort
+
+#endif  // APPROXMEM_SORT_WRITE_COMBINING_H_

@@ -1,0 +1,43 @@
+#include "sortedness/inversions.h"
+
+namespace approxmem::sortedness {
+namespace {
+
+// Merge-sorts values[lo, hi) through scratch, returning the inversion count.
+uint64_t SortAndCount(std::vector<uint32_t>& values,
+                      std::vector<uint32_t>& scratch, size_t lo, size_t hi) {
+  if (hi - lo < 2) return 0;
+  const size_t mid = lo + (hi - lo) / 2;
+  uint64_t inversions = SortAndCount(values, scratch, lo, mid) +
+                        SortAndCount(values, scratch, mid, hi);
+  size_t left = lo;
+  size_t right = mid;
+  for (size_t out = lo; out < hi; ++out) {
+    if (left < mid && (right >= hi || values[left] <= values[right])) {
+      scratch[out] = values[left++];
+    } else {
+      if (left < mid) inversions += mid - left;
+      scratch[out] = values[right++];
+    }
+  }
+  for (size_t i = lo; i < hi; ++i) values[i] = scratch[i];
+  return inversions;
+}
+
+}  // namespace
+
+uint64_t InversionCount(const std::vector<uint32_t>& values) {
+  std::vector<uint32_t> work = values;
+  std::vector<uint32_t> scratch(values.size());
+  return SortAndCount(work, scratch, 0, work.size());
+}
+
+double InversionRatio(const std::vector<uint32_t>& values) {
+  const size_t n = values.size();
+  if (n < 2) return 0.0;
+  const double max_pairs =
+      static_cast<double>(n) * static_cast<double>(n - 1) / 2.0;
+  return static_cast<double>(InversionCount(values)) / max_pairs;
+}
+
+}  // namespace approxmem::sortedness

@@ -1,0 +1,73 @@
+#include "sortedness/shape.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace approxmem::sortedness {
+
+ShapeSummary SummarizeShape(const std::vector<uint32_t>& values) {
+  ShapeSummary summary;
+  summary.n = values.size();
+  if (values.empty()) return summary;
+
+  std::vector<uint32_t> reference = values;
+  std::sort(reference.begin(), reference.end());
+
+  std::vector<double> deviations;
+  deviations.reserve(values.size() / 16);
+  size_t displaced = 0;
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (values[i] != reference[i]) {
+      ++displaced;
+      const uint32_t delta = values[i] > reference[i]
+                                 ? values[i] - reference[i]
+                                 : reference[i] - values[i];
+      deviations.push_back(static_cast<double>(delta) / 4294967296.0);
+    }
+  }
+  summary.displaced_fraction =
+      static_cast<double>(displaced) / static_cast<double>(values.size());
+  if (!deviations.empty()) {
+    std::sort(deviations.begin(), deviations.end());
+    summary.deviation_p50 = deviations[deviations.size() / 2];
+    summary.deviation_p99 = deviations[deviations.size() * 99 / 100];
+    summary.deviation_max = deviations.back();
+  }
+  return summary;
+}
+
+bool WriteShapeCsv(const std::vector<uint32_t>& values,
+                   const std::string& path, size_t max_points) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fprintf(f, "index,value\n");
+  const size_t n = values.size();
+  const size_t stride = n <= max_points ? 1 : n / max_points;
+  for (size_t i = 0; i < n; i += stride) {
+    std::fprintf(f, "%zu,%u\n", i, values[i]);
+  }
+  std::fclose(f);
+  return true;
+}
+
+std::string ShapeSparkline(const std::vector<uint32_t>& values,
+                           size_t buckets) {
+  if (values.empty() || buckets == 0) return "";
+  buckets = std::min(buckets, values.size());
+  std::string line(buckets, ' ');
+  const size_t per_bucket = values.size() / buckets;
+  for (size_t b = 0; b < buckets; ++b) {
+    const size_t lo = b * per_bucket;
+    const size_t hi = b + 1 == buckets ? values.size() : lo + per_bucket;
+    double sum = 0.0;
+    for (size_t i = lo; i < hi; ++i) sum += values[i];
+    const double mean = sum / static_cast<double>(hi - lo);
+    const int height =
+        std::min(9, static_cast<int>(mean / 4294967296.0 * 10.0));
+    line[b] = static_cast<char>('0' + std::max(height, 0));
+  }
+  return line;
+}
+
+}  // namespace approxmem::sortedness

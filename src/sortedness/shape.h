@@ -1,0 +1,43 @@
+// Sequence-shape export for Figures 5-7.
+//
+// The paper visualizes the array after sorting in approximate memory as a
+// scatter of (index, value). We export a downsampled CSV per run plus a
+// compact textual summary (quantiles of the deviation from the precisely
+// sorted reference) so the shape can be judged from bench output alone.
+#ifndef APPROXMEM_SORTEDNESS_SHAPE_H_
+#define APPROXMEM_SORTEDNESS_SHAPE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace approxmem::sortedness {
+
+/// Summary of how far a sequence is from its sorted self.
+struct ShapeSummary {
+  size_t n = 0;
+  /// Fraction of positions whose value differs from the precisely sorted
+  /// reference at that position.
+  double displaced_fraction = 0.0;
+  /// Quantiles of |value - reference| / 2^32 over displaced positions.
+  double deviation_p50 = 0.0;
+  double deviation_p99 = 0.0;
+  double deviation_max = 0.0;
+};
+
+/// Compares `values` against its own sorted order.
+ShapeSummary SummarizeShape(const std::vector<uint32_t>& values);
+
+/// Writes up to `max_points` evenly sampled (index, value) rows as CSV.
+/// Returns false on I/O failure.
+bool WriteShapeCsv(const std::vector<uint32_t>& values,
+                   const std::string& path, size_t max_points = 4096);
+
+/// Renders a crude text sparkline (one char per bucket, height 0-9 by mean
+/// value) so bench output shows the Figures 5-7 silhouettes directly.
+std::string ShapeSparkline(const std::vector<uint32_t>& values,
+                           size_t buckets = 64);
+
+}  // namespace approxmem::sortedness
+
+#endif  // APPROXMEM_SORTEDNESS_SHAPE_H_

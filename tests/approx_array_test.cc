@@ -1,0 +1,167 @@
+#include "approx/approx_array.h"
+
+#include <gtest/gtest.h>
+
+#include "approx/approx_memory.h"
+#include "common/random.h"
+
+namespace approxmem::approx {
+namespace {
+
+ApproxMemory::Options DefaultOptions() {
+  ApproxMemory::Options options;
+  options.calibration_trials = 20000;
+  options.seed = 11;
+  return options;
+}
+
+TEST(ApproxArrayTest, PreciseArrayStoresExactly) {
+  ApproxMemory memory(DefaultOptions());
+  ApproxArrayU32 array = memory.NewPreciseArray(100);
+  Rng rng(1);
+  for (size_t i = 0; i < 100; ++i) {
+    const uint32_t v = rng.NextU32();
+    array.Set(i, v);
+    EXPECT_EQ(array.Get(i), v);
+  }
+  EXPECT_EQ(array.DeviatingElements(), 0u);
+  EXPECT_DOUBLE_EQ(array.ErrorRate(), 0.0);
+  EXPECT_TRUE(array.precise());
+}
+
+TEST(ApproxArrayTest, PreciseWriteCostsOneMicrosecond) {
+  ApproxMemory memory(DefaultOptions());
+  ApproxArrayU32 array = memory.NewPreciseArray(10);
+  for (size_t i = 0; i < 10; ++i) array.Set(i, 1);
+  array.Get(0);
+  EXPECT_EQ(array.stats().word_writes, 10u);
+  EXPECT_EQ(array.stats().word_reads, 1u);
+  EXPECT_DOUBLE_EQ(array.stats().write_cost, 10 * 1000.0);
+  EXPECT_DOUBLE_EQ(array.stats().read_cost, 50.0);
+}
+
+TEST(ApproxArrayTest, ApproxWritesAreCheaperThanPrecise) {
+  ApproxMemory memory(DefaultOptions());
+  ApproxArrayU32 array = memory.NewApproxArray(1000, 0.055);
+  Rng rng(2);
+  for (size_t i = 0; i < 1000; ++i) array.Set(i, rng.NextU32());
+  const double per_write = array.stats().write_cost / 1000.0;
+  // p(0.055) ~ 0.66 of the 1us precise write.
+  EXPECT_LT(per_write, 750.0);
+  EXPECT_GT(per_write, 500.0);
+  EXPECT_FALSE(array.precise());
+}
+
+TEST(ApproxArrayTest, NearPreciseTHasNoCorruption) {
+  ApproxMemory memory(DefaultOptions());
+  ApproxArrayU32 array = memory.NewApproxArray(20000, 0.03);
+  Rng rng(3);
+  for (size_t i = 0; i < array.size(); ++i) array.Set(i, rng.NextU32());
+  EXPECT_EQ(array.stats().corrupted_writes, 0u);
+}
+
+TEST(ApproxArrayTest, NoGuardBandCorruptsHeavily) {
+  ApproxMemory memory(DefaultOptions());
+  ApproxArrayU32 array = memory.NewApproxArray(20000, 0.12);
+  Rng rng(4);
+  for (size_t i = 0; i < array.size(); ++i) array.Set(i, rng.NextU32());
+  // Figure 2(b): word error rate past 50% without guard bands.
+  EXPECT_GT(array.ErrorRate(), 0.30);
+  EXPECT_EQ(array.DeviatingElements(), array.stats().corrupted_writes);
+}
+
+TEST(ApproxArrayTest, ReadsAreStickyBetweenWrites) {
+  ApproxMemory memory(DefaultOptions());
+  ApproxArrayU32 array = memory.NewApproxArray(1, 0.12);
+  array.Set(0, 0x12345678);
+  const uint32_t first = array.Get(0);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(array.Get(0), first);
+}
+
+TEST(ApproxArrayTest, CorruptionRateMatchesCalibration) {
+  ApproxMemory memory(DefaultOptions());
+  const double t = 0.085;
+  ApproxArrayU32 array = memory.NewApproxArray(50000, t);
+  Rng rng(5);
+  for (size_t i = 0; i < array.size(); ++i) array.Set(i, rng.NextU32());
+  const double expected =
+      memory.calibration().ForT(t).WordErrorRate(16);
+  EXPECT_NEAR(array.ErrorRate(), expected, 0.15 * expected + 0.005);
+}
+
+TEST(ApproxArrayTest, StoreAndCopyFromCountAccesses) {
+  ApproxMemory memory(DefaultOptions());
+  ApproxArrayU32 src = memory.NewPreciseArray(50);
+  src.Store(std::vector<uint32_t>(50, 7));
+  EXPECT_EQ(src.stats().word_writes, 50u);
+  ApproxArrayU32 dst = memory.NewApproxArray(50, 0.055);
+  dst.CopyFrom(src);
+  EXPECT_EQ(dst.stats().word_writes, 50u);
+  EXPECT_EQ(src.stats().word_reads, 50u);
+}
+
+TEST(ApproxArrayTest, StatsSinkReceivesOnDestruction) {
+  ApproxMemory memory(DefaultOptions());
+  MemoryStats sink;
+  {
+    ApproxArrayU32 array = memory.NewPreciseArray(10);
+    array.SetStatsSink(&sink);
+    for (size_t i = 0; i < 10; ++i) array.Set(i, 1);
+  }
+  EXPECT_EQ(sink.word_writes, 10u);
+  EXPECT_DOUBLE_EQ(sink.write_cost, 10 * 1000.0);
+}
+
+TEST(ApproxArrayTest, MoveDoesNotDoubleFlush) {
+  ApproxMemory memory(DefaultOptions());
+  MemoryStats sink;
+  {
+    ApproxArrayU32 array = memory.NewPreciseArray(10);
+    array.SetStatsSink(&sink);
+    array.Set(0, 1);
+    ApproxArrayU32 moved = std::move(array);
+    moved.Set(1, 2);
+  }
+  EXPECT_EQ(sink.word_writes, 2u);
+}
+
+TEST(ApproxArrayTest, TraceRecordsAddresses) {
+  mem::TraceBuffer trace;
+  ApproxMemory::Options options = DefaultOptions();
+  options.trace = &trace;
+  ApproxMemory memory(options);
+  ApproxArrayU32 a = memory.NewPreciseArray(4);
+  ApproxArrayU32 b = memory.NewPreciseArray(4);
+  a.Set(0, 1);
+  b.Set(0, 1);
+  a.Get(1);
+  ASSERT_EQ(trace.size(), 3u);
+  EXPECT_EQ(trace[0].kind, mem::AccessKind::kWrite);
+  EXPECT_EQ(trace[0].address, a.base_address());
+  EXPECT_EQ(trace[1].address, b.base_address());
+  EXPECT_NE(a.base_address(), b.base_address());
+  EXPECT_EQ(trace[2].kind, mem::AccessKind::kRead);
+  EXPECT_EQ(trace[2].address, a.base_address() + 4);
+}
+
+TEST(ApproxArrayTest, ExactModeMatchesFastModeStatistically) {
+  const double t = 0.09;
+  auto run = [&](SimulationMode mode) {
+    ApproxMemory::Options options = DefaultOptions();
+    options.mode = mode;
+    ApproxMemory memory(options);
+    ApproxArrayU32 array = memory.NewApproxArray(30000, t);
+    Rng rng(6);
+    for (size_t i = 0; i < array.size(); ++i) array.Set(i, rng.NextU32());
+    return std::make_pair(array.ErrorRate(),
+                          array.stats().write_cost /
+                              static_cast<double>(array.size()));
+  };
+  const auto [fast_error, fast_cost] = run(SimulationMode::kFast);
+  const auto [exact_error, exact_cost] = run(SimulationMode::kExact);
+  EXPECT_NEAR(fast_error, exact_error, 0.1 * exact_error + 0.01);
+  EXPECT_NEAR(fast_cost, exact_cost, 0.05 * exact_cost);
+}
+
+}  // namespace
+}  // namespace approxmem::approx

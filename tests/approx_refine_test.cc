@@ -1,0 +1,196 @@
+#include "refine/approx_refine.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "approx/approx_memory.h"
+#include "core/workload.h"
+
+namespace approxmem::refine {
+namespace {
+
+class RefineFixture : public ::testing::Test {
+ protected:
+  RefineFixture() : memory_(MakeOptions()) {}
+
+  static approx::ApproxMemory::Options MakeOptions() {
+    approx::ApproxMemory::Options options;
+    options.calibration_trials = 20000;
+    options.seed = 21;
+    return options;
+  }
+
+  RefineOptions MakeRefineOptions(const sort::AlgorithmId& algorithm,
+                                  double t) {
+    RefineOptions options;
+    options.algorithm = algorithm;
+    options.approx_alloc = [this, t](size_t n) {
+      return memory_.NewApproxArray(n, t);
+    };
+    options.precise_alloc = [this](size_t n) {
+      return memory_.NewPreciseArray(n);
+    };
+    return options;
+  }
+
+  approx::ApproxMemory memory_;
+};
+
+TEST_F(RefineFixture, ProducesExactlySortedOutput) {
+  const auto keys = core::MakeKeys(core::WorkloadKind::kUniform, 20000, 3);
+  for (const sort::AlgorithmId& algorithm : sort::HeadlineAlgorithms()) {
+    std::vector<uint32_t> out_keys;
+    std::vector<uint32_t> out_ids;
+    const auto report = ApproxRefineSort(
+        keys, MakeRefineOptions(algorithm, 0.08), &out_keys, &out_ids);
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+    EXPECT_TRUE(report->verified) << algorithm.Name();
+    ASSERT_EQ(out_keys.size(), keys.size());
+    EXPECT_TRUE(std::is_sorted(out_keys.begin(), out_keys.end()));
+    for (size_t i = 0; i < out_keys.size(); ++i) {
+      EXPECT_EQ(out_keys[i], keys[out_ids[i]]);
+    }
+  }
+}
+
+TEST_F(RefineFixture, VerifiedEvenAtWorstCorruption) {
+  const auto keys = core::MakeKeys(core::WorkloadKind::kUniform, 5000, 4);
+  const auto report = ApproxRefineSort(
+      keys,
+      MakeRefineOptions(sort::AlgorithmId{sort::SortKind::kMergesort, 0},
+                        0.124),
+      nullptr, nullptr);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->verified);
+  // Rem~ should be near n for a chaotic output.
+  EXPECT_GT(report->rem_estimate, keys.size() / 2);
+}
+
+TEST_F(RefineFixture, EdgeCaseSizes) {
+  for (size_t n : {0u, 1u, 2u, 3u}) {
+    const auto keys = core::MakeKeys(core::WorkloadKind::kUniform, n, 5);
+    std::vector<uint32_t> out_keys;
+    const auto report = ApproxRefineSort(
+        keys,
+        MakeRefineOptions(sort::AlgorithmId{sort::SortKind::kQuicksort, 0},
+                          0.055),
+        &out_keys, nullptr);
+    ASSERT_TRUE(report.ok()) << "n=" << n;
+    EXPECT_TRUE(report->verified) << "n=" << n;
+    EXPECT_EQ(out_keys.size(), n);
+    EXPECT_TRUE(std::is_sorted(out_keys.begin(), out_keys.end()));
+  }
+}
+
+TEST_F(RefineFixture, DuplicateKeysAreHandled) {
+  const auto keys = core::MakeKeys(core::WorkloadKind::kAllEqual, 2000, 6);
+  const auto report = ApproxRefineSort(
+      keys,
+      MakeRefineOptions(sort::AlgorithmId{sort::SortKind::kLsdRadix, 6},
+                        0.07),
+      nullptr, nullptr);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->verified);
+}
+
+TEST_F(RefineFixture, RemEstimateTracksExactRem) {
+  const auto keys = core::MakeKeys(core::WorkloadKind::kUniform, 50000, 7);
+  const auto report = ApproxRefineSort(
+      keys,
+      MakeRefineOptions(sort::AlgorithmId{sort::SortKind::kQuicksort, 0},
+                        0.065),
+      nullptr, nullptr);
+  ASSERT_TRUE(report.ok());
+  // The heuristic finds a superset of the disorder: Rem~ >= exact Rem, and
+  // within a small constant factor on nearly sorted sequences.
+  EXPECT_GE(report->rem_estimate, report->approx_sortedness.rem);
+  EXPECT_GT(report->approx_sortedness.rem, 0u);
+  EXPECT_LT(report->rem_estimate, 10 * report->approx_sortedness.rem + 50);
+}
+
+TEST_F(RefineFixture, NoCorruptionMeansNoRemAndCheapRefine) {
+  const auto keys = core::MakeKeys(core::WorkloadKind::kUniform, 10000, 8);
+  const auto report = ApproxRefineSort(
+      keys,
+      MakeRefineOptions(sort::AlgorithmId{sort::SortKind::kQuicksort, 0},
+                        0.03),
+      nullptr, nullptr);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->rem_estimate, 0u);
+  // Refine writes = 2n (outputs) when Rem~ = 0.
+  EXPECT_EQ(report->RefineWriteOps(), 2 * keys.size());
+}
+
+TEST_F(RefineFixture, RefineWriteBudgetStaysNearLowerBound) {
+  // Section 4.2: on a nearly sorted approx output the refine stage performs
+  // fewer than ~3n precise writes — close to the 2n lower bound.
+  const auto keys = core::MakeKeys(core::WorkloadKind::kUniform, 30000, 9);
+  const auto report = ApproxRefineSort(
+      keys,
+      MakeRefineOptions(sort::AlgorithmId{sort::SortKind::kQuicksort, 0},
+                        0.055),
+      nullptr, nullptr);
+  ASSERT_TRUE(report.ok());
+  EXPECT_GE(report->RefineWriteOps(), 2 * keys.size());
+  EXPECT_LT(report->RefineWriteOps(), 3 * keys.size());
+}
+
+TEST_F(RefineFixture, StageCostsDecompose) {
+  const auto keys = core::MakeKeys(core::WorkloadKind::kUniform, 8000, 10);
+  const auto report = ApproxRefineSort(
+      keys,
+      MakeRefineOptions(sort::AlgorithmId{sort::SortKind::kQuicksort, 0},
+                        0.055),
+      nullptr, nullptr);
+  ASSERT_TRUE(report.ok());
+  // Approx preparation writes exactly n words into approximate memory.
+  EXPECT_EQ(report->prep_approx.word_writes, keys.size());
+  EXPECT_EQ(report->prep_precise.word_reads, keys.size());
+  EXPECT_EQ(report->prep_precise.word_writes, 0u);
+  // The total equals the sum of the parts.
+  EXPECT_NEAR(report->TotalWriteCost(),
+              report->ApproxStageWriteCost() + report->RefineStageWriteCost(),
+              1e-6);
+  EXPECT_GT(report->sort_approx.word_writes, 0u);
+  EXPECT_GT(report->sort_precise.word_writes, 0u);
+}
+
+TEST_F(RefineFixture, MissingAllocatorsRejected) {
+  RefineOptions options;
+  options.algorithm = sort::AlgorithmId{sort::SortKind::kQuicksort, 0};
+  const auto report = ApproxRefineSort({1, 2, 3}, options, nullptr, nullptr);
+  EXPECT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(RefineFixture, PreciseBaselineSortsAndCounts) {
+  const auto keys = core::MakeKeys(core::WorkloadKind::kUniform, 4000, 11);
+  const auto baseline = PreciseSortBaseline(
+      keys, sort::AlgorithmId{sort::SortKind::kQuicksort, 0},
+      [this](size_t n) { return memory_.NewPreciseArray(n); },
+      /*sort_seed=*/13, /*with_ids=*/true);
+  ASSERT_TRUE(baseline.ok());
+  EXPECT_TRUE(baseline->verified);
+  EXPECT_GT(baseline->keys.word_writes, 0u);
+  // Keys and ids move together: write counts match.
+  EXPECT_EQ(baseline->keys.word_writes, baseline->ids.word_writes);
+}
+
+TEST_F(RefineFixture, WriteReductionPositiveAtSweetSpot) {
+  const auto keys = core::MakeKeys(core::WorkloadKind::kUniform, 100000, 12);
+  const sort::AlgorithmId algorithm{sort::SortKind::kLsdRadix, 3};
+  const auto refine_report = ApproxRefineSort(
+      keys, MakeRefineOptions(algorithm, 0.055), nullptr, nullptr);
+  ASSERT_TRUE(refine_report.ok());
+  const auto baseline = PreciseSortBaseline(
+      keys, algorithm,
+      [this](size_t n) { return memory_.NewPreciseArray(n); }, 13, true);
+  ASSERT_TRUE(baseline.ok());
+  const double wr = WriteReduction(*refine_report, *baseline);
+  EXPECT_GT(wr, 0.03);   // Positive at the paper's sweet spot.
+  EXPECT_LT(wr, 0.20);   // But bounded by (1 - p)/2.
+}
+
+}  // namespace
+}  // namespace approxmem::refine

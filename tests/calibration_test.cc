@@ -1,0 +1,187 @@
+#include "mlc/calibration.h"
+
+#include <gtest/gtest.h>
+
+#include "common/stats.h"
+#include "mlc/cell.h"
+
+namespace approxmem::mlc {
+namespace {
+
+class CalibrationSweepTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(CalibrationSweepTest, ErrorProbabilitiesAreValid) {
+  const double t = GetParam();
+  Rng rng(1);
+  const CellCalibration calib =
+      CellCalibration::Run(MlcConfig().WithT(t), 20000, rng);
+  for (int level = 0; level < 4; ++level) {
+    EXPECT_GE(calib.ErrorProbForLevel(level), 0.0);
+    EXPECT_LE(calib.ErrorProbForLevel(level), 1.0);
+    EXPECT_GE(calib.AvgPvForLevel(level), 1.0);
+  }
+  EXPECT_GE(calib.WordErrorRate(16), calib.CellErrorRate());
+}
+
+INSTANTIATE_TEST_SUITE_P(TGrid, CalibrationSweepTest,
+                         ::testing::Values(0.025, 0.04, 0.055, 0.07, 0.085,
+                                           0.1, 0.124));
+
+TEST(CalibrationTest, PreciseTMatchesPaperAnchors) {
+  Rng rng(2);
+  const CellCalibration calib =
+      CellCalibration::Run(MlcConfig(), 50000, rng);
+  EXPECT_NEAR(calib.AvgPv(), 2.98, 0.25);       // Table 2.
+  EXPECT_LT(calib.CellErrorRate(), 1e-4);       // RBER ~1e-8 in the paper.
+}
+
+TEST(CalibrationTest, AvgPvDecreasesWithT) {
+  Rng rng(3);
+  double previous = 1e9;
+  for (double t : {0.025, 0.055, 0.085, 0.124}) {
+    const CellCalibration calib =
+        CellCalibration::Run(MlcConfig().WithT(t), 30000, rng);
+    EXPECT_LT(calib.AvgPv(), previous) << "t=" << t;
+    previous = calib.AvgPv();
+  }
+}
+
+TEST(CalibrationTest, ErrorRateIncreasesWithT) {
+  Rng rng(4);
+  double previous = -1.0;
+  for (double t : {0.04, 0.07, 0.1, 0.124}) {
+    const CellCalibration calib =
+        CellCalibration::Run(MlcConfig().WithT(t), 50000, rng);
+    EXPECT_GE(calib.CellErrorRate(), previous) << "t=" << t;
+    previous = calib.CellErrorRate();
+  }
+  EXPECT_GT(previous, 0.01);  // Essentially no guard band -> visible errors.
+}
+
+TEST(CalibrationTest, SampleReadLevelMatchesMeasuredDistribution) {
+  Rng rng(5);
+  const MlcConfig config = MlcConfig().WithT(0.1);
+  const CellCalibration calib = CellCalibration::Run(config, 100000, rng);
+  // Fast-path samples must reproduce the calibrated error probability.
+  for (int level = 0; level < config.levels; ++level) {
+    int errors = 0;
+    const int kTrials = 200000;
+    for (int trial = 0; trial < kTrials; ++trial) {
+      if (calib.SampleReadLevel(level, rng) != level) ++errors;
+    }
+    const double sampled = static_cast<double>(errors) / kTrials;
+    EXPECT_NEAR(sampled, calib.ErrorProbForLevel(level),
+                5e-3 + calib.ErrorProbForLevel(level) * 0.15)
+        << "level=" << level;
+  }
+}
+
+TEST(CalibrationTest, SamplePvMatchesMeanIterations) {
+  Rng rng(6);
+  const MlcConfig config = MlcConfig().WithT(0.055);
+  const CellCalibration calib = CellCalibration::Run(config, 100000, rng);
+  for (int level = 0; level < config.levels; ++level) {
+    RunningStat pv;
+    for (int trial = 0; trial < 100000; ++trial) {
+      pv.Add(calib.SamplePvIterations(level, rng));
+    }
+    EXPECT_NEAR(pv.mean(), calib.AvgPvForLevel(level),
+                0.05 * calib.AvgPvForLevel(level));
+  }
+}
+
+TEST(CalibrationCacheTest, ReusesEntriesAndComputesPvRatio) {
+  CalibrationCache cache(MlcConfig(), 20000, 7);
+  const CellCalibration& a = cache.ForT(0.055);
+  const CellCalibration& b = cache.ForT(0.055);
+  EXPECT_EQ(&a, &b);  // Cached, not recomputed.
+  EXPECT_DOUBLE_EQ(cache.PvRatio(0.025), 1.0);
+  // Section 3.4: T = 0.055 reduces write latency by roughly a third.
+  EXPECT_NEAR(cache.PvRatio(0.055), 0.66, 0.06);
+  // Section 2.2: T = 0.1 halves the P&V iteration count.
+  EXPECT_NEAR(cache.PvRatio(0.1), 0.5, 0.06);
+}
+
+TEST(CalibrationCacheTest, SlcHasNoWordErrorsAtPreciseT) {
+  MlcConfig slc;
+  slc.levels = 2;
+  CalibrationCache cache(slc, 20000, 8);
+  const CellCalibration& calib = cache.ForT(0.025);
+  EXPECT_LT(calib.CellErrorRate(), 1e-3);
+}
+
+TEST(CalibrationPersistenceTest, SaveLoadRoundTrip) {
+  const std::string path =
+      ::testing::TempDir() + "/calibration_roundtrip.txt";
+  CalibrationCache cache(MlcConfig(), 20000, 9);
+  const CellCalibration& original = cache.ForT(0.055);
+  cache.ForT(0.085);
+  ASSERT_TRUE(cache.SaveToFile(path));
+
+  CalibrationCache restored(MlcConfig(), 20000, 10);
+  const auto loaded = restored.LoadFromFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(*loaded, 2u);
+  // ForT must serve the loaded entry bit-for-bit, not recalibrate.
+  const CellCalibration& reloaded = restored.ForT(0.055);
+  EXPECT_DOUBLE_EQ(reloaded.AvgPv(), original.AvgPv());
+  EXPECT_DOUBLE_EQ(reloaded.CellErrorRate(), original.CellErrorRate());
+  for (int level = 0; level < 4; ++level) {
+    EXPECT_DOUBLE_EQ(reloaded.AvgPvForLevel(level),
+                     original.AvgPvForLevel(level));
+    EXPECT_DOUBLE_EQ(reloaded.ErrorProbForLevel(level),
+                     original.ErrorProbForLevel(level));
+  }
+  // Sampling from the reloaded tables must be deterministic-equal.
+  Rng a(1);
+  Rng b(1);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(original.SampleReadLevel(2, a), reloaded.SampleReadLevel(2, b));
+    EXPECT_EQ(original.SamplePvIterations(1, a),
+              reloaded.SamplePvIterations(1, b));
+  }
+}
+
+TEST(CalibrationPersistenceTest, MismatchedConfigIsSkipped) {
+  const std::string path = ::testing::TempDir() + "/calibration_mismatch.txt";
+  CalibrationCache cache(MlcConfig(), 5000, 11);
+  cache.ForT(0.055);
+  ASSERT_TRUE(cache.SaveToFile(path));
+
+  MlcConfig other;
+  other.beta = 0.05;  // Different write model.
+  CalibrationCache restored(other, 5000, 12);
+  const auto loaded = restored.LoadFromFile(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(*loaded, 0u);
+}
+
+TEST(CalibrationPersistenceTest, RejectsGarbageFiles) {
+  CalibrationCache cache(MlcConfig(), 5000, 13);
+  EXPECT_FALSE(cache.LoadFromFile("/nonexistent/calibration.txt").ok());
+
+  const std::string path = ::testing::TempDir() + "/calibration_garbage.txt";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fprintf(f, "not a calibration file\n");
+  std::fclose(f);
+  EXPECT_FALSE(cache.LoadFromFile(path).ok());
+}
+
+TEST(CalibrationPersistenceTest, TruncatedRecordIsAnError) {
+  const std::string path =
+      ::testing::TempDir() + "/calibration_truncated.txt";
+  CalibrationCache cache(MlcConfig(), 5000, 14);
+  cache.ForT(0.055);
+  ASSERT_TRUE(cache.SaveToFile(path));
+  // Claim two records but provide one.
+  std::FILE* f = std::fopen(path.c_str(), "r+");
+  ASSERT_NE(f, nullptr);
+  std::fprintf(f, "approxmem-calibrations v1 2");
+  std::fclose(f);
+  CalibrationCache restored(MlcConfig(), 5000, 15);
+  EXPECT_FALSE(restored.LoadFromFile(path).ok());
+}
+
+}  // namespace
+}  // namespace approxmem::mlc

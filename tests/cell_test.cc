@@ -1,0 +1,122 @@
+#include "mlc/cell.h"
+
+#include <gtest/gtest.h>
+
+#include "common/stats.h"
+
+namespace approxmem::mlc {
+namespace {
+
+TEST(CellWriteTest, LandsInsideTargetRange) {
+  MlcConfig config;
+  Rng rng(1);
+  for (int level = 0; level < config.levels; ++level) {
+    for (int trial = 0; trial < 1000; ++trial) {
+      const CellWriteResult result = WriteCell(level, config, rng);
+      const double center = config.LevelCenter(level);
+      EXPECT_GE(result.analog, center - config.t_width);
+      EXPECT_LE(result.analog, center + config.t_width);
+      EXPECT_GE(result.iterations, 1u);
+    }
+  }
+}
+
+TEST(CellWriteTest, PreciseTMatchesPaperIterationCount) {
+  // Table 2: the precise configuration (T = 0.025) averages #P ~= 2.98.
+  MlcConfig config;
+  Rng rng(2);
+  RunningStat pv;
+  for (int trial = 0; trial < 40000; ++trial) {
+    const int level = static_cast<int>(rng.UniformInt(config.levels));
+    pv.Add(WriteCell(level, config, rng).iterations);
+  }
+  EXPECT_NEAR(pv.mean(), 2.98, 0.25);
+}
+
+TEST(CellWriteTest, WiderTargetNeedsFewerIterations) {
+  MlcConfig narrow;
+  MlcConfig wide = narrow.WithT(0.1);
+  Rng rng(3);
+  RunningStat pv_narrow;
+  RunningStat pv_wide;
+  for (int trial = 0; trial < 20000; ++trial) {
+    const int level = static_cast<int>(rng.UniformInt(narrow.levels));
+    pv_narrow.Add(WriteCell(level, narrow, rng).iterations);
+    pv_wide.Add(WriteCell(level, wide, rng).iterations);
+  }
+  // Section 2.2: #P is roughly halved at T = 0.1.
+  EXPECT_LT(pv_wide.mean(), 0.6 * pv_narrow.mean());
+}
+
+TEST(CellWriteTest, IterationCapIsHonored) {
+  MlcConfig config;
+  config.max_pv_iterations = 3;
+  Rng rng(4);
+  for (int trial = 0; trial < 1000; ++trial) {
+    EXPECT_LE(WriteCell(3, config, rng).iterations, 3u);
+  }
+}
+
+TEST(ReadDriftTest, DriftIsUpwardOnAverage) {
+  MlcConfig config;
+  Rng rng(5);
+  RunningStat drift;
+  for (int trial = 0; trial < 50000; ++trial) {
+    drift.Add(ApplyReadDrift(0.5, config, rng) - 0.5);
+  }
+  const double expected_mean =
+      config.drift_mu_per_decade * config.DriftDecades();
+  const double expected_sigma =
+      config.drift_sigma_per_decade * config.DriftDecades();
+  EXPECT_NEAR(drift.mean(), expected_mean, 3e-4);
+  EXPECT_NEAR(drift.stddev(), expected_sigma, 3e-4);
+}
+
+TEST(ReadCellTest, PreciseConfigReadsBackCorrectly) {
+  // RBER at the precise T is ~1e-8; 100k trials must see zero errors.
+  MlcConfig config;
+  Rng rng(6);
+  for (int trial = 0; trial < 100000; ++trial) {
+    const int level = static_cast<int>(rng.UniformInt(config.levels));
+    const CellWriteResult w = WriteCell(level, config, rng);
+    EXPECT_EQ(ReadCell(w.analog, config, rng), level);
+  }
+}
+
+TEST(ReadCellTest, NoGuardBandProducesErrors) {
+  MlcConfig config = MlcConfig().WithT(0.124);
+  Rng rng(7);
+  int errors = 0;
+  const int kTrials = 20000;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    const int level = static_cast<int>(rng.UniformInt(config.levels));
+    const CellWriteResult w = WriteCell(level, config, rng);
+    if (ReadCell(w.analog, config, rng) != level) ++errors;
+  }
+  // Figure 2(b): per-cell error rate in the several-percent range.
+  EXPECT_GT(errors, kTrials / 100);
+  EXPECT_LT(errors, kTrials / 4);
+}
+
+TEST(ReadCellTest, ErrorsLandOnAdjacentLevelsMostly) {
+  MlcConfig config = MlcConfig().WithT(0.1);
+  Rng rng(8);
+  int adjacent = 0;
+  int distant = 0;
+  for (int trial = 0; trial < 200000; ++trial) {
+    const int level = static_cast<int>(rng.UniformInt(config.levels));
+    const CellWriteResult w = WriteCell(level, config, rng);
+    const int read = ReadCell(w.analog, config, rng);
+    if (read == level) continue;
+    if (read == level + 1 || read == level - 1) {
+      ++adjacent;
+    } else {
+      ++distant;
+    }
+  }
+  EXPECT_GT(adjacent, 0);
+  EXPECT_GT(adjacent, distant * 50);
+}
+
+}  // namespace
+}  // namespace approxmem::mlc

@@ -1,0 +1,39 @@
+#include "common/check.h"
+
+#include <gtest/gtest.h>
+
+#include "common/status.h"
+
+namespace approxmem {
+namespace {
+
+TEST(CheckTest, PassingCheckIsSilent) {
+  APPROXMEM_CHECK(1 + 1 == 2);
+  APPROXMEM_CHECK_OK(Status::Ok());
+  SUCCEED();
+}
+
+TEST(CheckDeathTest, FailingCheckAborts) {
+  EXPECT_DEATH(APPROXMEM_CHECK(false), "CHECK failed");
+}
+
+TEST(CheckDeathTest, FailingCheckNamesExpression) {
+  EXPECT_DEATH(APPROXMEM_CHECK(2 + 2 == 5), "2 \\+ 2 == 5");
+}
+
+TEST(CheckDeathTest, NonOkStatusAbortsWithMessage) {
+  EXPECT_DEATH(APPROXMEM_CHECK_OK(Status::InvalidArgument("bad knob")),
+               "INVALID_ARGUMENT: bad knob");
+}
+
+TEST(CheckTest, CheckEvaluatesExpressionOnce) {
+  int calls = 0;
+  APPROXMEM_CHECK([&calls]() {
+    ++calls;
+    return true;
+  }());
+  EXPECT_EQ(calls, 1);
+}
+
+}  // namespace
+}  // namespace approxmem

@@ -1,0 +1,126 @@
+#include "refine/cost_model.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace approxmem::refine {
+namespace {
+
+using sort::AlgorithmId;
+using sort::SortKind;
+
+TEST(AlphaTest, TinyInputsCostNothing) {
+  for (const auto kind :
+       {SortKind::kQuicksort, SortKind::kMergesort, SortKind::kLsdRadix}) {
+    EXPECT_EQ(AlphaWrites(AlgorithmId{kind, 6}, 0), 0.0);
+    EXPECT_EQ(AlphaWrites(AlgorithmId{kind, 6}, 1), 0.0);
+  }
+}
+
+TEST(AlphaTest, PaperFormulas) {
+  const size_t n = 1 << 20;
+  const double dn = static_cast<double>(n);
+  EXPECT_DOUBLE_EQ(AlphaWrites({SortKind::kQuicksort, 0}, n), dn * 20 / 2);
+  EXPECT_DOUBLE_EQ(AlphaWrites({SortKind::kMergesort, 0}, n), dn * 20);
+  // 6-bit LSD: ceil(32/6) = 6 passes, 2 writes per element per pass.
+  EXPECT_DOUBLE_EQ(AlphaWrites({SortKind::kLsdRadix, 6}, n), 2 * dn * 6);
+  // 3-bit LSD: 11 passes.
+  EXPECT_DOUBLE_EQ(AlphaWrites({SortKind::kLsdRadix, 3}, n), 2 * dn * 11);
+  EXPECT_DOUBLE_EQ(AlphaWrites({SortKind::kLsdHistogram, 6}, n),
+                   dn * 6 + dn);
+}
+
+TEST(AlphaTest, MsdDepthBoundedByDataSize) {
+  // For 1M uniform keys, 6-bit MSD recursion reaches ~3 levels before
+  // buckets hit the insertion cutoff, not the full 6 digit positions.
+  const double alpha = AlphaWrites({SortKind::kMsdRadix, 6}, 1 << 20);
+  EXPECT_LT(alpha, 2.0 * (1 << 20) * 6.0);
+  EXPECT_GE(alpha, 2.0 * (1 << 20) * 2.0);
+}
+
+TEST(AlphaTest, MonotoneInN) {
+  for (const auto kind : {SortKind::kQuicksort, SortKind::kMergesort,
+                          SortKind::kLsdRadix, SortKind::kMsdRadix}) {
+    double previous = -1.0;
+    for (size_t n : {100u, 1000u, 10000u, 100000u}) {
+      const double alpha = AlphaWrites(AlgorithmId{kind, 4}, n);
+      EXPECT_GT(alpha, previous);
+      previous = alpha;
+    }
+  }
+}
+
+TEST(CostModelTest, PreciseWritesAreTwiceAlpha) {
+  const AlgorithmId algorithm{SortKind::kQuicksort, 0};
+  EXPECT_DOUBLE_EQ(PredictPreciseWrites(algorithm, 1000),
+                   2.0 * AlphaWrites(algorithm, 1000));
+}
+
+TEST(CostModelTest, Equation4Decomposition) {
+  // WR = (1-p)/2 - (Rem + (1+p/2) n)/alpha(n) - alpha(Rem)/(2 alpha(n)).
+  const AlgorithmId algorithm{SortKind::kQuicksort, 0};
+  const size_t n = 1 << 20;
+  const double p = 0.66;
+  const size_t rem = 10000;
+  const double alpha_n = AlphaWrites(algorithm, n);
+  const double expected = (1.0 - p) / 2.0 -
+                          (rem + (1.0 + 0.5 * p) * n) / alpha_n -
+                          AlphaWrites(algorithm, rem) / (2.0 * alpha_n);
+  EXPECT_NEAR(PredictWriteReduction(algorithm, n, p, rem), expected, 1e-12);
+}
+
+TEST(CostModelTest, PreciseMemoryGivesNegativeReduction) {
+  // p(t) = 1 (no latency benefit): approx-refine only adds overhead.
+  for (const auto kind : {SortKind::kQuicksort, SortKind::kMergesort,
+                          SortKind::kLsdRadix, SortKind::kMsdRadix}) {
+    EXPECT_LT(PredictWriteReduction(AlgorithmId{kind, 3}, 1 << 20, 1.0, 0),
+              0.0);
+  }
+}
+
+TEST(CostModelTest, SweetSpotIsPositiveForRadixAndQuicksort) {
+  // p(0.055) ~ 0.66 with Rem ~ 0.5% of n: the paper's operating point.
+  const size_t n = 16000000;
+  const size_t rem = n / 200;
+  EXPECT_GT(PredictWriteReduction({SortKind::kLsdRadix, 3}, n, 0.66, rem),
+            0.05);
+  EXPECT_GT(PredictWriteReduction({SortKind::kMsdRadix, 3}, n, 0.66, rem),
+            0.0);
+  EXPECT_GT(PredictWriteReduction({SortKind::kQuicksort, 0}, n, 0.66, rem),
+            0.0);
+}
+
+TEST(CostModelTest, ChaoticOutputGivesNegativeReduction) {
+  // p(0.1) ~ 0.5 but Rem ~ n: the refine stage re-sorts everything.
+  const size_t n = 16000000;
+  for (const auto kind : {SortKind::kQuicksort, SortKind::kMergesort,
+                          SortKind::kLsdRadix}) {
+    EXPECT_LT(
+        PredictWriteReduction(AlgorithmId{kind, 3}, n, 0.5, n * 9 / 10),
+        0.0);
+  }
+}
+
+TEST(CostModelTest, QuicksortGainGrowsWithN) {
+  // Section 5: WR_quicksort(n, t) is monotone increasing in n when Rem is
+  // proportional to n.
+  const double p = 0.66;
+  double previous = -10.0;
+  for (size_t n : {1600u, 16000u, 160000u, 1600000u, 16000000u}) {
+    const double wr =
+        PredictWriteReduction({SortKind::kQuicksort, 0}, n, p, n / 200);
+    EXPECT_GT(wr, previous);
+    previous = wr;
+  }
+}
+
+TEST(CostModelTest, RecommendationFlipsWithRem) {
+  const AlgorithmId algorithm{SortKind::kLsdRadix, 3};
+  const size_t n = 1 << 22;
+  EXPECT_TRUE(ShouldUseApproxRefine(algorithm, n, 0.66, n / 1000));
+  EXPECT_FALSE(ShouldUseApproxRefine(algorithm, n, 0.66, n));
+}
+
+}  // namespace
+}  // namespace approxmem::refine

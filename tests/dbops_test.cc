@@ -1,0 +1,182 @@
+#include <algorithm>
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "core/workload.h"
+#include "dbops/aggregate.h"
+#include "dbops/join.h"
+
+namespace approxmem::dbops {
+namespace {
+
+core::EngineOptions FastOptions() {
+  core::EngineOptions options;
+  options.calibration_trials = 20000;
+  options.seed = 23;
+  return options;
+}
+
+// Reference GROUP BY via std::map.
+std::map<uint32_t, GroupRow> ReferenceGroups(
+    const std::vector<uint32_t>& keys, const std::vector<uint32_t>& values) {
+  std::map<uint32_t, GroupRow> groups;
+  for (size_t i = 0; i < keys.size(); ++i) {
+    auto [it, inserted] = groups.try_emplace(
+        keys[i], GroupRow{keys[i], 0, 0, values[i], values[i]});
+    GroupRow& row = it->second;
+    ++row.count;
+    row.sum += values[i];
+    row.min = std::min(row.min, values[i]);
+    row.max = std::max(row.max, values[i]);
+  }
+  return groups;
+}
+
+TEST(GroupByTest, MatchesReferenceOnSkewedData) {
+  core::ApproxSortEngine engine(FastOptions());
+  const auto keys = core::MakeKeys(core::WorkloadKind::kSkewed, 20000, 1);
+  const auto values = core::MakeKeys(core::WorkloadKind::kUniform, 20000, 2);
+  const auto result = GroupByAggregate(engine, keys, values, GroupByOptions{});
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_TRUE(result->verified);
+
+  const auto reference = ReferenceGroups(keys, values);
+  ASSERT_EQ(result->groups.size(), reference.size());
+  size_t g = 0;
+  for (const auto& [key, expected] : reference) {
+    const GroupRow& actual = result->groups[g++];
+    EXPECT_EQ(actual.group_key, key);
+    EXPECT_EQ(actual.count, expected.count);
+    EXPECT_EQ(actual.sum, expected.sum);
+    EXPECT_EQ(actual.min, expected.min);
+    EXPECT_EQ(actual.max, expected.max);
+  }
+}
+
+TEST(GroupByTest, EmptyInput) {
+  core::ApproxSortEngine engine(FastOptions());
+  const auto result = GroupByAggregate(engine, {}, {}, GroupByOptions{});
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->verified);
+  EXPECT_TRUE(result->groups.empty());
+}
+
+TEST(GroupByTest, SingleGroup) {
+  core::ApproxSortEngine engine(FastOptions());
+  const std::vector<uint32_t> keys(1000, 7);
+  const auto values = core::MakeKeys(core::WorkloadKind::kUniform, 1000, 3);
+  const auto result = GroupByAggregate(engine, keys, values, GroupByOptions{});
+  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE(result->verified);
+  ASSERT_EQ(result->groups.size(), 1u);
+  EXPECT_EQ(result->groups[0].count, 1000u);
+}
+
+TEST(GroupByTest, RejectsSizeMismatch) {
+  core::ApproxSortEngine engine(FastOptions());
+  const auto result =
+      GroupByAggregate(engine, {1, 2}, {1}, GroupByOptions{});
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(GroupByTest, SortSavingsPropagate) {
+  core::ApproxSortEngine engine(FastOptions());
+  const auto keys = core::MakeKeys(core::WorkloadKind::kUniform, 100000, 4);
+  const auto values = core::MakeKeys(core::WorkloadKind::kUniform, 100000, 5);
+  GroupByOptions options;
+  options.algorithm = sort::AlgorithmId{sort::SortKind::kLsdRadix, 3};
+  options.t = 0.055;
+  const auto result = GroupByAggregate(engine, keys, values, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->verified);
+  EXPECT_GT(result->sort_write_reduction, 0.03);
+}
+
+// Reference join size: sum over keys of count_l * count_r.
+size_t ReferenceJoinSize(const std::vector<uint32_t>& left,
+                         const std::vector<uint32_t>& right) {
+  std::map<uint32_t, size_t> left_counts;
+  for (const uint32_t k : left) ++left_counts[k];
+  size_t total = 0;
+  for (const uint32_t k : right) {
+    auto it = left_counts.find(k);
+    if (it != left_counts.end()) total += it->second;
+  }
+  return total;
+}
+
+TEST(JoinTest, MatchesReferenceCardinality) {
+  core::ApproxSortEngine engine(FastOptions());
+  const auto left = core::MakeKeys(core::WorkloadKind::kSkewed, 5000, 6);
+  const auto right = core::MakeKeys(core::WorkloadKind::kSkewed, 4000, 7);
+  const auto result = SortMergeJoin(engine, left, right, JoinOptions{});
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->verified);
+  EXPECT_FALSE(result->truncated);
+  EXPECT_EQ(result->pairs.size(), ReferenceJoinSize(left, right));
+  for (const JoinPair& pair : result->pairs) {
+    EXPECT_EQ(left[pair.left_row], right[pair.right_row]);
+  }
+}
+
+TEST(JoinTest, DisjointInputsProduceNothing) {
+  core::ApproxSortEngine engine(FastOptions());
+  std::vector<uint32_t> left(100);
+  std::vector<uint32_t> right(100);
+  for (uint32_t i = 0; i < 100; ++i) {
+    left[i] = 2 * i;       // Even.
+    right[i] = 2 * i + 1;  // Odd.
+  }
+  const auto result = SortMergeJoin(engine, left, right, JoinOptions{});
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->pairs.empty());
+  EXPECT_TRUE(result->verified);
+}
+
+TEST(JoinTest, EmptySides) {
+  core::ApproxSortEngine engine(FastOptions());
+  const auto some = core::MakeKeys(core::WorkloadKind::kUniform, 100, 8);
+  auto empty_left = SortMergeJoin(engine, {}, some, JoinOptions{});
+  ASSERT_TRUE(empty_left.ok());
+  EXPECT_TRUE(empty_left->pairs.empty());
+  auto empty_right = SortMergeJoin(engine, some, {}, JoinOptions{});
+  ASSERT_TRUE(empty_right.ok());
+  EXPECT_TRUE(empty_right->pairs.empty());
+}
+
+TEST(JoinTest, DuplicateCrossProduct) {
+  core::ApproxSortEngine engine(FastOptions());
+  const std::vector<uint32_t> left = {5, 5, 5};
+  const std::vector<uint32_t> right = {5, 5};
+  const auto result = SortMergeJoin(engine, left, right, JoinOptions{});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->pairs.size(), 6u);  // 3 x 2.
+}
+
+TEST(JoinTest, TruncationCap) {
+  core::ApproxSortEngine engine(FastOptions());
+  const std::vector<uint32_t> left(100, 1);
+  const std::vector<uint32_t> right(100, 1);
+  JoinOptions options;
+  options.max_output_pairs = 50;
+  const auto result = SortMergeJoin(engine, left, right, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->truncated);
+  EXPECT_EQ(result->pairs.size(), 50u);
+}
+
+TEST(JoinTest, OutputOrderedByKey) {
+  core::ApproxSortEngine engine(FastOptions());
+  const auto left = core::MakeKeys(core::WorkloadKind::kSkewed, 3000, 9);
+  const auto right = core::MakeKeys(core::WorkloadKind::kSkewed, 3000, 10);
+  const auto result = SortMergeJoin(engine, left, right, JoinOptions{});
+  ASSERT_TRUE(result.ok());
+  for (size_t i = 1; i < result->pairs.size(); ++i) {
+    EXPECT_LE(left[result->pairs[i - 1].left_row],
+              left[result->pairs[i].left_row]);
+  }
+}
+
+}  // namespace
+}  // namespace approxmem::dbops

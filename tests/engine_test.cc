@@ -1,0 +1,225 @@
+#include "core/engine.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "core/workload.h"
+
+namespace approxmem::core {
+namespace {
+
+EngineOptions FastOptions() {
+  EngineOptions options;
+  options.calibration_trials = 20000;
+  options.seed = 31;
+  return options;
+}
+
+TEST(EngineTest, ApproxOnlyNearPreciseTIsSorted) {
+  ApproxSortEngine engine(FastOptions());
+  const auto keys = MakeKeys(WorkloadKind::kUniform, 20000, 1);
+  const auto result = engine.SortApproxOnly(
+      keys, sort::AlgorithmId{sort::SortKind::kQuicksort, 0}, 0.03);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->sortedness.sorted);
+  EXPECT_EQ(result->sortedness.rem, 0u);
+  // Small but positive write reduction (p(0.03) < 1).
+  EXPECT_GT(result->write_reduction, 0.0);
+}
+
+TEST(EngineTest, ApproxOnlySweetSpotTradesSortednessForLatency) {
+  ApproxSortEngine engine(FastOptions());
+  const auto keys = MakeKeys(WorkloadKind::kUniform, 100000, 2);
+  const auto result = engine.SortApproxOnly(
+      keys, sort::AlgorithmId{sort::SortKind::kQuicksort, 0}, 0.055);
+  ASSERT_TRUE(result.ok());
+  // Section 3.4: ~33% latency reduction with a ~95+% sorted sequence.
+  EXPECT_GT(result->write_reduction, 0.25);
+  EXPECT_LT(result->sortedness.rem_ratio, 0.05);
+  EXPECT_GT(result->sortedness.rem, 0u);
+}
+
+TEST(EngineTest, ApproxOnlyOutputsTheApproximateArray) {
+  ApproxSortEngine engine(FastOptions());
+  const auto keys = MakeKeys(WorkloadKind::kUniform, 5000, 3);
+  std::vector<uint32_t> output;
+  const auto result = engine.SortApproxOnly(
+      keys, sort::AlgorithmId{sort::SortKind::kLsdRadix, 6}, 0.1, &output);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(output.size(), keys.size());
+  EXPECT_FALSE(std::is_sorted(output.begin(), output.end()));
+}
+
+TEST(EngineTest, MergesortDegradesWorstAtModerateT) {
+  ApproxSortEngine engine(FastOptions());
+  const auto keys = MakeKeys(WorkloadKind::kUniform, 50000, 4);
+  const auto merge = engine.SortApproxOnly(
+      keys, sort::AlgorithmId{sort::SortKind::kMergesort, 0}, 0.055);
+  const auto quick = engine.SortApproxOnly(
+      keys, sort::AlgorithmId{sort::SortKind::kQuicksort, 0}, 0.055);
+  ASSERT_TRUE(merge.ok());
+  ASSERT_TRUE(quick.ok());
+  // Section 3.5's headline phenomenon.
+  EXPECT_GT(merge->sortedness.rem_ratio,
+            10 * quick->sortedness.rem_ratio);
+}
+
+TEST(EngineTest, RefineVerifiedAndReductionAtSweetSpot) {
+  ApproxSortEngine engine(FastOptions());
+  const auto keys = MakeKeys(WorkloadKind::kUniform, 100000, 5);
+  std::vector<uint32_t> out_keys;
+  std::vector<uint32_t> out_ids;
+  const auto outcome = engine.SortApproxRefine(
+      keys, sort::AlgorithmId{sort::SortKind::kLsdRadix, 3}, 0.055,
+      &out_keys, &out_ids);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_TRUE(outcome->refine.verified);
+  EXPECT_TRUE(outcome->baseline.verified);
+  EXPECT_TRUE(std::is_sorted(out_keys.begin(), out_keys.end()));
+  EXPECT_GT(outcome->write_reduction, 0.02);
+  // The analytic model should be in the same regime as the measurement.
+  EXPECT_GT(outcome->predicted_write_reduction, 0.0);
+}
+
+TEST(EngineTest, RefineMergesortNeverWins) {
+  ApproxSortEngine engine(FastOptions());
+  const auto keys = MakeKeys(WorkloadKind::kUniform, 50000, 6);
+  for (double t : {0.03, 0.055, 0.08}) {
+    const auto outcome = engine.SortApproxRefine(
+        keys, sort::AlgorithmId{sort::SortKind::kMergesort, 0}, t);
+    ASSERT_TRUE(outcome.ok());
+    EXPECT_TRUE(outcome->refine.verified);
+    EXPECT_LT(outcome->write_reduction, 0.01) << "t=" << t;
+  }
+}
+
+TEST(EngineTest, RefineRejectsInvalidT) {
+  ApproxSortEngine engine(FastOptions());
+  const auto keys = MakeKeys(WorkloadKind::kUniform, 100, 7);
+  EXPECT_FALSE(engine
+                   .SortApproxRefine(
+                       keys, sort::AlgorithmId{sort::SortKind::kQuicksort, 0},
+                       0.2)
+                   .ok());
+  EXPECT_FALSE(engine
+                   .SortApproxOnly(
+                       keys, sort::AlgorithmId{sort::SortKind::kQuicksort, 0},
+                       -0.1)
+                   .ok());
+}
+
+TEST(EngineTest, PvRatioMatchesPaperAnchors) {
+  ApproxSortEngine engine(FastOptions());
+  EXPECT_DOUBLE_EQ(engine.PvRatio(0.025), 1.0);
+  EXPECT_NEAR(engine.PvRatio(0.055), 0.66, 0.06);
+  EXPECT_NEAR(engine.PvRatio(0.1), 0.50, 0.06);
+}
+
+TEST(EngineTest, SpintronicOnlyLowErrorPointStaysSorted) {
+  ApproxSortEngine engine(FastOptions());
+  const auto keys = MakeKeys(WorkloadKind::kUniform, 20000, 8);
+  const auto configs = approx::PaperSpintronicConfigs();
+  const auto result = engine.SortSpintronicOnly(
+      keys, sort::AlgorithmId{sort::SortKind::kQuicksort, 0}, configs[0]);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LT(result->sortedness.rem_ratio, 0.01);
+  EXPECT_NEAR(result->write_reduction, 0.05, 0.01);  // 5% energy saving.
+}
+
+TEST(EngineTest, SpintronicRefineVerifiedAcrossOperatingPoints) {
+  ApproxSortEngine engine(FastOptions());
+  const auto keys = MakeKeys(WorkloadKind::kUniform, 20000, 9);
+  for (const auto& config : approx::PaperSpintronicConfigs()) {
+    const auto outcome = engine.SortSpintronicRefine(
+        keys, sort::AlgorithmId{sort::SortKind::kMsdRadix, 6}, config);
+    ASSERT_TRUE(outcome.ok());
+    EXPECT_TRUE(outcome->refine.verified)
+        << approx::SpintronicLabel(config);
+  }
+}
+
+TEST(EngineTest, RecommendationUsesCostModel) {
+  ApproxSortEngine engine(FastOptions());
+  const sort::AlgorithmId lsd{sort::SortKind::kLsdRadix, 3};
+  EXPECT_TRUE(engine.RecommendApproxRefine(lsd, 1 << 22, 0.055, 1000));
+  EXPECT_FALSE(engine.RecommendApproxRefine(lsd, 1 << 22, 0.055, 1 << 22));
+  EXPECT_FALSE(engine.RecommendApproxRefine(lsd, 1 << 22, 0.025, 0));
+}
+
+TEST(EngineTest, DeterministicAcrossEngineInstances) {
+  const auto keys = MakeKeys(WorkloadKind::kUniform, 30000, 10);
+  auto run = [&keys]() {
+    ApproxSortEngine engine(FastOptions());
+    const auto result = engine.SortApproxOnly(
+        keys, sort::AlgorithmId{sort::SortKind::kQuicksort, 0}, 0.07);
+    EXPECT_TRUE(result.ok());
+    return std::make_pair(result->sortedness.rem,
+                          result->approx_stats.write_cost);
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(EngineTest, SequentialDiscountRaisesQuicksortGain) {
+  // The Section 5 extension: quicksort's approx stage writes randomly but
+  // the refine stage writes sequentially, so cheaper sequential writes
+  // tilt the balance toward approx-refine.
+  const auto keys = MakeKeys(WorkloadKind::kUniform, 50000, 11);
+  auto run = [&keys](double discount) {
+    EngineOptions options = FastOptions();
+    options.sequential_write_discount = discount;
+    ApproxSortEngine engine(options);
+    const auto outcome = engine.SortApproxRefine(
+        keys, sort::AlgorithmId{sort::SortKind::kQuicksort, 0}, 0.055);
+    EXPECT_TRUE(outcome.ok());
+    return outcome->write_reduction;
+  };
+  EXPECT_GT(run(0.5), run(1.0) + 0.02);
+}
+
+TEST(EngineTest, ExactAndFastPvRatiosAgree) {
+  EngineOptions fast_options = FastOptions();
+  EngineOptions exact_options = FastOptions();
+  exact_options.mode = approx::SimulationMode::kExact;
+  ApproxSortEngine fast_engine(fast_options);
+  ApproxSortEngine exact_engine(exact_options);
+  // p(t) comes from the shared calibration either way.
+  EXPECT_NEAR(fast_engine.PvRatio(0.055), exact_engine.PvRatio(0.055), 0.02);
+}
+
+TEST(EngineTest, SpintronicEnergyBreakdownSumsToTotal) {
+  ApproxSortEngine engine(FastOptions());
+  const auto keys = MakeKeys(WorkloadKind::kUniform, 10000, 12);
+  const auto outcome = engine.SortSpintronicRefine(
+      keys, sort::AlgorithmId{sort::SortKind::kLsdRadix, 6},
+      approx::PaperSpintronicConfigs()[2]);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_NEAR(outcome->refine.TotalWriteCost(),
+              outcome->refine.ApproxStageWriteCost() +
+                  outcome->refine.RefineStageWriteCost(),
+              1e-9);
+  // Spintronic writes have no P&V loop: wear proxy stays zero.
+  EXPECT_DOUBLE_EQ(outcome->refine.sort_approx.pv_iterations, 0.0);
+}
+
+TEST(EngineTest, PcmWearTracksLatencyRatio) {
+  ApproxSortEngine engine(FastOptions());
+  const auto keys = MakeKeys(WorkloadKind::kUniform, 30000, 13);
+  const auto outcome = engine.SortApproxRefine(
+      keys, sort::AlgorithmId{sort::SortKind::kQuicksort, 0}, 0.055);
+  ASSERT_TRUE(outcome.ok());
+  // Approximate-stage wear per write ~ p(t) x precise wear per write.
+  const auto& approx_stats = outcome->refine.sort_approx;
+  const auto& precise_stats = outcome->baseline.keys;
+  const double approx_per_write =
+      approx_stats.pv_iterations /
+      static_cast<double>(approx_stats.word_writes);
+  const double precise_per_write =
+      precise_stats.pv_iterations /
+      static_cast<double>(precise_stats.word_writes);
+  EXPECT_NEAR(approx_per_write / precise_per_write, engine.PvRatio(0.055),
+              0.03);
+}
+
+}  // namespace
+}  // namespace approxmem::core

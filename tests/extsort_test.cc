@@ -1,0 +1,278 @@
+#include "extsort/external_sort.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "core/workload.h"
+#include "extsort/disk_model.h"
+#include "extsort/loser_tree.h"
+
+namespace approxmem::extsort {
+namespace {
+
+// ---------- SimulatedDisk ----------
+
+TEST(SimulatedDiskTest, AppendAndReadRoundTrip) {
+  SimulatedDisk disk;
+  const int file = disk.CreateFile();
+  disk.Append(file, {1, 2, 3, 4, 5});
+  EXPECT_EQ(disk.FileSize(file), 5u);
+  EXPECT_EQ(disk.Read(file, 1, 3), (std::vector<uint32_t>{2, 3, 4}));
+  EXPECT_EQ(disk.Read(file, 4, 100), (std::vector<uint32_t>{5}));  // Clamped.
+  EXPECT_TRUE(disk.Read(file, 10, 5).empty());
+}
+
+TEST(SimulatedDiskTest, BlockAccounting) {
+  DiskConfig config;
+  config.block_elements = 4;
+  SimulatedDisk disk(config);
+  const int file = disk.CreateFile();
+  disk.Append(file, {1, 2, 3, 4, 5});  // Covers blocks 0 and 1.
+  EXPECT_EQ(disk.stats().blocks_written, 2u);
+  disk.Append(file, {6});  // Rewrites the partial block 1.
+  EXPECT_EQ(disk.stats().blocks_written, 3u);
+  disk.Read(file, 0, 6);  // Blocks 0 and 1.
+  EXPECT_EQ(disk.stats().blocks_read, 2u);
+  disk.Read(file, 3, 2);  // Straddles blocks 0 and 1.
+  EXPECT_EQ(disk.stats().blocks_read, 4u);
+}
+
+TEST(SimulatedDiskTest, LatencyFollowsBlocks) {
+  DiskConfig config;
+  config.block_elements = 8;
+  config.read_latency_us_per_block = 10.0;
+  config.write_latency_us_per_block = 25.0;
+  SimulatedDisk disk(config);
+  const int file = disk.CreateFile();
+  disk.Append(file, std::vector<uint32_t>(16, 7));  // 2 blocks.
+  disk.Read(file, 0, 16);
+  EXPECT_DOUBLE_EQ(disk.stats().write_time_us, 50.0);
+  EXPECT_DOUBLE_EQ(disk.stats().read_time_us, 20.0);
+  EXPECT_DOUBLE_EQ(disk.stats().TotalTimeUs(), 70.0);
+}
+
+TEST(SimulatedDiskTest, MultipleFilesAreIndependent) {
+  SimulatedDisk disk;
+  const int a = disk.CreateFile();
+  const int b = disk.CreateFile();
+  disk.Append(a, {1});
+  disk.Append(b, {2, 3});
+  EXPECT_EQ(disk.FileSize(a), 1u);
+  EXPECT_EQ(disk.FileSize(b), 2u);
+  disk.Truncate(a);
+  EXPECT_EQ(disk.FileSize(a), 0u);
+  EXPECT_EQ(disk.FileSize(b), 2u);
+}
+
+// ---------- LoserTree ----------
+
+TEST(LoserTreeTest, SingleWay) {
+  LoserTree tree(1);
+  EXPECT_TRUE(tree.Exhausted());
+  tree.Update(0, 42, true);
+  EXPECT_FALSE(tree.Exhausted());
+  EXPECT_EQ(tree.MinWay(), 0u);
+  EXPECT_EQ(tree.MinKey(), 42u);
+  tree.Update(0, 0, false);
+  EXPECT_TRUE(tree.Exhausted());
+}
+
+TEST(LoserTreeTest, PicksMinimumAcrossWays) {
+  LoserTree tree(4);
+  tree.Update(0, 30, true);
+  tree.Update(1, 10, true);
+  tree.Update(2, 20, true);
+  tree.Update(3, 40, true);
+  EXPECT_EQ(tree.MinWay(), 1u);
+  EXPECT_EQ(tree.MinKey(), 10u);
+  tree.Update(1, 35, true);  // Way 1 advances past the others.
+  EXPECT_EQ(tree.MinWay(), 2u);
+  EXPECT_EQ(tree.MinKey(), 20u);
+}
+
+TEST(LoserTreeTest, EqualKeysPreferLowerWay) {
+  LoserTree tree(3);
+  tree.Update(0, 5, true);
+  tree.Update(1, 5, true);
+  tree.Update(2, 5, true);
+  EXPECT_EQ(tree.MinWay(), 0u);
+}
+
+TEST(LoserTreeTest, NonPowerOfTwoWays) {
+  LoserTree tree(5);
+  const uint32_t heads[5] = {9, 7, 8, 6, 10};
+  for (size_t w = 0; w < 5; ++w) tree.Update(w, heads[w], true);
+  EXPECT_EQ(tree.MinKey(), 6u);
+  EXPECT_EQ(tree.MinWay(), 3u);
+}
+
+TEST(LoserTreeTest, MergesLikeStdMerge) {
+  // Property: draining a loser tree over k sorted runs reproduces the
+  // sorted concatenation.
+  Rng rng(1);
+  for (int trial = 0; trial < 30; ++trial) {
+    const size_t k = 1 + rng.UniformInt(9);
+    std::vector<std::vector<uint32_t>> runs(k);
+    std::vector<uint32_t> all;
+    for (auto& run : runs) {
+      run.resize(rng.UniformInt(50));
+      for (auto& v : run) v = static_cast<uint32_t>(rng.UniformInt(100));
+      std::sort(run.begin(), run.end());
+      all.insert(all.end(), run.begin(), run.end());
+    }
+    std::sort(all.begin(), all.end());
+
+    LoserTree tree(k);
+    std::vector<size_t> pos(k, 0);
+    for (size_t w = 0; w < k; ++w) {
+      if (!runs[w].empty()) tree.Update(w, runs[w][0], true);
+    }
+    std::vector<uint32_t> merged;
+    while (!tree.Exhausted()) {
+      const size_t w = tree.MinWay();
+      merged.push_back(tree.MinKey());
+      ++pos[w];
+      if (pos[w] < runs[w].size()) {
+        tree.Update(w, runs[w][pos[w]], true);
+      } else {
+        tree.Update(w, 0, false);
+      }
+    }
+    EXPECT_EQ(merged, all) << "trial " << trial;
+  }
+}
+
+// ---------- ExternalSort ----------
+
+class ExternalSortTest : public ::testing::Test {
+ protected:
+  ExternalSortTest() : engine_(MakeOptions()) {}
+
+  static core::EngineOptions MakeOptions() {
+    core::EngineOptions options;
+    options.calibration_trials = 20000;
+    options.seed = 17;
+    return options;
+  }
+
+  ExternalSortReport MustSort(const std::vector<uint32_t>& input,
+                              ExternalSortOptions options,
+                              SimulatedDisk* disk_out = nullptr) {
+    SimulatedDisk disk;
+    const int input_file = disk.CreateFile();
+    disk.Append(input_file, input);
+    disk.ResetStats();
+    int output_file = -1;
+    const auto report =
+        ExternalSort(engine_, disk, input_file, options, &output_file);
+    EXPECT_TRUE(report.ok()) << report.status().ToString();
+    EXPECT_GE(output_file, 0);
+    if (disk_out != nullptr) *disk_out = std::move(disk);
+    return report.value();
+  }
+
+  core::ApproxSortEngine engine_;
+};
+
+TEST_F(ExternalSortTest, SingleRunWhenInputFits) {
+  const auto input = core::MakeKeys(core::WorkloadKind::kUniform, 5000, 1);
+  ExternalSortOptions options;
+  options.memory_budget_elements = 10000;
+  const ExternalSortReport report = MustSort(input, options);
+  EXPECT_TRUE(report.verified);
+  EXPECT_EQ(report.initial_runs, 1u);
+  EXPECT_EQ(report.merge_passes, 0u);
+}
+
+TEST_F(ExternalSortTest, MultiRunSinglePass) {
+  const auto input = core::MakeKeys(core::WorkloadKind::kUniform, 40000, 2);
+  ExternalSortOptions options;
+  options.memory_budget_elements = 8000;
+  const ExternalSortReport report = MustSort(input, options);
+  EXPECT_TRUE(report.verified);
+  EXPECT_EQ(report.initial_runs, 5u);
+  EXPECT_EQ(report.merge_passes, 1u);
+}
+
+TEST_F(ExternalSortTest, MultiPassWhenRunsExceedFanIn) {
+  const auto input = core::MakeKeys(core::WorkloadKind::kUniform, 20000, 3);
+  ExternalSortOptions options;
+  options.memory_budget_elements = 2000;  // 10 runs.
+  options.merge_fan_in = 3;               // ceil(log3(10)) = 3 passes.
+  const ExternalSortReport report = MustSort(input, options);
+  EXPECT_TRUE(report.verified);
+  EXPECT_EQ(report.initial_runs, 10u);
+  EXPECT_EQ(report.merge_passes, 3u);
+}
+
+TEST_F(ExternalSortTest, EmptyAndTinyInputs) {
+  for (size_t n : {0u, 1u, 3u}) {
+    const auto input = core::MakeKeys(core::WorkloadKind::kUniform, n, 4);
+    ExternalSortOptions options;
+    options.memory_budget_elements = 8;
+    const ExternalSortReport report = MustSort(input, options);
+    EXPECT_TRUE(report.verified) << "n=" << n;
+    EXPECT_EQ(report.n, n);
+  }
+}
+
+TEST_F(ExternalSortTest, PreciseModeAlsoSorts) {
+  const auto input = core::MakeKeys(core::WorkloadKind::kSkewed, 30000, 5);
+  ExternalSortOptions options;
+  options.memory_budget_elements = 7000;
+  options.use_approx_refine = false;
+  const ExternalSortReport report = MustSort(input, options);
+  EXPECT_TRUE(report.verified);
+  EXPECT_EQ(report.total_rem, 0u);
+  EXPECT_GT(report.memory_write_cost, 0.0);
+}
+
+TEST_F(ExternalSortTest, ApproxRefineSavesMemoryWritesAtSweetSpot) {
+  const auto input = core::MakeKeys(core::WorkloadKind::kUniform, 60000, 6);
+  ExternalSortOptions approx_options;
+  approx_options.memory_budget_elements = 15000;
+  approx_options.t = 0.055;
+  ExternalSortOptions precise_options = approx_options;
+  precise_options.use_approx_refine = false;
+
+  const ExternalSortReport approx = MustSort(input, approx_options);
+  const ExternalSortReport precise = MustSort(input, precise_options);
+  ASSERT_TRUE(approx.verified);
+  ASSERT_TRUE(precise.verified);
+  EXPECT_LT(approx.memory_write_cost, precise.memory_write_cost);
+  // Disk traffic is configuration-independent.
+  EXPECT_EQ(approx.disk.blocks_read, precise.disk.blocks_read);
+  EXPECT_EQ(approx.disk.blocks_written, precise.disk.blocks_written);
+}
+
+TEST_F(ExternalSortTest, TwoPassDiskTraffic) {
+  // Single merge pass => input read once, runs written + read, output
+  // written: ~2n read + ~2n written in blocks.
+  const size_t n = 32768;
+  const auto input = core::MakeKeys(core::WorkloadKind::kUniform, n, 7);
+  ExternalSortOptions options;
+  options.memory_budget_elements = 4096;
+  SimulatedDisk disk;
+  const ExternalSortReport report = MustSort(input, options, &disk);
+  ASSERT_TRUE(report.verified);
+  const uint64_t n_blocks = n / disk.config().block_elements;
+  EXPECT_NEAR(static_cast<double>(report.disk.blocks_written),
+              static_cast<double>(2 * n_blocks), 0.1 * n_blocks + 16);
+  EXPECT_NEAR(static_cast<double>(report.disk.blocks_read),
+              static_cast<double>(2 * n_blocks), 0.1 * n_blocks + 16);
+}
+
+TEST_F(ExternalSortTest, RejectsBadOptions) {
+  ExternalSortOptions options;
+  options.memory_budget_elements = 1;
+  SimulatedDisk disk;
+  const int file = disk.CreateFile();
+  EXPECT_FALSE(ExternalSort(engine_, disk, file, options, nullptr).ok());
+  options = ExternalSortOptions();
+  options.merge_fan_in = 1;
+  EXPECT_FALSE(ExternalSort(engine_, disk, file, options, nullptr).ok());
+}
+
+}  // namespace
+}  // namespace approxmem::extsort

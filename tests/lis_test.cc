@@ -1,0 +1,146 @@
+#include "sortedness/lis.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace approxmem::sortedness {
+namespace {
+
+TEST(LisTest, EmptyAndSingleton) {
+  EXPECT_EQ(LongestNonDecreasingSubsequence({}), 0u);
+  EXPECT_EQ(LongestNonDecreasingSubsequence({5}), 1u);
+  EXPECT_EQ(Rem({}), 0u);
+  EXPECT_EQ(RemRatio({}), 0.0);
+}
+
+TEST(LisTest, SortedSequenceHasZeroRem) {
+  std::vector<uint32_t> values = {1, 2, 3, 4, 5};
+  EXPECT_EQ(LongestNonDecreasingSubsequence(values), 5u);
+  EXPECT_EQ(Rem(values), 0u);
+}
+
+TEST(LisTest, DuplicatesCountAsNonDecreasing) {
+  std::vector<uint32_t> values = {1, 2, 2, 2, 3};
+  EXPECT_EQ(LongestNonDecreasingSubsequence(values), 5u);
+  EXPECT_EQ(Rem(std::vector<uint32_t>(100, 7)), 0u);
+}
+
+TEST(LisTest, ReversedSequence) {
+  std::vector<uint32_t> values = {5, 4, 3, 2, 1};
+  EXPECT_EQ(LongestNonDecreasingSubsequence(values), 1u);
+  EXPECT_EQ(Rem(values), 4u);
+  EXPECT_DOUBLE_EQ(RemRatio(values), 0.8);
+}
+
+TEST(LisTest, KnownExample) {
+  // LIS of the classic example is {10, 22, 33, 50, 60, 80}.
+  std::vector<uint32_t> values = {10, 22, 9, 33, 21, 50, 41, 60, 80};
+  EXPECT_EQ(LongestNonDecreasingSubsequence(values), 6u);
+  EXPECT_EQ(Rem(values), 3u);
+}
+
+TEST(LisTest, PaperRunningExample) {
+  // Figure 8: Key after the approx stage; the two disordered pairs are
+  // (35, 33) and (928, 168).
+  std::vector<uint32_t> values = {1, 6, 35, 33, 96, 928, 168, 528};
+  EXPECT_EQ(Rem(values), 2u);
+}
+
+TEST(LisTest, SingleOutlierCostsOne) {
+  std::vector<uint32_t> values = {1, 2, 3, 1000000, 4, 5, 6, 7, 8, 9};
+  EXPECT_EQ(Rem(values), 1u);
+}
+
+TEST(LisTest, MatchesBruteForceOnRandomInputs) {
+  Rng rng(42);
+  for (int trial = 0; trial < 200; ++trial) {
+    const size_t n = 1 + rng.UniformInt(60);
+    std::vector<uint32_t> values(n);
+    // Small alphabet to force many duplicates.
+    for (auto& v : values) v = static_cast<uint32_t>(rng.UniformInt(8));
+    EXPECT_EQ(LongestNonDecreasingSubsequence(values),
+              LongestNonDecreasingSubsequenceBruteForce(values))
+        << "trial " << trial;
+  }
+}
+
+TEST(LisTest, MatchesBruteForceOnWideAlphabet) {
+  Rng rng(43);
+  for (int trial = 0; trial < 100; ++trial) {
+    const size_t n = 1 + rng.UniformInt(50);
+    std::vector<uint32_t> values(n);
+    for (auto& v : values) v = rng.NextU32();
+    EXPECT_EQ(LongestNonDecreasingSubsequence(values),
+              LongestNonDecreasingSubsequenceBruteForce(values));
+  }
+}
+
+TEST(LisPropertyTest, RemInvariantUnderValueScaling) {
+  Rng rng(44);
+  std::vector<uint32_t> values(300);
+  for (auto& v : values) v = static_cast<uint32_t>(rng.UniformInt(1000));
+  std::vector<uint32_t> scaled = values;
+  for (auto& v : scaled) v = v * 4 + 2;  // Strictly monotone transform.
+  EXPECT_EQ(Rem(values), Rem(scaled));
+}
+
+TEST(LisPropertyTest, RemBoundedByNMinusOne) {
+  Rng rng(45);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<uint32_t> values(1 + rng.UniformInt(100));
+    for (auto& v : values) v = rng.NextU32();
+    EXPECT_LE(Rem(values), values.size() - 1);
+  }
+}
+
+TEST(LisMembershipTest, MarksExactlyLisLengthElements) {
+  Rng rng(47);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::vector<uint32_t> values(1 + rng.UniformInt(200));
+    for (auto& v : values) v = static_cast<uint32_t>(rng.UniformInt(32));
+    const auto member = LongestNonDecreasingMembership(values);
+    size_t marked = 0;
+    for (const uint8_t m : member) marked += m;
+    EXPECT_EQ(marked, LongestNonDecreasingSubsequence(values));
+  }
+}
+
+TEST(LisMembershipTest, MarkedSubsequenceIsNonDecreasing) {
+  Rng rng(48);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::vector<uint32_t> values(1 + rng.UniformInt(200));
+    for (auto& v : values) v = rng.NextU32();
+    const auto member = LongestNonDecreasingMembership(values);
+    uint32_t tail = 0;
+    bool first = true;
+    for (size_t i = 0; i < values.size(); ++i) {
+      if (!member[i]) continue;
+      if (!first) {
+        EXPECT_GE(values[i], tail);
+      }
+      tail = values[i];
+      first = false;
+    }
+  }
+}
+
+TEST(LisMembershipTest, EmptyAndSorted) {
+  EXPECT_TRUE(LongestNonDecreasingMembership({}).empty());
+  const auto member = LongestNonDecreasingMembership({1, 2, 2, 3});
+  for (const uint8_t m : member) EXPECT_EQ(m, 1);
+}
+
+TEST(LisPropertyTest, SortingDrivesRemToZero) {
+  Rng rng(46);
+  std::vector<uint32_t> values(1000);
+  for (auto& v : values) v = rng.NextU32();
+  EXPECT_GT(Rem(values), 0u);
+  std::sort(values.begin(), values.end());
+  EXPECT_EQ(Rem(values), 0u);
+}
+
+}  // namespace
+}  // namespace approxmem::sortedness

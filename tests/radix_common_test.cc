@@ -1,0 +1,141 @@
+#include "sort/radix_common.h"
+
+#include <gtest/gtest.h>
+
+#include "approx/approx_memory.h"
+
+namespace approxmem::sort {
+namespace {
+
+TEST(RadixPlanTest, PassCounts) {
+  EXPECT_EQ(RadixPlan::ForBits(3).passes, 11);
+  EXPECT_EQ(RadixPlan::ForBits(4).passes, 8);
+  EXPECT_EQ(RadixPlan::ForBits(5).passes, 7);
+  EXPECT_EQ(RadixPlan::ForBits(6).passes, 6);
+  EXPECT_EQ(RadixPlan::ForBits(8).passes, 4);
+}
+
+TEST(RadixPlanTest, MasksAndBuckets) {
+  const RadixPlan plan = RadixPlan::ForBits(6);
+  EXPECT_EQ(plan.mask, 63u);
+  EXPECT_EQ(plan.buckets, 64u);
+  EXPECT_EQ(RadixPlan::ForBits(3).buckets, 8u);
+}
+
+TEST(RadixPlanTest, DigitExtraction) {
+  const RadixPlan plan = RadixPlan::ForBits(4);
+  EXPECT_EQ(plan.DigitLsd(0xABCD1234u, 0), 0x4u);
+  EXPECT_EQ(plan.DigitLsd(0xABCD1234u, 1), 0x3u);
+  EXPECT_EQ(plan.DigitLsd(0xABCD1234u, 7), 0xAu);
+}
+
+TEST(RadixPlanTest, TopShiftCoversHighBits) {
+  // 3-bit plan: 11 passes, top shift 30 -> top digit covers bits 30-31.
+  const RadixPlan plan = RadixPlan::ForBits(3);
+  EXPECT_EQ(plan.TopShift(), 30);
+  EXPECT_EQ((0xFFFFFFFFu >> plan.TopShift()) & plan.mask, 3u);
+}
+
+TEST(RadixPlanTest, DigitsReassembleKey) {
+  for (int bits : {3, 4, 5, 6}) {
+    const RadixPlan plan = RadixPlan::ForBits(bits);
+    const uint32_t key = 0xDEADBEEFu;
+    uint64_t reassembled = 0;
+    for (int pass = plan.passes - 1; pass >= 0; --pass) {
+      reassembled = (reassembled << bits) | plan.DigitLsd(key, pass);
+    }
+    EXPECT_EQ(static_cast<uint32_t>(reassembled), key) << bits << " bits";
+  }
+}
+
+class BucketQueuesTest : public ::testing::Test {
+ protected:
+  BucketQueuesTest() : memory_(MakeOptions()) {}
+
+  static approx::ApproxMemory::Options MakeOptions() {
+    approx::ApproxMemory::Options options;
+    options.calibration_trials = 5000;
+    return options;
+  }
+
+  approx::ApproxMemory memory_;
+};
+
+TEST_F(BucketQueuesTest, DrainsInBucketThenFifoOrder) {
+  approx::ApproxArrayU32 arena = memory_.NewPreciseArray(8);
+  approx::ApproxArrayU32 out = memory_.NewPreciseArray(8);
+  BucketQueues queues(4, &arena, nullptr);
+  queues.Push(2, 20, 0);
+  queues.Push(0, 1, 0);
+  queues.Push(2, 21, 0);
+  queues.Push(1, 10, 0);
+  queues.Push(0, 2, 0);
+  EXPECT_EQ(queues.BucketSize(0), 2u);
+  EXPECT_EQ(queues.BucketSize(2), 2u);
+  EXPECT_EQ(queues.BucketSize(3), 0u);
+  EXPECT_EQ(queues.TotalPushed(), 5u);
+  EXPECT_EQ(queues.DrainTo(out, nullptr, 0), 5u);
+  EXPECT_EQ(out.PeekActual(0), 1u);
+  EXPECT_EQ(out.PeekActual(1), 2u);
+  EXPECT_EQ(out.PeekActual(2), 10u);
+  EXPECT_EQ(out.PeekActual(3), 20u);
+  EXPECT_EQ(out.PeekActual(4), 21u);
+}
+
+TEST_F(BucketQueuesTest, CountsOneWritePerPushAndDrain) {
+  approx::ApproxArrayU32 arena = memory_.NewPreciseArray(4);
+  approx::ApproxArrayU32 out = memory_.NewPreciseArray(4);
+  BucketQueues queues(2, &arena, nullptr);
+  for (uint32_t i = 0; i < 4; ++i) queues.Push(i % 2, i, 0);
+  queues.DrainTo(out, nullptr, 0);
+  EXPECT_EQ(arena.stats().word_writes, 4u);  // Pushes.
+  EXPECT_EQ(arena.stats().word_reads, 4u);   // Drain reads.
+  EXPECT_EQ(out.stats().word_writes, 4u);    // Drain writes.
+}
+
+TEST_F(BucketQueuesTest, CarriesIdsAlongside) {
+  approx::ApproxArrayU32 key_arena = memory_.NewPreciseArray(3);
+  approx::ApproxArrayU32 id_arena = memory_.NewPreciseArray(3);
+  approx::ApproxArrayU32 out_keys = memory_.NewPreciseArray(3);
+  approx::ApproxArrayU32 out_ids = memory_.NewPreciseArray(3);
+  BucketQueues queues(2, &key_arena, &id_arena);
+  queues.Push(1, 100, 7);
+  queues.Push(0, 50, 8);
+  queues.Push(1, 101, 9);
+  queues.DrainTo(out_keys, &out_ids, 0);
+  EXPECT_EQ(out_keys.PeekActual(0), 50u);
+  EXPECT_EQ(out_ids.PeekActual(0), 8u);
+  EXPECT_EQ(out_keys.PeekActual(1), 100u);
+  EXPECT_EQ(out_ids.PeekActual(1), 7u);
+  EXPECT_EQ(out_keys.PeekActual(2), 101u);
+  EXPECT_EQ(out_ids.PeekActual(2), 9u);
+}
+
+TEST_F(BucketQueuesTest, ResetReusesArena) {
+  approx::ApproxArrayU32 arena = memory_.NewPreciseArray(2);
+  approx::ApproxArrayU32 out = memory_.NewPreciseArray(2);
+  BucketQueues queues(2, &arena, nullptr);
+  queues.Push(0, 1, 0);
+  queues.Push(1, 2, 0);
+  queues.DrainTo(out, nullptr, 0);
+  queues.Reset();
+  EXPECT_EQ(queues.TotalPushed(), 0u);
+  queues.Push(1, 3, 0);
+  queues.Push(0, 4, 0);
+  queues.DrainTo(out, nullptr, 0);
+  EXPECT_EQ(out.PeekActual(0), 4u);
+  EXPECT_EQ(out.PeekActual(1), 3u);
+}
+
+TEST_F(BucketQueuesTest, ArenaBaseOffsetsSegments) {
+  approx::ApproxArrayU32 arena = memory_.NewPreciseArray(10);
+  approx::ApproxArrayU32 out = memory_.NewPreciseArray(10);
+  BucketQueues queues(2, &arena, nullptr, /*arena_base=*/5);
+  queues.Push(0, 42, 0);
+  EXPECT_EQ(arena.PeekActual(5), 42u);  // Written inside the segment.
+  queues.DrainTo(out, nullptr, 5);
+  EXPECT_EQ(out.PeekActual(5), 42u);
+}
+
+}  // namespace
+}  // namespace approxmem::sort

@@ -1,0 +1,117 @@
+#include "common/random.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace approxmem {
+namespace {
+
+TEST(RngTest, DeterministicForEqualSeeds) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next64(), b.Next64());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next64() == b.Next64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.UniformDouble();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformDoubleMeanIsHalf) {
+  Rng rng(8);
+  double sum = 0.0;
+  const int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) sum += rng.UniformDouble();
+  EXPECT_NEAR(sum / kSamples, 0.5, 0.01);
+}
+
+TEST(RngTest, UniformIntRespectsBound) {
+  Rng rng(9);
+  for (uint64_t bound : {1ull, 2ull, 7ull, 1000ull}) {
+    for (int i = 0; i < 1000; ++i) {
+      EXPECT_LT(rng.UniformInt(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, UniformIntCoversAllResidues) {
+  Rng rng(10);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.UniformInt(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(RngTest, NormalMatchesMoments) {
+  Rng rng(11);
+  const int kSamples = 200000;
+  double sum = 0.0;
+  double sq = 0.0;
+  for (int i = 0; i < kSamples; ++i) {
+    const double x = rng.Normal(3.0, 2.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / kSamples;
+  const double var = sq / kSamples - mean * mean;
+  EXPECT_NEAR(mean, 3.0, 0.03);
+  EXPECT_NEAR(std::sqrt(var), 2.0, 0.03);
+}
+
+TEST(RngTest, SplitProducesIndependentStream) {
+  Rng parent(12);
+  Rng child = parent.Split();
+  // The child must not replay the parent's sequence.
+  Rng parent_copy(12);
+  parent_copy.Split();
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (child.Next64() == parent.Next64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(WorkloadGeneratorsTest, UniformKeysHasFullRangeSpread) {
+  Rng rng(13);
+  const auto keys = UniformKeys(100000, rng);
+  const auto [min_it, max_it] = std::minmax_element(keys.begin(), keys.end());
+  EXPECT_LT(*min_it, 1u << 24);          // Something near the bottom.
+  EXPECT_GT(*max_it, 0xFF000000u);       // Something near the top.
+}
+
+TEST(WorkloadGeneratorsTest, SkewedKeysHaveDuplicates) {
+  Rng rng(14);
+  const auto keys = SkewedKeys(10000, 0.5, rng);
+  std::set<uint32_t> distinct(keys.begin(), keys.end());
+  EXPECT_LT(distinct.size(), keys.size() / 2);
+}
+
+TEST(WorkloadGeneratorsTest, NearlySortedKeysAlmostSorted) {
+  Rng rng(15);
+  const auto keys = NearlySortedKeys(10000, 10, rng);
+  size_t descents = 0;
+  for (size_t i = 1; i < keys.size(); ++i) {
+    if (keys[i] < keys[i - 1]) ++descents;
+  }
+  EXPECT_LE(descents, 20u);  // Each swap introduces at most 2 descents.
+  EXPECT_GT(descents, 0u);
+}
+
+}  // namespace
+}  // namespace approxmem

@@ -1,0 +1,186 @@
+// Property sweeps: every algorithm x workload x size combination must sort
+// exactly on precise memory, preserve the multiset, and terminate safely on
+// heavily corrupted approximate memory.
+#include <algorithm>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "approx/approx_memory.h"
+#include "core/workload.h"
+#include "sort/sort_common.h"
+#include "sortedness/measures.h"
+
+namespace approxmem::sort {
+namespace {
+
+using core::WorkloadKind;
+
+std::vector<AlgorithmId> AllAlgorithms() {
+  std::vector<AlgorithmId> algorithms = StudyAlgorithms();
+  for (int bits = 3; bits <= 6; ++bits) {
+    algorithms.push_back(AlgorithmId{SortKind::kLsdHistogram, bits});
+    algorithms.push_back(AlgorithmId{SortKind::kMsdHistogram, bits});
+  }
+  return algorithms;
+}
+
+std::string Sanitize(std::string name) {
+  std::replace(name.begin(), name.end(), '-', '_');
+  std::replace(name.begin(), name.end(), ' ', '_');
+  return name;
+}
+
+struct PrintParam {
+  template <typename T>
+  std::string operator()(const T& info) const {
+    const auto& [algorithm, workload, n] = info.param;
+    return Sanitize(algorithm.Name() + "_" + core::WorkloadName(workload) +
+                    "_" + std::to_string(n));
+  }
+};
+
+struct PrintAlgorithmT {
+  template <typename T>
+  std::string operator()(const T& info) const {
+    const auto& [algorithm, t] = info.param;
+    return Sanitize(algorithm.Name() + "_T" +
+                    std::to_string(static_cast<int>(t * 1000)));
+  }
+};
+
+struct PrintAlgorithm {
+  template <typename T>
+  std::string operator()(const T& info) const {
+    return Sanitize(info.param.Name());
+  }
+};
+
+class SortPropertyTest
+    : public ::testing::TestWithParam<
+          std::tuple<AlgorithmId, WorkloadKind, size_t>> {};
+
+TEST_P(SortPropertyTest, SortsExactlyOnPreciseMemory) {
+  const auto& [algorithm, workload, n] = GetParam();
+  const std::vector<uint32_t> keys = core::MakeKeys(workload, n, 1234);
+
+  approx::ApproxMemory::Options options;
+  options.calibration_trials = 5000;
+  approx::ApproxMemory memory(options);
+  approx::ApproxArrayU32 key_array = memory.NewPreciseArray(n);
+  key_array.Store(keys);
+  SortSpec spec;
+  spec.keys = &key_array;
+  spec.alloc_key_buffer = [&memory](size_t size) {
+    return memory.NewPreciseArray(size);
+  };
+  Rng rng(99);
+  ASSERT_TRUE(RunSort(spec, algorithm, rng).ok());
+
+  const std::vector<uint32_t> out = key_array.Snapshot();
+  EXPECT_TRUE(sortedness::IsSorted(out));
+  EXPECT_TRUE(sortedness::IsPermutationOf(keys, out));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AlgorithmsByWorkload, SortPropertyTest,
+    ::testing::Combine(::testing::ValuesIn(AllAlgorithms()),
+                       ::testing::Values(WorkloadKind::kUniform,
+                                         WorkloadKind::kSkewed,
+                                         WorkloadKind::kNearlySorted,
+                                         WorkloadKind::kReversed,
+                                         WorkloadKind::kAllEqual),
+                       ::testing::Values<size_t>(1, 2, 33, 1024)),
+    PrintParam());
+
+class ApproxTerminationTest
+    : public ::testing::TestWithParam<std::tuple<AlgorithmId, double>> {};
+
+TEST_P(ApproxTerminationTest, TerminatesAndPreservesLengthUnderCorruption) {
+  const auto& [algorithm, t] = GetParam();
+  const size_t n = 4000;
+  const std::vector<uint32_t> keys =
+      core::MakeKeys(WorkloadKind::kUniform, n, 77);
+
+  approx::ApproxMemory::Options options;
+  options.calibration_trials = 20000;
+  approx::ApproxMemory memory(options);
+  approx::ApproxArrayU32 key_array = memory.NewApproxArray(n, t);
+  key_array.Store(keys);
+  SortSpec spec;
+  spec.keys = &key_array;
+  spec.alloc_key_buffer = [&memory, t](size_t size) {
+    return memory.NewApproxArray(size, t);
+  };
+  Rng rng(100);
+  // The assertion is termination without bound violations; the output is
+  // allowed (expected!) to be unsorted.
+  ASSERT_TRUE(RunSort(spec, algorithm, rng).ok());
+  EXPECT_EQ(key_array.Snapshot().size(), n);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    HighErrorRates, ApproxTerminationTest,
+    ::testing::Combine(
+        ::testing::ValuesIn(std::vector<AlgorithmId>{
+            {SortKind::kQuicksort, 0},
+            {SortKind::kMergesort, 0},
+            {SortKind::kLsdRadix, 6},
+            {SortKind::kMsdRadix, 6},
+            {SortKind::kLsdHistogram, 6},
+            {SortKind::kMsdHistogram, 6}}),
+        ::testing::Values(0.055, 0.1, 0.124)),
+    PrintAlgorithmT());
+
+// Stability-style property: with ids attached, the output <key, id> pairs
+// must be exactly the input pairs reordered (no id duplication or loss),
+// even under corruption of the key domain.
+class PayloadIntegrityTest : public ::testing::TestWithParam<AlgorithmId> {};
+
+TEST_P(PayloadIntegrityTest, IdsRemainAPermutationUnderCorruption) {
+  const AlgorithmId algorithm = GetParam();
+  const size_t n = 3000;
+  const std::vector<uint32_t> keys =
+      core::MakeKeys(WorkloadKind::kUniform, n, 55);
+
+  approx::ApproxMemory::Options options;
+  options.calibration_trials = 20000;
+  approx::ApproxMemory memory(options);
+  approx::ApproxArrayU32 key_array = memory.NewApproxArray(n, 0.1);
+  key_array.Store(keys);
+  approx::ApproxArrayU32 id_array = memory.NewPreciseArray(n);
+  for (size_t i = 0; i < n; ++i) id_array.Set(i, static_cast<uint32_t>(i));
+
+  SortSpec spec;
+  spec.keys = &key_array;
+  spec.ids = &id_array;
+  spec.alloc_key_buffer = [&memory](size_t size) {
+    return memory.NewApproxArray(size, 0.1);
+  };
+  spec.alloc_id_buffer = [&memory](size_t size) {
+    return memory.NewPreciseArray(size);
+  };
+  Rng rng(101);
+  ASSERT_TRUE(RunSort(spec, algorithm, rng).ok());
+
+  std::vector<uint32_t> ids = id_array.Snapshot();
+  std::sort(ids.begin(), ids.end());
+  for (size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(ids[i], i) << "ids are not a permutation after "
+                         << algorithm.Name();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAlgorithms, PayloadIntegrityTest,
+    ::testing::ValuesIn(std::vector<AlgorithmId>{
+        {SortKind::kQuicksort, 0},
+        {SortKind::kMergesort, 0},
+        {SortKind::kLsdRadix, 4},
+        {SortKind::kMsdRadix, 4},
+        {SortKind::kLsdHistogram, 4},
+        {SortKind::kMsdHistogram, 4}}),
+    PrintAlgorithm());
+
+}  // namespace
+}  // namespace approxmem::sort

@@ -1,0 +1,108 @@
+#include "approx/spintronic.h"
+
+#include <bit>
+
+#include <gtest/gtest.h>
+
+#include "approx/approx_memory.h"
+
+namespace approxmem::approx {
+namespace {
+
+TEST(SpintronicConfigTest, PaperOperatingPoints) {
+  const auto configs = PaperSpintronicConfigs();
+  EXPECT_DOUBLE_EQ(configs[0].energy_saving_per_write, 0.05);
+  EXPECT_DOUBLE_EQ(configs[0].bit_error_prob, 1e-7);
+  EXPECT_DOUBLE_EQ(configs[3].energy_saving_per_write, 0.50);
+  EXPECT_DOUBLE_EQ(configs[3].bit_error_prob, 1e-4);
+  for (const auto& config : configs) {
+    EXPECT_TRUE(config.Validate().ok());
+  }
+}
+
+TEST(SpintronicConfigTest, ApproxWriteEnergy) {
+  SpintronicConfig config;
+  config.energy_saving_per_write = 0.33;
+  EXPECT_DOUBLE_EQ(config.ApproxWriteEnergy(), 0.67);
+}
+
+TEST(SpintronicConfigTest, Validation) {
+  SpintronicConfig config;
+  config.bit_error_prob = 1.0;
+  EXPECT_FALSE(config.Validate().ok());
+  config = SpintronicConfig();
+  config.energy_saving_per_write = 1.0;
+  EXPECT_FALSE(config.Validate().ok());
+  config = SpintronicConfig();
+  config.precise_write_energy = 0.0;
+  EXPECT_FALSE(config.Validate().ok());
+}
+
+TEST(SpintronicConfigTest, Label) {
+  SpintronicConfig config;
+  config.energy_saving_per_write = 0.33;
+  config.bit_error_prob = 1e-5;
+  EXPECT_EQ(SpintronicLabel(config), "33%/1e-05");
+}
+
+TEST(SpintronicWriteModelTest, ErrorFreeWhenProbabilityZero) {
+  SpintronicConfig config;
+  config.bit_error_prob = 0.0;
+  SpintronicWriteModel model(config);
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const uint32_t v = rng.NextU32();
+    EXPECT_EQ(model.Write(v, rng).stored, v);
+  }
+}
+
+TEST(SpintronicWriteModelTest, BitFlipRateMatchesConfig) {
+  SpintronicConfig config;
+  config.bit_error_prob = 1e-3;  // Exaggerated so the test converges fast.
+  SpintronicWriteModel model(config);
+  Rng rng(2);
+  uint64_t flipped_bits = 0;
+  const int kTrials = 200000;
+  for (int i = 0; i < kTrials; ++i) {
+    const uint32_t v = rng.NextU32();
+    flipped_bits += std::popcount(model.Write(v, rng).stored ^ v);
+  }
+  const double measured =
+      static_cast<double>(flipped_bits) / (32.0 * kTrials);
+  EXPECT_NEAR(measured, 1e-3, 1e-4);
+}
+
+TEST(SpintronicWriteModelTest, EnergyFollowsSavingFraction) {
+  SpintronicConfig config;
+  config.energy_saving_per_write = 0.20;
+  SpintronicWriteModel model(config);
+  Rng rng(3);
+  EXPECT_DOUBLE_EQ(model.Write(42, rng).cost, 0.80);
+  EXPECT_EQ(model.CostUnit(), "energy");
+  EXPECT_FALSE(model.IsPrecise());
+}
+
+TEST(SpintronicWriteModelTest, PreciseBaselineUnitEnergyNoErrors) {
+  PreciseSpintronicWriteModel model{SpintronicConfig{}};
+  Rng rng(4);
+  const WordWriteOutcome outcome = model.Write(0xABCD, rng);
+  EXPECT_EQ(outcome.stored, 0xABCDu);
+  EXPECT_DOUBLE_EQ(outcome.cost, 1.0);
+  EXPECT_TRUE(model.IsPrecise());
+}
+
+TEST(SpintronicArrayTest, HighErrorPointCorruptsSomeWrites) {
+  ApproxMemory::Options options;
+  options.calibration_trials = 2000;  // PCM calibration unused here.
+  ApproxMemory memory(options);
+  SpintronicConfig config = PaperSpintronicConfigs()[3];  // 1e-4 per bit.
+  ApproxArrayU32 array = memory.NewSpintronicArray(100000, config);
+  Rng rng(5);
+  for (size_t i = 0; i < array.size(); ++i) array.Set(i, rng.NextU32());
+  // Per-word error ~ 1-(1-1e-4)^32 ~ 0.32%.
+  EXPECT_NEAR(array.ErrorRate(), 0.0032, 0.001);
+  EXPECT_DOUBLE_EQ(array.stats().write_cost, 0.5 * 100000);
+}
+
+}  // namespace
+}  // namespace approxmem::approx

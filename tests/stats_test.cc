@@ -1,0 +1,93 @@
+#include "common/stats.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace approxmem {
+namespace {
+
+TEST(RunningStatTest, EmptyIsZero) {
+  RunningStat stat;
+  EXPECT_EQ(stat.count(), 0u);
+  EXPECT_EQ(stat.mean(), 0.0);
+  EXPECT_EQ(stat.variance(), 0.0);
+}
+
+TEST(RunningStatTest, SingleValue) {
+  RunningStat stat;
+  stat.Add(5.0);
+  EXPECT_EQ(stat.count(), 1u);
+  EXPECT_EQ(stat.mean(), 5.0);
+  EXPECT_EQ(stat.min(), 5.0);
+  EXPECT_EQ(stat.max(), 5.0);
+  EXPECT_EQ(stat.variance(), 0.0);
+}
+
+TEST(RunningStatTest, KnownMoments) {
+  RunningStat stat;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) stat.Add(x);
+  EXPECT_DOUBLE_EQ(stat.mean(), 5.0);
+  EXPECT_NEAR(stat.variance(), 32.0 / 7.0, 1e-12);  // Sample variance.
+  EXPECT_EQ(stat.min(), 2.0);
+  EXPECT_EQ(stat.max(), 9.0);
+  EXPECT_DOUBLE_EQ(stat.sum(), 40.0);
+}
+
+TEST(RunningStatTest, MergeMatchesSequential) {
+  RunningStat all;
+  RunningStat left;
+  RunningStat right;
+  for (int i = 0; i < 100; ++i) {
+    const double x = std::sin(i) * 10.0;
+    all.Add(x);
+    (i < 37 ? left : right).Add(x);
+  }
+  left.Merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-9);
+  EXPECT_EQ(left.min(), all.min());
+  EXPECT_EQ(left.max(), all.max());
+}
+
+TEST(RunningStatTest, MergeWithEmptyIsNoop) {
+  RunningStat stat;
+  stat.Add(1.0);
+  stat.Add(3.0);
+  RunningStat empty;
+  stat.Merge(empty);
+  EXPECT_EQ(stat.count(), 2u);
+  EXPECT_DOUBLE_EQ(stat.mean(), 2.0);
+  empty.Merge(stat);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 2.0);
+}
+
+TEST(HistogramTest, BinsAndClamping) {
+  Histogram hist(0.0, 10.0, 10);
+  hist.Add(0.5);
+  hist.Add(9.5);
+  hist.Add(-100.0);  // Clamps to first bin.
+  hist.Add(100.0);   // Clamps to last bin.
+  EXPECT_EQ(hist.total(), 4u);
+  EXPECT_EQ(hist.bin_count(0), 2u);
+  EXPECT_EQ(hist.bin_count(9), 2u);
+}
+
+TEST(HistogramTest, BinCenters) {
+  Histogram hist(0.0, 1.0, 4);
+  EXPECT_DOUBLE_EQ(hist.bin_center(0), 0.125);
+  EXPECT_DOUBLE_EQ(hist.bin_center(3), 0.875);
+}
+
+TEST(HistogramTest, QuantileOfUniformFill) {
+  Histogram hist(0.0, 100.0, 100);
+  for (int i = 0; i < 100; ++i) hist.Add(i + 0.5);
+  EXPECT_NEAR(hist.Quantile(0.5), 50.0, 1.5);
+  EXPECT_NEAR(hist.Quantile(0.99), 99.0, 1.5);
+  EXPECT_NEAR(hist.Quantile(0.01), 1.0, 1.5);
+}
+
+}  // namespace
+}  // namespace approxmem

@@ -1,0 +1,59 @@
+#include "common/table_printer.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace approxmem {
+namespace {
+
+TEST(TablePrinterTest, FormatHelpers) {
+  EXPECT_EQ(TablePrinter::Fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::Fmt(-0.5, 1), "-0.5");
+  EXPECT_EQ(TablePrinter::FmtPercent(0.1234, 1), "12.3%");
+  EXPECT_EQ(TablePrinter::FmtInt(-42), "-42");
+}
+
+TEST(TablePrinterTest, PrintsAlignedColumns) {
+  TablePrinter table("Test table");
+  table.SetHeader({"T", "value"});
+  table.AddRow({"0.055", "1"});
+  table.AddRow({"0.1", "12345"});
+
+  std::FILE* f = std::tmpfile();
+  ASSERT_NE(f, nullptr);
+  table.Print(f);
+  std::rewind(f);
+  char buffer[4096] = {};
+  const size_t read = std::fread(buffer, 1, sizeof(buffer) - 1, f);
+  std::fclose(f);
+  ASSERT_GT(read, 0u);
+  const std::string out(buffer);
+  EXPECT_NE(out.find("== Test table =="), std::string::npos);
+  EXPECT_NE(out.find("T      value"), std::string::npos);
+  EXPECT_NE(out.find("0.055  1"), std::string::npos);
+  EXPECT_NE(out.find("0.1    12345"), std::string::npos);
+}
+
+TEST(TablePrinterTest, WritesCsv) {
+  TablePrinter table("csv");
+  table.SetHeader({"a", "b"});
+  table.AddRow({"1", "2"});
+  table.AddRow({"3", "4"});
+  const std::string path = ::testing::TempDir() + "/table_printer_test.csv";
+  ASSERT_TRUE(table.WriteCsv(path));
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  EXPECT_EQ(ss.str(), "a,b\n1,2\n3,4\n");
+}
+
+TEST(TablePrinterTest, CsvFailsOnBadPath) {
+  TablePrinter table("csv");
+  EXPECT_FALSE(table.WriteCsv("/nonexistent-dir/x/y.csv"));
+}
+
+}  // namespace
+}  // namespace approxmem

@@ -1,0 +1,56 @@
+#include "mem/trace.h"
+
+#include <gtest/gtest.h>
+
+namespace approxmem::mem {
+namespace {
+
+TEST(TraceBufferTest, StartsEmpty) {
+  TraceBuffer trace;
+  EXPECT_TRUE(trace.empty());
+  EXPECT_EQ(trace.size(), 0u);
+  EXPECT_EQ(trace.read_count(), 0u);
+  EXPECT_EQ(trace.write_count(), 0u);
+}
+
+TEST(TraceBufferTest, AppendsAndCounts) {
+  TraceBuffer trace;
+  trace.AppendRead(0x1000);
+  trace.AppendWrite(0x2000);
+  trace.AppendWrite(0x3000, 8);
+  EXPECT_EQ(trace.size(), 3u);
+  EXPECT_EQ(trace.read_count(), 1u);
+  EXPECT_EQ(trace.write_count(), 2u);
+  EXPECT_EQ(trace[0].kind, AccessKind::kRead);
+  EXPECT_EQ(trace[0].address, 0x1000u);
+  EXPECT_EQ(trace[2].size, 8u);
+}
+
+TEST(TraceBufferTest, ClearResetsEverything) {
+  TraceBuffer trace;
+  trace.AppendRead(1);
+  trace.AppendWrite(2);
+  trace.Clear();
+  EXPECT_TRUE(trace.empty());
+  EXPECT_EQ(trace.read_count(), 0u);
+  EXPECT_EQ(trace.write_count(), 0u);
+}
+
+TEST(TraceBufferTest, PreservesOrder) {
+  TraceBuffer trace;
+  for (uint64_t i = 0; i < 100; ++i) {
+    if (i % 3 == 0) {
+      trace.AppendWrite(i);
+    } else {
+      trace.AppendRead(i);
+    }
+  }
+  for (uint64_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(trace[i].address, i);
+    EXPECT_EQ(trace[i].kind,
+              i % 3 == 0 ? AccessKind::kWrite : AccessKind::kRead);
+  }
+}
+
+}  // namespace
+}  // namespace approxmem::mem

@@ -1,0 +1,84 @@
+#include "mlc/word_codec.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace approxmem::mlc {
+namespace {
+
+TEST(WordCodecTest, RoundTripsExhaustiveLowWords) {
+  MlcConfig config;
+  for (uint32_t word = 0; word < 4096; ++word) {
+    EXPECT_EQ(DecodeWord(EncodeWord(word, config), config), word);
+  }
+}
+
+TEST(WordCodecTest, RoundTripsRandomWordsAllDensities) {
+  Rng rng(1);
+  for (int levels : {2, 4, 16}) {
+    MlcConfig config;
+    config.levels = levels;
+    for (int trial = 0; trial < 10000; ++trial) {
+      const uint32_t word = rng.NextU32();
+      EXPECT_EQ(DecodeWord(EncodeWord(word, config), config), word);
+    }
+  }
+}
+
+TEST(WordCodecTest, MostSignificantCellFirst) {
+  MlcConfig config;  // 2-bit cells.
+  const WordLevels levels = EncodeWord(0xC0000000u, config);
+  EXPECT_EQ(levels[0], 3);  // Top two bits.
+  for (int c = 1; c < config.CellsPerWord(); ++c) {
+    EXPECT_EQ(levels[static_cast<size_t>(c)], 0);
+  }
+}
+
+TEST(WordCodecTest, LeastSignificantCellLast) {
+  MlcConfig config;
+  const WordLevels levels = EncodeWord(0x3u, config);
+  EXPECT_EQ(levels[15], 3);
+  EXPECT_EQ(levels[0], 0);
+}
+
+TEST(WordCodecTest, LevelsStayInRange) {
+  MlcConfig config;
+  Rng rng(2);
+  for (int trial = 0; trial < 1000; ++trial) {
+    const WordLevels levels = EncodeWord(rng.NextU32(), config);
+    for (int c = 0; c < config.CellsPerWord(); ++c) {
+      EXPECT_LT(levels[static_cast<size_t>(c)], config.levels);
+    }
+  }
+}
+
+TEST(WordCodecTest, CellFlipMagnitudeScalesWithCellPosition) {
+  MlcConfig config;
+  // Flipping the top cell of 0 to level 1 adds 2^30; flipping the bottom
+  // cell adds 1.
+  EXPECT_EQ(CellFlipMagnitude(0, 0, 1, config), 1u << 30);
+  EXPECT_EQ(CellFlipMagnitude(0, 15, 1, config), 1u);
+  // Flipping a cell to its own level changes nothing.
+  EXPECT_EQ(CellFlipMagnitude(0, 5, 0, config), 0u);
+}
+
+TEST(WordCodecTest, CellFlipMagnitudeIsSymmetric) {
+  MlcConfig config;
+  const uint32_t word = 0x55555555u;
+  for (int cell = 0; cell < config.CellsPerWord(); ++cell) {
+    const WordLevels levels = EncodeWord(word, config);
+    const int original = levels[static_cast<size_t>(cell)];
+    for (int to = 0; to < config.levels; ++to) {
+      const uint32_t up = CellFlipMagnitude(word, cell, to, config);
+      // Flipping back must cover the same distance.
+      WordLevels flipped = levels;
+      flipped[static_cast<size_t>(cell)] = static_cast<uint8_t>(to);
+      const uint32_t flipped_word = DecodeWord(flipped, config);
+      EXPECT_EQ(CellFlipMagnitude(flipped_word, cell, original, config), up);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace approxmem::mlc

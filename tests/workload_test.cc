@@ -1,0 +1,70 @@
+#include "core/workload.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace approxmem::core {
+namespace {
+
+TEST(WorkloadTest, ParseRoundTripsAllKinds) {
+  for (const WorkloadKind kind :
+       {WorkloadKind::kUniform, WorkloadKind::kSkewed,
+        WorkloadKind::kNearlySorted, WorkloadKind::kReversed,
+        WorkloadKind::kAllEqual}) {
+    const auto parsed = ParseWorkloadKind(WorkloadName(kind));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, kind);
+  }
+}
+
+TEST(WorkloadTest, ParseRejectsUnknown) {
+  EXPECT_FALSE(ParseWorkloadKind("gaussian").ok());
+}
+
+TEST(WorkloadTest, DeterministicInSeed) {
+  const auto a = MakeKeys(WorkloadKind::kUniform, 1000, 5);
+  const auto b = MakeKeys(WorkloadKind::kUniform, 1000, 5);
+  const auto c = MakeKeys(WorkloadKind::kUniform, 1000, 6);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(WorkloadTest, SizesAreRespected) {
+  for (const WorkloadKind kind :
+       {WorkloadKind::kUniform, WorkloadKind::kSkewed,
+        WorkloadKind::kNearlySorted, WorkloadKind::kReversed,
+        WorkloadKind::kAllEqual}) {
+    EXPECT_EQ(MakeKeys(kind, 0, 1).size(), 0u);
+    EXPECT_EQ(MakeKeys(kind, 123, 1).size(), 123u);
+  }
+}
+
+TEST(WorkloadTest, ReversedIsDecreasing) {
+  const auto keys = MakeKeys(WorkloadKind::kReversed, 500, 2);
+  EXPECT_TRUE(std::is_sorted(keys.rbegin(), keys.rend()));
+}
+
+TEST(WorkloadTest, AllEqualHasOneValue) {
+  const auto keys = MakeKeys(WorkloadKind::kAllEqual, 100, 3);
+  EXPECT_EQ(std::set<uint32_t>(keys.begin(), keys.end()).size(), 1u);
+}
+
+TEST(WorkloadTest, SkewedHasManyDuplicates) {
+  const auto keys = MakeKeys(WorkloadKind::kSkewed, 10000, 4);
+  std::set<uint32_t> distinct(keys.begin(), keys.end());
+  EXPECT_LT(distinct.size(), 5000u);
+}
+
+TEST(WorkloadTest, NearlySortedIsNearlySorted) {
+  const auto keys = MakeKeys(WorkloadKind::kNearlySorted, 10000, 5);
+  size_t descents = 0;
+  for (size_t i = 1; i < keys.size(); ++i) {
+    if (keys[i] < keys[i - 1]) ++descents;
+  }
+  EXPECT_LT(descents, keys.size() / 10);
+}
+
+}  // namespace
+}  // namespace approxmem::core

@@ -1,0 +1,217 @@
+// approxmem_cli — run the simulator's main experiments from the command
+// line without writing code.
+//
+//   approxmem_cli --cmd=calibrate [--save=FILE]
+//   approxmem_cli --cmd=study   --algo=quicksort --t=0.055 --n=100000
+//   approxmem_cli --cmd=refine  --algo=lsd3 --t=0.055 --n=100000
+//   approxmem_cli --cmd=sweep   --algo=msd3 --n=100000
+//   approxmem_cli --cmd=recommend --algo=lsd3 --n=16000000 --t=0.055
+//                 --rem=80000
+//
+// Common flags: --n, --t, --seed, --workload=uniform|skewed|nearly_sorted|
+// reversed|all_equal, --exact (full Monte-Carlo write path).
+#include <cstdio>
+#include <string>
+
+#include "common/flags.h"
+#include "common/table_printer.h"
+#include "core/engine.h"
+#include "core/workload.h"
+#include "refine/cost_model.h"
+
+namespace approxmem {
+namespace {
+
+constexpr char kUsage[] =
+    "usage: approxmem_cli --cmd=calibrate|study|refine|sweep|recommend\n"
+    "  calibrate [--save=FILE]         cell-model table (avg #P, p(t), err)\n"
+    "  study     --algo=A --t=T        Section 3: sort in approx memory\n"
+    "  refine    --algo=A --t=T        Sections 4-5: approx-refine + WR\n"
+    "  sweep     --algo=A              WR across the T grid\n"
+    "  recommend --algo=A --t=T --rem=R  Eq. 4 decision for size --n\n"
+    "common: --n=N --seed=S --workload=uniform|skewed|nearly_sorted|\n"
+    "        reversed|all_equal --exact\n"
+    "algorithms: quicksort mergesort lsd3..lsd6 msd3..msd6 hlsd3..6 "
+    "hmsd3..6\n";
+
+StatusOr<sort::AlgorithmId> ParseAlgorithm(const std::string& name) {
+  using sort::AlgorithmId;
+  using sort::SortKind;
+  if (name == "quicksort") return AlgorithmId{SortKind::kQuicksort, 0};
+  if (name == "mergesort") return AlgorithmId{SortKind::kMergesort, 0};
+  if (name.size() >= 4) {
+    const int bits = name.back() - '0';
+    if (bits >= 1 && bits <= 9) {
+      if (name.rfind("lsd", 0) == 0) return AlgorithmId{SortKind::kLsdRadix, bits};
+      if (name.rfind("msd", 0) == 0) return AlgorithmId{SortKind::kMsdRadix, bits};
+      if (name.rfind("hlsd", 0) == 0) {
+        return AlgorithmId{SortKind::kLsdHistogram, bits};
+      }
+      if (name.rfind("hmsd", 0) == 0) {
+        return AlgorithmId{SortKind::kMsdHistogram, bits};
+      }
+    }
+  }
+  return Status::InvalidArgument("unknown algorithm: " + name);
+}
+
+int Calibrate(core::ApproxSortEngine& engine, const Flags& flags) {
+  TablePrinter table("Cell model calibration");
+  table.SetHeader({"T", "avg_#P", "p(t)", "cell_error", "word_error"});
+  for (double t = 0.025; t <= 0.1201; t += 0.005) {
+    const mlc::CellCalibration& calib = engine.memory().calibration().ForT(t);
+    table.AddRow({TablePrinter::Fmt(t, 3),
+                  TablePrinter::Fmt(calib.AvgPv(), 3),
+                  TablePrinter::Fmt(engine.PvRatio(t), 3),
+                  TablePrinter::FmtPercent(calib.CellErrorRate(), 4),
+                  TablePrinter::FmtPercent(calib.WordErrorRate(16), 4)});
+  }
+  table.Print();
+  const std::string save = flags.GetString("save", "");
+  if (!save.empty()) {
+    if (!engine.memory().calibration().SaveToFile(save)) {
+      std::fprintf(stderr, "failed to save calibration to %s\n",
+                   save.c_str());
+      return 1;
+    }
+    std::printf("calibration saved to %s\n", save.c_str());
+  }
+  return 0;
+}
+
+int Study(core::ApproxSortEngine& engine, const sort::AlgorithmId& algorithm,
+          const std::vector<uint32_t>& keys, double t) {
+  const auto result = engine.SortApproxOnly(keys, algorithm, t);
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s on %zu keys at T=%.3f (approximate memory only):\n",
+              algorithm.Name().c_str(), keys.size(), t);
+  std::printf("  Rem ratio        %.4f%%\n",
+              result->sortedness.rem_ratio * 100.0);
+  std::printf("  error rate       %.4f%%\n",
+              result->sortedness.error_rate * 100.0);
+  std::printf("  inversion ratio  %.4f%%\n",
+              result->sortedness.inversion_ratio * 100.0);
+  std::printf("  write reduction  %.2f%% (Eq. 1)\n",
+              result->write_reduction * 100.0);
+  return 0;
+}
+
+int Refine(core::ApproxSortEngine& engine, const sort::AlgorithmId& algorithm,
+           const std::vector<uint32_t>& keys, double t) {
+  const auto outcome = engine.SortApproxRefine(keys, algorithm, t);
+  if (!outcome.ok()) {
+    std::fprintf(stderr, "%s\n", outcome.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s on %zu keys at T=%.3f (approx-refine):\n",
+              algorithm.Name().c_str(), keys.size(), t);
+  std::printf("  verified sorted   %s\n",
+              outcome->refine.verified ? "yes" : "NO");
+  std::printf("  Rem~              %zu\n", outcome->refine.rem_estimate);
+  std::printf("  approx stage      %.3f ms write latency\n",
+              outcome->refine.ApproxStageWriteCost() / 1e6);
+  std::printf("  refine stage      %.3f ms write latency\n",
+              outcome->refine.RefineStageWriteCost() / 1e6);
+  std::printf("  precise baseline  %.3f ms write latency\n",
+              outcome->baseline.TotalWriteCost() / 1e6);
+  std::printf("  write reduction   %.2f%% measured, %.2f%% predicted\n",
+              outcome->write_reduction * 100.0,
+              outcome->predicted_write_reduction * 100.0);
+  return outcome->refine.verified ? 0 : 1;
+}
+
+int Sweep(core::ApproxSortEngine& engine, const sort::AlgorithmId& algorithm,
+          const std::vector<uint32_t>& keys) {
+  TablePrinter table(algorithm.Name() + ": write reduction vs T");
+  table.SetHeader({"T", "p(t)", "Rem~", "WR_measured", "WR_predicted"});
+  for (double t = 0.03; t <= 0.0901; t += 0.005) {
+    const auto outcome = engine.SortApproxRefine(keys, algorithm, t);
+    if (!outcome.ok()) {
+      std::fprintf(stderr, "%s\n", outcome.status().ToString().c_str());
+      return 1;
+    }
+    table.AddRow(
+        {TablePrinter::Fmt(t, 3), TablePrinter::Fmt(engine.PvRatio(t), 3),
+         TablePrinter::FmtInt(
+             static_cast<long long>(outcome->refine.rem_estimate)),
+         TablePrinter::FmtPercent(outcome->write_reduction, 2),
+         TablePrinter::FmtPercent(outcome->predicted_write_reduction, 2)});
+  }
+  table.Print();
+  return 0;
+}
+
+int Recommend(core::ApproxSortEngine& engine,
+              const sort::AlgorithmId& algorithm, size_t n, double t,
+              size_t rem) {
+  const double p = engine.PvRatio(t);
+  const double wr = refine::PredictWriteReduction(algorithm, n, p, rem);
+  const bool use = refine::ShouldUseApproxRefine(algorithm, n, p, rem);
+  std::printf("%s, n=%zu, T=%.3f (p=%.3f), expected Rem~=%zu:\n",
+              algorithm.Name().c_str(), n, t, p, rem);
+  std::printf("  predicted write reduction %.2f%% -> use %s\n", wr * 100.0,
+              use ? "approx-refine" : "precise-only sorting");
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  StatusOr<Flags> flags = Flags::Parse(argc, argv);
+  if (!flags.ok()) {
+    std::fprintf(stderr, "%s\n%s", flags.status().ToString().c_str(), kUsage);
+    return 2;
+  }
+  const std::string cmd = flags->GetString("cmd", "");
+  if (cmd.empty() || flags->Has("help")) {
+    std::fputs(kUsage, stdout);
+    return cmd.empty() ? 2 : 0;
+  }
+
+  core::EngineOptions options;
+  options.seed = static_cast<uint64_t>(flags->GetInt("seed", 42));
+  options.calibration_trials =
+      static_cast<uint64_t>(flags->GetInt("calibration_trials", 200000));
+  if (flags->GetBool("exact", false)) {
+    options.mode = approx::SimulationMode::kExact;
+  }
+  core::ApproxSortEngine engine(options);
+
+  if (cmd == "calibrate") return Calibrate(engine, *flags);
+
+  const auto algorithm = ParseAlgorithm(flags->GetString("algo", "lsd3"));
+  if (!algorithm.ok()) {
+    std::fprintf(stderr, "%s\n%s", algorithm.status().ToString().c_str(),
+                 kUsage);
+    return 2;
+  }
+  const size_t n = static_cast<size_t>(flags->GetInt("n", 100000));
+  const double t = flags->GetDouble("t", 0.055);
+
+  if (cmd == "recommend") {
+    const size_t rem =
+        static_cast<size_t>(flags->GetInt("rem", static_cast<int64_t>(n / 100)));
+    return Recommend(engine, *algorithm, n, t, rem);
+  }
+
+  const auto workload =
+      core::ParseWorkloadKind(flags->GetString("workload", "uniform"));
+  if (!workload.ok()) {
+    std::fprintf(stderr, "%s\n", workload.status().ToString().c_str());
+    return 2;
+  }
+  const auto keys = core::MakeKeys(*workload, n, options.seed);
+
+  if (cmd == "study") return Study(engine, *algorithm, keys, t);
+  if (cmd == "refine") return Refine(engine, *algorithm, keys, t);
+  if (cmd == "sweep") return Sweep(engine, *algorithm, keys);
+
+  std::fprintf(stderr, "unknown --cmd=%s\n%s", cmd.c_str(), kUsage);
+  return 2;
+}
+
+}  // namespace
+}  // namespace approxmem
+
+int main(int argc, char** argv) { return approxmem::Main(argc, argv); }
