@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_dbops"
+  "../bench/bench_dbops.pdb"
+  "CMakeFiles/bench_dbops.dir/bench_dbops.cc.o"
+  "CMakeFiles/bench_dbops.dir/bench_dbops.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dbops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

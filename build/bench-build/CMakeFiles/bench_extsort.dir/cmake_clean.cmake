@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_extsort"
+  "../bench/bench_extsort.pdb"
+  "CMakeFiles/bench_extsort.dir/bench_extsort.cc.o"
+  "CMakeFiles/bench_extsort.dir/bench_extsort.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_extsort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

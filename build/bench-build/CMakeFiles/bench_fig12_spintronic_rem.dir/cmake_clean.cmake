@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig12_spintronic_rem"
+  "../bench/bench_fig12_spintronic_rem.pdb"
+  "CMakeFiles/bench_fig12_spintronic_rem.dir/bench_fig12_spintronic_rem.cc.o"
+  "CMakeFiles/bench_fig12_spintronic_rem.dir/bench_fig12_spintronic_rem.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_spintronic_rem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

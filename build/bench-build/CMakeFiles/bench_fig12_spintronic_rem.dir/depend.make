@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig12_spintronic_rem.
+# This may be replaced when dependencies are built.

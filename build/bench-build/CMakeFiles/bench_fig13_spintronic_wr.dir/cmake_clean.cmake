@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig13_spintronic_wr"
+  "../bench/bench_fig13_spintronic_wr.pdb"
+  "CMakeFiles/bench_fig13_spintronic_wr.dir/bench_fig13_spintronic_wr.cc.o"
+  "CMakeFiles/bench_fig13_spintronic_wr.dir/bench_fig13_spintronic_wr.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_spintronic_wr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig15_histogram_radix"
+  "../bench/bench_fig15_histogram_radix.pdb"
+  "CMakeFiles/bench_fig15_histogram_radix.dir/bench_fig15_histogram_radix.cc.o"
+  "CMakeFiles/bench_fig15_histogram_radix.dir/bench_fig15_histogram_radix.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_histogram_radix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

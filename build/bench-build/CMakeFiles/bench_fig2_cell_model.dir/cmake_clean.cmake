@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig2_cell_model"
+  "../bench/bench_fig2_cell_model.pdb"
+  "CMakeFiles/bench_fig2_cell_model.dir/bench_fig2_cell_model.cc.o"
+  "CMakeFiles/bench_fig2_cell_model.dir/bench_fig2_cell_model.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_cell_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig4_sortedness"
+  "../bench/bench_fig4_sortedness.pdb"
+  "CMakeFiles/bench_fig4_sortedness.dir/bench_fig4_sortedness.cc.o"
+  "CMakeFiles/bench_fig4_sortedness.dir/bench_fig4_sortedness.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_sortedness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig5to7_shape"
+  "../bench/bench_fig5to7_shape.pdb"
+  "CMakeFiles/bench_fig5to7_shape.dir/bench_fig5to7_shape.cc.o"
+  "CMakeFiles/bench_fig5to7_shape.dir/bench_fig5to7_shape.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5to7_shape.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig9_wr_vs_t"
+  "../bench/bench_fig9_wr_vs_t.pdb"
+  "CMakeFiles/bench_fig9_wr_vs_t.dir/bench_fig9_wr_vs_t.cc.o"
+  "CMakeFiles/bench_fig9_wr_vs_t.dir/bench_fig9_wr_vs_t.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_wr_vs_t.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table3_rem"
+  "../bench/bench_table3_rem.pdb"
+  "CMakeFiles/bench_table3_rem.dir/bench_table3_rem.cc.o"
+  "CMakeFiles/bench_table3_rem.dir/bench_table3_rem.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_rem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

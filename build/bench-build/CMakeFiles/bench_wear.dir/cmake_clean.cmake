@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_wear"
+  "../bench/bench_wear.pdb"
+  "CMakeFiles/bench_wear.dir/bench_wear.cc.o"
+  "CMakeFiles/bench_wear.dir/bench_wear.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_wear.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/db_orderby.dir/db_orderby.cpp.o"
+  "CMakeFiles/db_orderby.dir/db_orderby.cpp.o.d"
+  "db_orderby"
+  "db_orderby.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/db_orderby.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/energy_saver.dir/energy_saver.cpp.o"
+  "CMakeFiles/energy_saver.dir/energy_saver.cpp.o.d"
+  "energy_saver"
+  "energy_saver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/energy_saver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

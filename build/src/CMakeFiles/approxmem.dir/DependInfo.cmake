@@ -1,0 +1,56 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/approx/approx_array.cc" "src/CMakeFiles/approxmem.dir/approx/approx_array.cc.o" "gcc" "src/CMakeFiles/approxmem.dir/approx/approx_array.cc.o.d"
+  "/root/repo/src/approx/approx_memory.cc" "src/CMakeFiles/approxmem.dir/approx/approx_memory.cc.o" "gcc" "src/CMakeFiles/approxmem.dir/approx/approx_memory.cc.o.d"
+  "/root/repo/src/approx/memory_stats.cc" "src/CMakeFiles/approxmem.dir/approx/memory_stats.cc.o" "gcc" "src/CMakeFiles/approxmem.dir/approx/memory_stats.cc.o.d"
+  "/root/repo/src/approx/spintronic.cc" "src/CMakeFiles/approxmem.dir/approx/spintronic.cc.o" "gcc" "src/CMakeFiles/approxmem.dir/approx/spintronic.cc.o.d"
+  "/root/repo/src/common/flags.cc" "src/CMakeFiles/approxmem.dir/common/flags.cc.o" "gcc" "src/CMakeFiles/approxmem.dir/common/flags.cc.o.d"
+  "/root/repo/src/common/random.cc" "src/CMakeFiles/approxmem.dir/common/random.cc.o" "gcc" "src/CMakeFiles/approxmem.dir/common/random.cc.o.d"
+  "/root/repo/src/common/stats.cc" "src/CMakeFiles/approxmem.dir/common/stats.cc.o" "gcc" "src/CMakeFiles/approxmem.dir/common/stats.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/approxmem.dir/common/status.cc.o" "gcc" "src/CMakeFiles/approxmem.dir/common/status.cc.o.d"
+  "/root/repo/src/common/table_printer.cc" "src/CMakeFiles/approxmem.dir/common/table_printer.cc.o" "gcc" "src/CMakeFiles/approxmem.dir/common/table_printer.cc.o.d"
+  "/root/repo/src/core/engine.cc" "src/CMakeFiles/approxmem.dir/core/engine.cc.o" "gcc" "src/CMakeFiles/approxmem.dir/core/engine.cc.o.d"
+  "/root/repo/src/core/workload.cc" "src/CMakeFiles/approxmem.dir/core/workload.cc.o" "gcc" "src/CMakeFiles/approxmem.dir/core/workload.cc.o.d"
+  "/root/repo/src/dbops/aggregate.cc" "src/CMakeFiles/approxmem.dir/dbops/aggregate.cc.o" "gcc" "src/CMakeFiles/approxmem.dir/dbops/aggregate.cc.o.d"
+  "/root/repo/src/dbops/join.cc" "src/CMakeFiles/approxmem.dir/dbops/join.cc.o" "gcc" "src/CMakeFiles/approxmem.dir/dbops/join.cc.o.d"
+  "/root/repo/src/extsort/disk_model.cc" "src/CMakeFiles/approxmem.dir/extsort/disk_model.cc.o" "gcc" "src/CMakeFiles/approxmem.dir/extsort/disk_model.cc.o.d"
+  "/root/repo/src/extsort/external_sort.cc" "src/CMakeFiles/approxmem.dir/extsort/external_sort.cc.o" "gcc" "src/CMakeFiles/approxmem.dir/extsort/external_sort.cc.o.d"
+  "/root/repo/src/extsort/loser_tree.cc" "src/CMakeFiles/approxmem.dir/extsort/loser_tree.cc.o" "gcc" "src/CMakeFiles/approxmem.dir/extsort/loser_tree.cc.o.d"
+  "/root/repo/src/mem/cache.cc" "src/CMakeFiles/approxmem.dir/mem/cache.cc.o" "gcc" "src/CMakeFiles/approxmem.dir/mem/cache.cc.o.d"
+  "/root/repo/src/mem/memory_system.cc" "src/CMakeFiles/approxmem.dir/mem/memory_system.cc.o" "gcc" "src/CMakeFiles/approxmem.dir/mem/memory_system.cc.o.d"
+  "/root/repo/src/mem/pcm.cc" "src/CMakeFiles/approxmem.dir/mem/pcm.cc.o" "gcc" "src/CMakeFiles/approxmem.dir/mem/pcm.cc.o.d"
+  "/root/repo/src/mem/trace.cc" "src/CMakeFiles/approxmem.dir/mem/trace.cc.o" "gcc" "src/CMakeFiles/approxmem.dir/mem/trace.cc.o.d"
+  "/root/repo/src/mlc/calibration.cc" "src/CMakeFiles/approxmem.dir/mlc/calibration.cc.o" "gcc" "src/CMakeFiles/approxmem.dir/mlc/calibration.cc.o.d"
+  "/root/repo/src/mlc/cell.cc" "src/CMakeFiles/approxmem.dir/mlc/cell.cc.o" "gcc" "src/CMakeFiles/approxmem.dir/mlc/cell.cc.o.d"
+  "/root/repo/src/mlc/mlc_config.cc" "src/CMakeFiles/approxmem.dir/mlc/mlc_config.cc.o" "gcc" "src/CMakeFiles/approxmem.dir/mlc/mlc_config.cc.o.d"
+  "/root/repo/src/mlc/word_codec.cc" "src/CMakeFiles/approxmem.dir/mlc/word_codec.cc.o" "gcc" "src/CMakeFiles/approxmem.dir/mlc/word_codec.cc.o.d"
+  "/root/repo/src/refine/approx_refine.cc" "src/CMakeFiles/approxmem.dir/refine/approx_refine.cc.o" "gcc" "src/CMakeFiles/approxmem.dir/refine/approx_refine.cc.o.d"
+  "/root/repo/src/refine/cost_model.cc" "src/CMakeFiles/approxmem.dir/refine/cost_model.cc.o" "gcc" "src/CMakeFiles/approxmem.dir/refine/cost_model.cc.o.d"
+  "/root/repo/src/sort/mergesort.cc" "src/CMakeFiles/approxmem.dir/sort/mergesort.cc.o" "gcc" "src/CMakeFiles/approxmem.dir/sort/mergesort.cc.o.d"
+  "/root/repo/src/sort/quicksort.cc" "src/CMakeFiles/approxmem.dir/sort/quicksort.cc.o" "gcc" "src/CMakeFiles/approxmem.dir/sort/quicksort.cc.o.d"
+  "/root/repo/src/sort/radix_common.cc" "src/CMakeFiles/approxmem.dir/sort/radix_common.cc.o" "gcc" "src/CMakeFiles/approxmem.dir/sort/radix_common.cc.o.d"
+  "/root/repo/src/sort/radix_histogram.cc" "src/CMakeFiles/approxmem.dir/sort/radix_histogram.cc.o" "gcc" "src/CMakeFiles/approxmem.dir/sort/radix_histogram.cc.o.d"
+  "/root/repo/src/sort/radix_lsd.cc" "src/CMakeFiles/approxmem.dir/sort/radix_lsd.cc.o" "gcc" "src/CMakeFiles/approxmem.dir/sort/radix_lsd.cc.o.d"
+  "/root/repo/src/sort/radix_msd.cc" "src/CMakeFiles/approxmem.dir/sort/radix_msd.cc.o" "gcc" "src/CMakeFiles/approxmem.dir/sort/radix_msd.cc.o.d"
+  "/root/repo/src/sort/sort_kind.cc" "src/CMakeFiles/approxmem.dir/sort/sort_kind.cc.o" "gcc" "src/CMakeFiles/approxmem.dir/sort/sort_kind.cc.o.d"
+  "/root/repo/src/sort/write_combining.cc" "src/CMakeFiles/approxmem.dir/sort/write_combining.cc.o" "gcc" "src/CMakeFiles/approxmem.dir/sort/write_combining.cc.o.d"
+  "/root/repo/src/sortedness/inversions.cc" "src/CMakeFiles/approxmem.dir/sortedness/inversions.cc.o" "gcc" "src/CMakeFiles/approxmem.dir/sortedness/inversions.cc.o.d"
+  "/root/repo/src/sortedness/lis.cc" "src/CMakeFiles/approxmem.dir/sortedness/lis.cc.o" "gcc" "src/CMakeFiles/approxmem.dir/sortedness/lis.cc.o.d"
+  "/root/repo/src/sortedness/measures.cc" "src/CMakeFiles/approxmem.dir/sortedness/measures.cc.o" "gcc" "src/CMakeFiles/approxmem.dir/sortedness/measures.cc.o.d"
+  "/root/repo/src/sortedness/shape.cc" "src/CMakeFiles/approxmem.dir/sortedness/shape.cc.o" "gcc" "src/CMakeFiles/approxmem.dir/sortedness/shape.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

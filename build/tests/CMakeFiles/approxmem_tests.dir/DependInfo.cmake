@@ -1,0 +1,49 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/approx_array_test.cc" "tests/CMakeFiles/approxmem_tests.dir/approx_array_test.cc.o" "gcc" "tests/CMakeFiles/approxmem_tests.dir/approx_array_test.cc.o.d"
+  "/root/repo/tests/approx_refine_test.cc" "tests/CMakeFiles/approxmem_tests.dir/approx_refine_test.cc.o" "gcc" "tests/CMakeFiles/approxmem_tests.dir/approx_refine_test.cc.o.d"
+  "/root/repo/tests/cache_test.cc" "tests/CMakeFiles/approxmem_tests.dir/cache_test.cc.o" "gcc" "tests/CMakeFiles/approxmem_tests.dir/cache_test.cc.o.d"
+  "/root/repo/tests/calibration_test.cc" "tests/CMakeFiles/approxmem_tests.dir/calibration_test.cc.o" "gcc" "tests/CMakeFiles/approxmem_tests.dir/calibration_test.cc.o.d"
+  "/root/repo/tests/cell_test.cc" "tests/CMakeFiles/approxmem_tests.dir/cell_test.cc.o" "gcc" "tests/CMakeFiles/approxmem_tests.dir/cell_test.cc.o.d"
+  "/root/repo/tests/check_test.cc" "tests/CMakeFiles/approxmem_tests.dir/check_test.cc.o" "gcc" "tests/CMakeFiles/approxmem_tests.dir/check_test.cc.o.d"
+  "/root/repo/tests/cost_model_test.cc" "tests/CMakeFiles/approxmem_tests.dir/cost_model_test.cc.o" "gcc" "tests/CMakeFiles/approxmem_tests.dir/cost_model_test.cc.o.d"
+  "/root/repo/tests/dbops_test.cc" "tests/CMakeFiles/approxmem_tests.dir/dbops_test.cc.o" "gcc" "tests/CMakeFiles/approxmem_tests.dir/dbops_test.cc.o.d"
+  "/root/repo/tests/engine_test.cc" "tests/CMakeFiles/approxmem_tests.dir/engine_test.cc.o" "gcc" "tests/CMakeFiles/approxmem_tests.dir/engine_test.cc.o.d"
+  "/root/repo/tests/extsort_test.cc" "tests/CMakeFiles/approxmem_tests.dir/extsort_test.cc.o" "gcc" "tests/CMakeFiles/approxmem_tests.dir/extsort_test.cc.o.d"
+  "/root/repo/tests/flags_test.cc" "tests/CMakeFiles/approxmem_tests.dir/flags_test.cc.o" "gcc" "tests/CMakeFiles/approxmem_tests.dir/flags_test.cc.o.d"
+  "/root/repo/tests/integration_test.cc" "tests/CMakeFiles/approxmem_tests.dir/integration_test.cc.o" "gcc" "tests/CMakeFiles/approxmem_tests.dir/integration_test.cc.o.d"
+  "/root/repo/tests/lis_test.cc" "tests/CMakeFiles/approxmem_tests.dir/lis_test.cc.o" "gcc" "tests/CMakeFiles/approxmem_tests.dir/lis_test.cc.o.d"
+  "/root/repo/tests/measures_test.cc" "tests/CMakeFiles/approxmem_tests.dir/measures_test.cc.o" "gcc" "tests/CMakeFiles/approxmem_tests.dir/measures_test.cc.o.d"
+  "/root/repo/tests/memory_system_test.cc" "tests/CMakeFiles/approxmem_tests.dir/memory_system_test.cc.o" "gcc" "tests/CMakeFiles/approxmem_tests.dir/memory_system_test.cc.o.d"
+  "/root/repo/tests/mlc_config_test.cc" "tests/CMakeFiles/approxmem_tests.dir/mlc_config_test.cc.o" "gcc" "tests/CMakeFiles/approxmem_tests.dir/mlc_config_test.cc.o.d"
+  "/root/repo/tests/pcm_test.cc" "tests/CMakeFiles/approxmem_tests.dir/pcm_test.cc.o" "gcc" "tests/CMakeFiles/approxmem_tests.dir/pcm_test.cc.o.d"
+  "/root/repo/tests/radix_common_test.cc" "tests/CMakeFiles/approxmem_tests.dir/radix_common_test.cc.o" "gcc" "tests/CMakeFiles/approxmem_tests.dir/radix_common_test.cc.o.d"
+  "/root/repo/tests/random_test.cc" "tests/CMakeFiles/approxmem_tests.dir/random_test.cc.o" "gcc" "tests/CMakeFiles/approxmem_tests.dir/random_test.cc.o.d"
+  "/root/repo/tests/refine_listing_test.cc" "tests/CMakeFiles/approxmem_tests.dir/refine_listing_test.cc.o" "gcc" "tests/CMakeFiles/approxmem_tests.dir/refine_listing_test.cc.o.d"
+  "/root/repo/tests/sort_property_test.cc" "tests/CMakeFiles/approxmem_tests.dir/sort_property_test.cc.o" "gcc" "tests/CMakeFiles/approxmem_tests.dir/sort_property_test.cc.o.d"
+  "/root/repo/tests/sort_test.cc" "tests/CMakeFiles/approxmem_tests.dir/sort_test.cc.o" "gcc" "tests/CMakeFiles/approxmem_tests.dir/sort_test.cc.o.d"
+  "/root/repo/tests/spintronic_test.cc" "tests/CMakeFiles/approxmem_tests.dir/spintronic_test.cc.o" "gcc" "tests/CMakeFiles/approxmem_tests.dir/spintronic_test.cc.o.d"
+  "/root/repo/tests/stats_test.cc" "tests/CMakeFiles/approxmem_tests.dir/stats_test.cc.o" "gcc" "tests/CMakeFiles/approxmem_tests.dir/stats_test.cc.o.d"
+  "/root/repo/tests/status_test.cc" "tests/CMakeFiles/approxmem_tests.dir/status_test.cc.o" "gcc" "tests/CMakeFiles/approxmem_tests.dir/status_test.cc.o.d"
+  "/root/repo/tests/table_printer_test.cc" "tests/CMakeFiles/approxmem_tests.dir/table_printer_test.cc.o" "gcc" "tests/CMakeFiles/approxmem_tests.dir/table_printer_test.cc.o.d"
+  "/root/repo/tests/trace_test.cc" "tests/CMakeFiles/approxmem_tests.dir/trace_test.cc.o" "gcc" "tests/CMakeFiles/approxmem_tests.dir/trace_test.cc.o.d"
+  "/root/repo/tests/word_codec_test.cc" "tests/CMakeFiles/approxmem_tests.dir/word_codec_test.cc.o" "gcc" "tests/CMakeFiles/approxmem_tests.dir/word_codec_test.cc.o.d"
+  "/root/repo/tests/workload_test.cc" "tests/CMakeFiles/approxmem_tests.dir/workload_test.cc.o" "gcc" "tests/CMakeFiles/approxmem_tests.dir/workload_test.cc.o.d"
+  "/root/repo/tests/write_combining_test.cc" "tests/CMakeFiles/approxmem_tests.dir/write_combining_test.cc.o" "gcc" "tests/CMakeFiles/approxmem_tests.dir/write_combining_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/approxmem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/approxmem_cli.dir/approxmem_cli.cc.o"
+  "CMakeFiles/approxmem_cli.dir/approxmem_cli.cc.o.d"
+  "approxmem_cli"
+  "approxmem_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/approxmem_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
