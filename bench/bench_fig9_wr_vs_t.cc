@@ -1,5 +1,11 @@
 // Figure 9: write reduction of approx-refine vs T (Equation 2), for
 // 3/4/5/6-bit LSD, 3/4/5/6-bit MSD, quicksort, and mergesort.
+//
+// The (T x algorithm) grid cells are independent, so they run concurrently
+// on the --threads pool: each cell gets its own engine (seeded from the
+// cell coordinates) while all cells share one thread-safe calibration
+// cache. Results are collected in grid order, so the table and the CSV
+// artifact are byte-identical for every thread count.
 #include <cstdio>
 
 #include "bench/bench_lib.h"
@@ -11,10 +17,30 @@ namespace {
 int Main(int argc, char** argv) {
   const bench::BenchEnv env = bench::ParseBenchEnv(argc, argv, 100000);
   bench::PrintRunHeader("Figure 9: approx-refine write reduction vs T", env);
-  core::ApproxSortEngine engine = bench::MakeEngine(env);
   const auto keys =
       core::MakeKeys(core::WorkloadKind::kUniform, env.n, env.seed);
+  const auto t_grid = bench::PaperTGrid();
   const auto algorithms = bench::PanelAlgorithms();
+
+  struct Cell {
+    double write_reduction = 0.0;
+    bool verified = false;
+    std::string error;
+  };
+  std::vector<Cell> cells(t_grid.size() * algorithms.size());
+  bench::ParallelSweep(
+      env, t_grid.size(), algorithms.size(), [&](size_t row, size_t col) {
+        core::ApproxSortEngine engine = bench::MakeCellEngine(env, row, col);
+        Cell& cell = cells[row * algorithms.size() + col];
+        const auto outcome =
+            engine.SortApproxRefine(keys, algorithms[col], t_grid[row]);
+        if (!outcome.ok()) {
+          cell.error = outcome.status().ToString();
+          return;
+        }
+        cell.write_reduction = outcome->write_reduction;
+        cell.verified = outcome->refine.verified;
+      });
 
   TablePrinter table("Figure 9: write reduction vs T (approx-refine)");
   std::vector<std::string> header = {"T"};
@@ -24,29 +50,30 @@ int Main(int argc, char** argv) {
   double best_wr = -1.0;
   double best_t = 0.0;
   std::string best_algorithm;
-  for (const double t : bench::PaperTGrid()) {
-    std::vector<std::string> row = {TablePrinter::Fmt(t, 3)};
-    for (const auto& algorithm : algorithms) {
-      const auto outcome = engine.SortApproxRefine(keys, algorithm, t);
-      if (!outcome.ok()) {
-        std::fprintf(stderr, "%s\n", outcome.status().ToString().c_str());
+  for (size_t row = 0; row < t_grid.size(); ++row) {
+    std::vector<std::string> table_row = {TablePrinter::Fmt(t_grid[row], 3)};
+    for (size_t col = 0; col < algorithms.size(); ++col) {
+      const Cell& cell = cells[row * algorithms.size() + col];
+      if (!cell.error.empty()) {
+        std::fprintf(stderr, "%s\n", cell.error.c_str());
         return 1;
       }
-      if (!outcome->refine.verified) {
+      if (!cell.verified) {
         std::fprintf(stderr, "UNSOUND: %s at T=%.3f not exactly sorted\n",
-                     algorithm.Name().c_str(), t);
+                     algorithms[col].Name().c_str(), t_grid[row]);
         return 1;
       }
-      row.push_back(TablePrinter::FmtPercent(outcome->write_reduction, 1));
-      if (outcome->write_reduction > best_wr) {
-        best_wr = outcome->write_reduction;
-        best_t = t;
-        best_algorithm = algorithm.Name();
+      table_row.push_back(TablePrinter::FmtPercent(cell.write_reduction, 1));
+      if (cell.write_reduction > best_wr) {
+        best_wr = cell.write_reduction;
+        best_t = t_grid[row];
+        best_algorithm = algorithms[col].Name();
       }
     }
-    table.AddRow(row);
+    table.AddRow(table_row);
   }
   table.Print();
+  table.WriteCsv(bench::CsvPath(env, "fig9_wr_vs_t.csv"));
   std::printf(
       "\nBest: %s at T=%.3f with %.1f%% write reduction. Paper shape: all "
       "algorithms except mergesort peak at T=0.055 (radix ~10%%, quicksort "

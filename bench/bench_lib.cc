@@ -1,0 +1,116 @@
+#include "bench/bench_lib.h"
+
+#include <sys/stat.h>
+
+#include <memory>
+
+#include "common/thread_pool.h"
+#include "mlc/calibration.h"
+
+namespace approxmem::bench {
+namespace {
+
+uint64_t SplitMix64(uint64_t z) {
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+// Process-wide sweep runtime: one thread pool and one shared calibration
+// cache, parameterized by the first BenchEnv seen (each bench binary parses
+// exactly one). Destroyed at normal process exit, which is when the
+// --calibration_cache file is saved.
+struct Runtime {
+  explicit Runtime(const BenchEnv& env)
+      : calibration_path(env.calibration_cache), pool(env.threads) {
+    core::EngineOptions defaults;
+    calibration = std::make_shared<mlc::CalibrationCache>(
+        defaults.mlc.WithT(defaults.mlc.precise_t_width),
+        static_cast<uint64_t>(
+            env.flags.GetInt("calibration_trials",
+                             static_cast<int64_t>(defaults.calibration_trials))),
+        env.seed ^ 0xca11b7a7e5eedULL, &pool);
+    if (!calibration_path.empty()) {
+      const StatusOr<size_t> loaded =
+          calibration->LoadFromFile(calibration_path);
+      if (loaded.ok()) {
+        std::fprintf(stderr, "# calibration cache: loaded %zu entries from %s\n",
+                     *loaded, calibration_path.c_str());
+      }
+    }
+  }
+
+  ~Runtime() {
+    if (!calibration_path.empty()) {
+      if (!calibration->SaveToFile(calibration_path)) {
+        std::fprintf(stderr, "# calibration cache: failed to save %s\n",
+                     calibration_path.c_str());
+      }
+    }
+  }
+
+  std::string calibration_path;
+  ThreadPool pool;
+  std::shared_ptr<mlc::CalibrationCache> calibration;
+};
+
+Runtime& GetRuntime(const BenchEnv& env) {
+  static Runtime runtime(env);
+  return runtime;
+}
+
+core::EngineOptions CellOptions(const BenchEnv& env, uint64_t seed) {
+  Runtime& runtime = GetRuntime(env);
+  core::EngineOptions options;
+  options.seed = seed;
+  options.calibration_trials = static_cast<uint64_t>(
+      env.flags.GetInt("calibration_trials", 200000));
+  options.shared_calibration = runtime.calibration;
+  return options;
+}
+
+}  // namespace
+
+int SweepThreads(const BenchEnv& env) {
+  return GetRuntime(env).pool.thread_count();
+}
+
+core::ApproxSortEngine MakeEngine(const BenchEnv& env) {
+  return core::ApproxSortEngine(CellOptions(env, env.seed));
+}
+
+uint64_t CellSeed(uint64_t seed, size_t row, size_t col) {
+  // 1-based row so cell (0, 0) still perturbs the base seed.
+  return seed ^ SplitMix64((static_cast<uint64_t>(row) + 1) * 0x100000001b3ULL +
+                           static_cast<uint64_t>(col));
+}
+
+core::ApproxSortEngine MakeCellEngine(const BenchEnv& env, size_t row,
+                                      size_t col) {
+  return core::ApproxSortEngine(
+      CellOptions(env, CellSeed(env.seed, row, col)));
+}
+
+void ParallelSweep(const BenchEnv& env, size_t rows, size_t cols,
+                   const std::function<void(size_t, size_t)>& fn) {
+  if (rows == 0 || cols == 0) return;
+  GetRuntime(env).pool.ParallelFor(
+      0, rows * cols, [&](size_t cell) { fn(cell / cols, cell % cols); });
+}
+
+std::string CsvPath(const BenchEnv& env, const std::string& file) {
+  ::mkdir(env.csv_dir.c_str(), 0755);
+  return env.csv_dir + "/" + file;
+}
+
+void PrintRunHeader(const char* what, const BenchEnv& env) {
+  std::printf("# %s | n=%zu seed=%llu threads=%d%s\n", what, env.n,
+              static_cast<unsigned long long>(env.seed), SweepThreads(env),
+              env.full ? " (paper scale)" : "");
+  std::printf(
+      "# Shapes should match the paper; absolute values depend on the "
+      "simulated substrate. Run with --full for the paper's n=16M.\n");
+}
+
+}  // namespace approxmem::bench

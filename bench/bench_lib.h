@@ -6,11 +6,19 @@
 //   --seed=<uint>    experiment seed
 //   --csv_dir=<dir>  where CSV artifacts are written (default
 //                    bench_artifacts/ under the current directory)
+//   --threads=<k>    sweep/calibration concurrency (default: hardware;
+//                    --threads=1 runs fully serially). For a fixed seed the
+//                    CSV artifacts are byte-identical for every k.
+//   --calibration_cache=<path>  load cached per-T calibrations from <path>
+//                    before the run and save the (possibly grown) cache
+//                    back afterwards, so repeated figure runs skip the
+//                    Monte-Carlo calibration entirely.
 // plus the APPROX_BENCH_N environment variable as an n override.
 #ifndef APPROXMEM_BENCH_BENCH_LIB_H_
 #define APPROXMEM_BENCH_BENCH_LIB_H_
 
 #include <cstdio>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -28,7 +36,9 @@ struct BenchEnv {
   size_t n = kDefaultN;
   uint64_t seed = 42;
   bool full = false;
+  int threads = 0;  // 0 = hardware concurrency.
   std::string csv_dir = "bench_artifacts";
+  std::string calibration_cache;  // Empty = no persistence.
   Flags flags;
 };
 
@@ -47,7 +57,9 @@ inline BenchEnv ParseBenchEnv(int argc, char** argv,
   env.n = static_cast<size_t>(flags->GetInt(
       "n", static_cast<int64_t>(Flags::EnvSize("APPROX_BENCH_N", base))));
   env.seed = static_cast<uint64_t>(flags->GetInt("seed", 42));
+  env.threads = static_cast<int>(flags->GetInt("threads", 0));
   env.csv_dir = flags->GetString("csv_dir", "bench_artifacts");
+  env.calibration_cache = flags->GetString("calibration_cache", "");
   return env;
 }
 
@@ -63,22 +75,34 @@ inline std::vector<sort::AlgorithmId> PanelAlgorithms() {
   return sort::StudyAlgorithms();
 }
 
-inline core::ApproxSortEngine MakeEngine(const BenchEnv& env) {
-  core::EngineOptions options;
-  options.seed = env.seed;
-  options.calibration_trials = static_cast<uint64_t>(
-      env.flags.GetInt("calibration_trials", 200000));
-  return core::ApproxSortEngine(options);
-}
+/// Resolved sweep concurrency for this process (workers + caller).
+int SweepThreads(const BenchEnv& env);
 
-inline void PrintRunHeader(const char* what, const BenchEnv& env) {
-  std::printf("# %s | n=%zu seed=%llu%s\n", what, env.n,
-              static_cast<unsigned long long>(env.seed),
-              env.full ? " (paper scale)" : "");
-  std::printf(
-      "# Shapes should match the paper; absolute values depend on the "
-      "simulated substrate. Run with --full for the paper's n=16M.\n");
-}
+/// Engine seeded with env.seed, sharing the process-wide calibration cache
+/// (and its --calibration_cache persistence) with every other engine.
+core::ApproxSortEngine MakeEngine(const BenchEnv& env);
+
+/// Deterministic per-cell seed for grid cell (row, col): env.seed xor a
+/// SplitMix64 hash of the cell coordinates.
+uint64_t CellSeed(uint64_t seed, size_t row, size_t col);
+
+/// Engine for sweep grid cell (row, col): seeded with CellSeed and sharing
+/// the process-wide calibration cache, so concurrent cells never contend on
+/// an RNG stream and each T is calibrated exactly once.
+core::ApproxSortEngine MakeCellEngine(const BenchEnv& env, size_t row,
+                                      size_t col);
+
+/// Runs fn(row, col) for every cell of a rows x cols grid, up to
+/// --threads at a time. Cells must be independent (use MakeCellEngine and
+/// write results into per-cell slots); the caller assembles output in grid
+/// order afterwards, so artifacts are identical for every thread count.
+void ParallelSweep(const BenchEnv& env, size_t rows, size_t cols,
+                   const std::function<void(size_t row, size_t col)>& fn);
+
+/// Creates env.csv_dir if missing and returns env.csv_dir + "/" + file.
+std::string CsvPath(const BenchEnv& env, const std::string& file);
+
+void PrintRunHeader(const char* what, const BenchEnv& env);
 
 }  // namespace approxmem::bench
 

@@ -2,10 +2,22 @@
 // writes (exact vs calibrated fast path), instrumented sorting throughput,
 // and the LIS/Rem computation. These measure the *simulator's* speed, not
 // the simulated device's.
+//
+// After the google-benchmark suite, the binary times serial vs parallel
+// Monte-Carlo calibration and a serial vs parallel (T x algorithm) sweep
+// and writes bench_artifacts/parallel_speedup.json, so the speedup
+// trajectory of the parallel runner can be tracked across PRs.
 #include <benchmark/benchmark.h>
+#include <sys/stat.h>
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
 
 #include "approx/approx_memory.h"
 #include "common/random.h"
+#include "common/thread_pool.h"
+#include "core/engine.h"
 #include "core/workload.h"
 #include "mlc/calibration.h"
 #include "mlc/cell.h"
@@ -71,7 +83,103 @@ void BM_LisRem(benchmark::State& state) {
 }
 BENCHMARK(BM_LisRem)->Arg(1 << 14)->Arg(1 << 18);
 
+void BM_CalibrationSharded(benchmark::State& state) {
+  // threads = 1 is the serial baseline; higher args show pool scaling.
+  ThreadPool pool(static_cast<int>(state.range(0)));
+  const mlc::MlcConfig config = mlc::MlcConfig().WithT(0.055);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        mlc::CellCalibration::Run(config, 50000, /*seed=*/6, &pool));
+  }
+}
+BENCHMARK(BM_CalibrationSharded)->Arg(1)->Arg(0 /* hardware */);
+
+// --- parallel_speedup.json -------------------------------------------------
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+// Full T-grid calibration through a fresh shared cache, as a figure sweep
+// would trigger it on a cold start.
+double TimeCalibration(int threads) {
+  ThreadPool pool(threads);
+  mlc::CalibrationCache cache(mlc::MlcConfig(), 100000, /*seed=*/42, &pool);
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < 4; ++i) {
+    const double t = 0.025 + 0.025 * i;
+    // Each T's Monte-Carlo shards fan out over the pool.
+    benchmark::DoNotOptimize(cache.PvRatio(t));
+  }
+  return SecondsSince(start);
+}
+
+// A bench_fig9-style (T x algorithm) sweep: per-cell engines, one shared
+// calibration cache, cells scheduled on the pool.
+double TimeSweep(int threads) {
+  ThreadPool pool(threads);
+  auto cache = std::make_shared<mlc::CalibrationCache>(
+      mlc::MlcConfig(), 20000, /*seed=*/42 ^ 0xca11b7a7e5eedULL, &pool);
+  const auto keys = core::MakeKeys(core::WorkloadKind::kUniform, 20000, 42);
+  const std::vector<double> ts = {0.045, 0.055, 0.065, 0.075};
+  const auto algorithms = sort::HeadlineAlgorithms();
+  const auto start = std::chrono::steady_clock::now();
+  pool.ParallelFor(0, ts.size() * algorithms.size(), [&](size_t cell) {
+    const size_t row = cell / algorithms.size();
+    const size_t col = cell % algorithms.size();
+    core::EngineOptions options;
+    options.seed = 42 ^ (cell + 1);
+    options.calibration_trials = 20000;
+    options.shared_calibration = cache;
+    core::ApproxSortEngine engine(options);
+    benchmark::DoNotOptimize(
+        engine.SortApproxRefine(keys, algorithms[col], ts[row]));
+  });
+  return SecondsSince(start);
+}
+
+void WriteParallelSpeedupArtifact() {
+  const int hardware = ThreadPool::HardwareThreads();
+  const double calibration_serial = TimeCalibration(1);
+  const double calibration_parallel = TimeCalibration(hardware);
+  const double sweep_serial = TimeSweep(1);
+  const double sweep_parallel = TimeSweep(hardware);
+
+  ::mkdir("bench_artifacts", 0755);
+  std::FILE* f = std::fopen("bench_artifacts/parallel_speedup.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write bench_artifacts/parallel_speedup.json\n");
+    return;
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"threads\": %d,\n"
+               "  \"calibration\": {\"serial_seconds\": %.6f, "
+               "\"parallel_seconds\": %.6f, \"speedup\": %.3f},\n"
+               "  \"sweep\": {\"serial_seconds\": %.6f, "
+               "\"parallel_seconds\": %.6f, \"speedup\": %.3f}\n"
+               "}\n",
+               hardware, calibration_serial, calibration_parallel,
+               calibration_serial / calibration_parallel, sweep_serial,
+               sweep_parallel, sweep_serial / sweep_parallel);
+  std::fclose(f);
+  std::printf(
+      "parallel_speedup (threads=%d): calibration %.2fx, sweep %.2fx "
+      "-> bench_artifacts/parallel_speedup.json\n",
+      hardware, calibration_serial / calibration_parallel,
+      sweep_serial / sweep_parallel);
+}
+
 }  // namespace
 }  // namespace approxmem
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  approxmem::WriteParallelSpeedupArtifact();
+  return 0;
+}

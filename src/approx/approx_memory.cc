@@ -166,14 +166,17 @@ class FastPcmWriteModel final : public WriteModel {
 
 ApproxMemory::ApproxMemory(const Options& options)
     : options_(options),
-      calibration_(options.mlc.WithT(options.mlc.precise_t_width),
-                   options.calibration_trials,
-                   /*seed=*/options.seed ^ 0xca11b7a7e5eedULL),
+      calibration_(options.shared_calibration
+                       ? options.shared_calibration
+                       : std::make_shared<mlc::CalibrationCache>(
+                             options.mlc.WithT(options.mlc.precise_t_width),
+                             options.calibration_trials,
+                             /*seed=*/options.seed ^ 0xca11b7a7e5eedULL)),
       rng_(options.seed) {
   APPROXMEM_CHECK_OK(options.mlc.WithT(options.mlc.precise_t_width)
                          .Validate());
   const double precise_avg_pv =
-      calibration_.ForT(options.mlc.precise_t_width).AvgPv();
+      calibration_->ForT(options.mlc.precise_t_width).AvgPv();
   precise_model_ =
       std::make_unique<PrecisePcmWriteModel>(options.mlc, precise_avg_pv);
   precise_spintronic_model_ =
@@ -184,9 +187,9 @@ WriteModel* ApproxMemory::PcmModelForT(double t) {
   for (auto& [existing_t, model] : pcm_models_) {
     if (existing_t == t) return model.get();
   }
-  const mlc::CellCalibration& calib = calibration_.ForT(t);
+  const mlc::CellCalibration& calib = calibration_->ForT(t);
   const double precise_pv =
-      calibration_.ForT(options_.mlc.precise_t_width).AvgPv();
+      calibration_->ForT(options_.mlc.precise_t_width).AvgPv();
   const double ns_per_iteration =
       options_.mlc.precise_write_latency_ns / precise_pv;
   std::unique_ptr<WriteModel> model;

@@ -41,6 +41,13 @@ class ApproxMemory {
     /// Optional trace sink; when set, arrays log accesses for replay
     /// through mem::MemorySystem.
     mem::TraceBuffer* trace = nullptr;
+    /// Optional shared calibration cache. When set, this memory reuses the
+    /// given cache (which is thread-safe and keys every entry's substream
+    /// by (cache seed, T)) instead of building its own — so the engines of
+    /// a parallel (algorithm x T) sweep calibrate each T exactly once
+    /// between them. When null, a private cache is created with seed
+    /// `seed ^ 0xca11b7a7e5eed`.
+    std::shared_ptr<mlc::CalibrationCache> shared_calibration;
     /// Cost multiplier for writes at (previous index + 1). The paper's
     /// Section 5 discussion conjectures that modeling PCM's cheaper
     /// sequential writes raises the approx-refine gain (the refine stage is
@@ -64,10 +71,10 @@ class ApproxMemory {
   ApproxArrayU32 NewPreciseSpintronicArray(size_t n);
 
   /// Calibration access for the cost model and benches.
-  mlc::CalibrationCache& calibration() { return calibration_; }
+  mlc::CalibrationCache& calibration() { return *calibration_; }
 
   /// p(t) = avg #P at t / avg #P at the precise T (Section 2.2).
-  double PvRatio(double t) { return calibration_.PvRatio(t); }
+  double PvRatio(double t) { return calibration_->PvRatio(t); }
 
   const mlc::MlcConfig& mlc_config() const { return options_.mlc; }
   const Options& options() const { return options_; }
@@ -76,7 +83,7 @@ class ApproxMemory {
   WriteModel* PcmModelForT(double t);
 
   Options options_;
-  mlc::CalibrationCache calibration_;
+  std::shared_ptr<mlc::CalibrationCache> calibration_;
   Rng rng_;
   uint64_t next_base_address_ = 0;
   std::unique_ptr<WriteModel> precise_model_;

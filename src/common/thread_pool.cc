@@ -1,0 +1,122 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <memory>
+#include <utility>
+
+namespace approxmem {
+namespace {
+
+thread_local bool t_in_worker = false;
+
+}  // namespace
+
+int ThreadPool::HardwareThreads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+bool ThreadPool::InWorker() { return t_in_worker; }
+
+ThreadPool::ThreadPool(int threads) {
+  if (threads <= 0) threads = HardwareThreads();
+  workers_.reserve(static_cast<size_t>(threads - 1));
+  for (int i = 1; i < threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  t_in_worker = true;
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // Stopping and fully drained.
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    job();
+  }
+}
+
+void ThreadPool::ParallelFor(size_t begin, size_t end,
+                             const std::function<void(size_t)>& fn) {
+  if (begin >= end) return;
+  const size_t total = end - begin;
+  if (workers_.empty() || total == 1 || InWorker()) {
+    for (size_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+
+  // Shared loop state. Indices are claimed with fetch_add so each index is
+  // executed exactly once by whichever thread claims it; completion is
+  // counted per index, so the caller's wait cannot miss work even when a
+  // queued helper never gets scheduled.
+  struct State {
+    std::atomic<size_t> next{0};
+    std::atomic<size_t> done{0};
+    std::atomic<bool> failed{false};
+    size_t end = 0;
+    size_t total = 0;
+    const std::function<void(size_t)>* fn = nullptr;
+    std::mutex mu;
+    std::condition_variable cv;
+    std::exception_ptr exception;
+  };
+  auto state = std::make_shared<State>();
+  state->next.store(begin);
+  state->end = end;
+  state->total = total;
+  state->fn = &fn;
+
+  auto drain = [](const std::shared_ptr<State>& s) {
+    for (;;) {
+      const size_t i = s->next.fetch_add(1);
+      if (i >= s->end) break;
+      if (!s->failed.load(std::memory_order_relaxed)) {
+        try {
+          (*s->fn)(i);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(s->mu);
+          if (s->exception == nullptr) s->exception = std::current_exception();
+          s->failed.store(true, std::memory_order_relaxed);
+        }
+      }
+      if (s->done.fetch_add(1) + 1 == s->total) {
+        // Lock before notifying so the caller's predicate check cannot race
+        // past the final increment and miss the wakeup.
+        std::lock_guard<std::mutex> lock(s->mu);
+        s->cv.notify_all();
+      }
+    }
+  };
+
+  const size_t helpers = std::min(workers_.size(), total - 1);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (size_t h = 0; h < helpers; ++h) {
+      queue_.emplace_back([state, drain] { drain(state); });
+    }
+  }
+  work_cv_.notify_all();
+
+  drain(state);
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->cv.wait(lock, [&] { return state->done.load() == state->total; });
+  if (state->exception != nullptr) std::rethrow_exception(state->exception);
+}
+
+}  // namespace approxmem

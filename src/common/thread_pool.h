@@ -1,0 +1,66 @@
+// Fixed-size worker pool with a ParallelFor helper for the experiment
+// harness.
+//
+// The pool parallelizes the *harness* (Monte-Carlo calibration shards,
+// (algorithm x T) sweep cells), never the simulated device. Callers are
+// responsible for decomposing work deterministically (fixed shards, each
+// with its own Rng substream); the pool only schedules, so results are
+// independent of the thread count and of completion order.
+#ifndef APPROXMEM_COMMON_THREAD_POOL_H_
+#define APPROXMEM_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace approxmem {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads - 1` workers; the calling thread participates in every
+  /// ParallelFor, so `threads` is the total concurrency. `threads <= 0`
+  /// means hardware concurrency. `threads == 1` spawns no workers and runs
+  /// everything inline, which reproduces serial execution exactly.
+  explicit ThreadPool(int threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total concurrency (workers plus the participating caller).
+  int thread_count() const { return static_cast<int>(workers_.size()) + 1; }
+
+  /// Runs fn(i) for every i in [begin, end), potentially concurrently, and
+  /// blocks until every iteration has finished. The first exception thrown
+  /// by fn is rethrown on the caller; iterations not yet started when it
+  /// was thrown are skipped. The caller always participates and can drain
+  /// the whole range alone, so ParallelFor completes even when every worker
+  /// is blocked elsewhere. Calling from inside a worker runs the loop
+  /// inline (serially), which makes nested ParallelFor — e.g. calibration
+  /// sharding inside a sweep cell — deadlock-free.
+  void ParallelFor(size_t begin, size_t end,
+                   const std::function<void(size_t)>& fn);
+
+  /// True when called from one of this process's pool worker threads.
+  static bool InWorker();
+
+  /// Hardware concurrency, never 0.
+  static int HardwareThreads();
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+};
+
+}  // namespace approxmem
+
+#endif  // APPROXMEM_COMMON_THREAD_POOL_H_

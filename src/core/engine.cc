@@ -13,6 +13,7 @@ approx::ApproxMemory::Options ToMemoryOptions(const EngineOptions& options) {
   memory_options.mode = options.mode;
   memory_options.calibration_trials = options.calibration_trials;
   memory_options.seed = options.seed;
+  memory_options.shared_calibration = options.shared_calibration;
   memory_options.sequential_write_discount =
       options.sequential_write_discount;
   return memory_options;

@@ -35,6 +35,11 @@ struct EngineOptions {
   approx::SimulationMode mode = approx::SimulationMode::kFast;
   uint64_t calibration_trials = 200000;
   uint64_t seed = 42;
+  /// Optional calibration cache shared between engines (thread-safe; see
+  /// approx::ApproxMemory::Options::shared_calibration). A parallel sweep
+  /// gives every (algorithm x T) cell its own engine/seed but one shared
+  /// cache, so each T calibrates once and results stay deterministic.
+  std::shared_ptr<mlc::CalibrationCache> shared_calibration;
   /// See approx::ApproxMemory::Options::sequential_write_discount; 1.0
   /// reproduces the paper's uniform write-latency model.
   double sequential_write_discount = 1.0;

@@ -2,15 +2,39 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <string_view>
+#include <utility>
 
 #include "common/check.h"
+#include "common/thread_pool.h"
 #include "mlc/cell.h"
 
 namespace approxmem::mlc {
+namespace {
+
+// Trials per calibration shard. The shard layout depends only on the trial
+// count (never on the thread count), so merged counts — and therefore every
+// derived statistic — are bit-identical for any schedule.
+constexpr uint64_t kShardTrials = 4096;
+
+// SplitMix64 finalizer; used to derive per-T substream seeds.
+uint64_t MixSeed(uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
 
 CellCalibration CellCalibration::Run(const MlcConfig& config,
                                      uint64_t trials_per_level, Rng& rng) {
+  return Run(config, trials_per_level, rng.Next64(), /*pool=*/nullptr);
+}
+
+CellCalibration CellCalibration::Run(const MlcConfig& config,
+                                     uint64_t trials_per_level, uint64_t seed,
+                                     ThreadPool* pool) {
   APPROXMEM_CHECK_OK(config.Validate());
   APPROXMEM_CHECK(trials_per_level > 0);
 
@@ -23,25 +47,76 @@ CellCalibration CellCalibration::Run(const MlcConfig& config,
   calib.read_level_cdf_.assign(static_cast<size_t>(levels * levels), 0.0);
   calib.pv_cdf_.assign(static_cast<size_t>(levels * kMaxPvBucket), 0.0);
 
-  std::vector<uint64_t> transition(static_cast<size_t>(levels * levels), 0);
-  std::vector<uint64_t> pv_counts(static_cast<size_t>(levels * kMaxPvBucket),
-                                  0);
-
-  for (int written = 0; written < levels; ++written) {
+  // Fixed work decomposition: each (level, shard) slice owns a substream
+  // split off in a fixed order, independent of how shards are scheduled.
+  struct Shard {
+    int level = 0;
+    uint64_t trials = 0;
+    Rng rng{0};
     uint64_t pv_total = 0;
-    for (uint64_t trial = 0; trial < trials_per_level; ++trial) {
-      const CellWriteResult w = WriteCell(written, config, rng);
-      const int read = ReadCell(w.analog, config, rng);
-      pv_total += w.iterations;
-      ++transition[static_cast<size_t>(written * levels + read)];
+    std::vector<uint64_t> transition;  // Indexed by read level.
+    std::vector<uint64_t> pv_counts;   // Indexed by #P bucket.
+  };
+  const uint64_t shards_per_level =
+      (trials_per_level + kShardTrials - 1) / kShardTrials;
+  std::vector<Shard> shards;
+  shards.reserve(static_cast<size_t>(levels) * shards_per_level);
+  Rng root(seed);
+  for (int level = 0; level < levels; ++level) {
+    Rng level_stream = root.Split();
+    for (uint64_t s = 0; s < shards_per_level; ++s) {
+      Shard shard;
+      shard.level = level;
+      shard.trials =
+          std::min<uint64_t>(kShardTrials, trials_per_level - s * kShardTrials);
+      shard.rng = level_stream.Split();
+      shards.push_back(std::move(shard));
+    }
+  }
+
+  auto run_shard = [&config, levels](Shard& shard) {
+    shard.transition.assign(static_cast<size_t>(levels), 0);
+    shard.pv_counts.assign(static_cast<size_t>(kMaxPvBucket), 0);
+    for (uint64_t trial = 0; trial < shard.trials; ++trial) {
+      const CellWriteResult w = WriteCell(shard.level, config, shard.rng);
+      const int read = ReadCell(w.analog, config, shard.rng);
+      shard.pv_total += w.iterations;
+      ++shard.transition[static_cast<size_t>(read)];
       const int bucket = std::min<int>(static_cast<int>(w.iterations),
                                        kMaxPvBucket) -
                          1;
-      ++pv_counts[static_cast<size_t>(written * kMaxPvBucket +
-                                      std::max(bucket, 0))];
+      ++shard.pv_counts[static_cast<size_t>(std::max(bucket, 0))];
     }
+  };
+  if (pool != nullptr) {
+    pool->ParallelFor(0, shards.size(),
+                      [&](size_t i) { run_shard(shards[i]); });
+  } else {
+    for (Shard& shard : shards) run_shard(shard);
+  }
+
+  // Merge shard counts. Integer sums are order-independent, so the merge is
+  // deterministic regardless of shard completion order.
+  std::vector<uint64_t> transition(static_cast<size_t>(levels * levels), 0);
+  std::vector<uint64_t> pv_counts(static_cast<size_t>(levels * kMaxPvBucket),
+                                  0);
+  std::vector<uint64_t> pv_totals(static_cast<size_t>(levels), 0);
+  for (const Shard& shard : shards) {
+    pv_totals[static_cast<size_t>(shard.level)] += shard.pv_total;
+    for (int read = 0; read < levels; ++read) {
+      transition[static_cast<size_t>(shard.level * levels + read)] +=
+          shard.transition[static_cast<size_t>(read)];
+    }
+    for (int b = 0; b < kMaxPvBucket; ++b) {
+      pv_counts[static_cast<size_t>(shard.level * kMaxPvBucket + b)] +=
+          shard.pv_counts[static_cast<size_t>(b)];
+    }
+  }
+
+  for (int written = 0; written < levels; ++written) {
     calib.avg_pv_per_level_[static_cast<size_t>(written)] =
-        static_cast<double>(pv_total) / static_cast<double>(trials_per_level);
+        static_cast<double>(pv_totals[static_cast<size_t>(written)]) /
+        static_cast<double>(trials_per_level);
 
     // Cumulative distributions for fast sampling.
     double cum = 0.0;
@@ -191,20 +266,38 @@ StatusOr<CellCalibration> CellCalibration::Deserialize(std::FILE* in) {
 }
 
 CalibrationCache::CalibrationCache(MlcConfig base_config,
-                                   uint64_t trials_per_level, uint64_t seed)
+                                   uint64_t trials_per_level, uint64_t seed,
+                                   ThreadPool* pool)
     : base_config_(base_config),
       trials_per_level_(trials_per_level),
-      rng_(seed) {}
+      seed_(seed),
+      pool_(pool) {}
+
+uint64_t CalibrationCache::SeedForT(double t) const {
+  // Key each entry's substream by (cache seed, T bit pattern) so cached
+  // values are independent of request order and of the requesting thread.
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(t));
+  std::memcpy(&bits, &t, sizeof(bits));
+  return MixSeed(seed_ ^ (bits + 0x9e3779b97f4a7c15ULL));
+}
 
 const CellCalibration& CalibrationCache::ForT(double t) {
-  auto it = cache_.find(t);
-  if (it == cache_.end()) {
-    const MlcConfig config = base_config_.WithT(t);
-    auto calib = std::make_unique<CellCalibration>(
-        CellCalibration::Run(config, trials_per_level_, rng_));
-    it = cache_.emplace(t, std::move(calib)).first;
+  Entry* entry = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::unique_ptr<Entry>& slot = cache_[t];
+    if (slot == nullptr) slot = std::make_unique<Entry>();
+    entry = slot.get();
   }
-  return *it->second;
+  // Calibrate outside the map lock: distinct Ts proceed concurrently, a
+  // second request for the same T blocks here until the first finishes.
+  std::lock_guard<std::mutex> lock(entry->mu);
+  if (entry->calibration == nullptr) {
+    entry->calibration = std::make_unique<CellCalibration>(CellCalibration::Run(
+        base_config_.WithT(t), trials_per_level_, SeedForT(t), pool_));
+  }
+  return *entry->calibration;
 }
 
 double CalibrationCache::PvRatio(double t) {
@@ -215,8 +308,17 @@ double CalibrationCache::PvRatio(double t) {
 bool CalibrationCache::SaveToFile(const std::string& path) const {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) return false;
-  std::fprintf(f, "approxmem-calibrations v1 %zu\n", cache_.size());
-  for (const auto& [t, calib] : cache_) calib->Serialize(f);
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t ready = 0;
+  for (const auto& [t, entry] : cache_) {
+    std::lock_guard<std::mutex> entry_lock(entry->mu);
+    if (entry->calibration != nullptr) ++ready;
+  }
+  std::fprintf(f, "approxmem-calibrations v1 %zu\n", ready);
+  for (const auto& [t, entry] : cache_) {
+    std::lock_guard<std::mutex> entry_lock(entry->mu);
+    if (entry->calibration != nullptr) entry->calibration->Serialize(f);
+  }
   const bool ok = std::ferror(f) == 0;
   std::fclose(f);
   return ok;
@@ -248,10 +350,15 @@ StatusOr<size_t> CalibrationCache::LoadFromFile(const std::string& path) {
         config.drift_mu_per_decade == base.drift_mu_per_decade &&
         config.drift_sigma_per_decade == base.drift_sigma_per_decade &&
         config.elapsed_seconds == base.elapsed_seconds;
-    if (compatible && cache_.count(config.t_width) == 0) {
-      cache_.emplace(config.t_width, std::make_unique<CellCalibration>(
-                                         std::move(calib.value())));
-      ++loaded;
+    if (compatible) {
+      std::lock_guard<std::mutex> lock(mu_);
+      std::unique_ptr<Entry>& slot = cache_[config.t_width];
+      if (slot == nullptr) {
+        slot = std::make_unique<Entry>();
+        slot->calibration = std::make_unique<CellCalibration>(
+            std::move(calib.value()));
+        ++loaded;
+      }
     }
   }
   std::fclose(f);

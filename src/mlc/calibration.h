@@ -9,6 +9,11 @@
 // which the fast path then samples with one uniform draw per cell (and, in
 // the common all-correct case, one draw per word). Tests verify the fast
 // path is statistically indistinguishable from the exact path.
+//
+// Calibration is embarrassingly parallel: trials are split into fixed-size
+// shards, each drawing from its own Rng::Split()-derived substream keyed by
+// (level, shard index), so the merged result is bit-identical for every
+// thread count — including fully serial execution.
 #ifndef APPROXMEM_MLC_CALIBRATION_H_
 #define APPROXMEM_MLC_CALIBRATION_H_
 
@@ -16,6 +21,7 @@
 #include <cstdio>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -23,14 +29,27 @@
 #include "common/status.h"
 #include "mlc/mlc_config.h"
 
+namespace approxmem {
+class ThreadPool;
+}  // namespace approxmem
+
 namespace approxmem::mlc {
 
 /// Summary of the exact cell model at one configuration.
 class CellCalibration {
  public:
-  /// Runs `trials_per_level` exact write+read simulations per level.
+  /// Runs `trials_per_level` exact write+read simulations per level,
+  /// seeding the shard substreams from one draw of `rng` (serial
+  /// convenience API; equivalent to the seed overload below).
   static CellCalibration Run(const MlcConfig& config,
                              uint64_t trials_per_level, Rng& rng);
+
+  /// Deterministic, optionally parallel calibration. Shards run on `pool`
+  /// when given (nullptr = serial); the result depends only on (config,
+  /// trials_per_level, seed), never on the thread count or schedule.
+  static CellCalibration Run(const MlcConfig& config,
+                             uint64_t trials_per_level, uint64_t seed,
+                             ThreadPool* pool = nullptr);
 
   const MlcConfig& config() const { return config_; }
   uint64_t trials_per_level() const { return trials_per_level_; }
@@ -82,14 +101,28 @@ class CellCalibration {
 
 /// Lazily calibrates and caches per-T calibrations for a fixed base config.
 /// Keys are the exact T bit patterns, so sweeps over a T grid reuse entries.
+///
+/// Thread-safe: concurrent ForT calls may share one cache. Each T is
+/// calibrated at most once (per-entry locking; the computation runs outside
+/// the map lock), and every entry's substream seed is derived from
+/// (cache seed, T) alone, so the cached values are independent of the order
+/// in which Ts are requested and of which thread computes them.
 class CalibrationCache {
  public:
   /// `trials_per_level` trades calibration accuracy for startup time.
+  /// `pool`, when non-null, parallelizes each entry's Monte-Carlo shards;
+  /// it must outlive the cache.
   explicit CalibrationCache(MlcConfig base_config,
                             uint64_t trials_per_level = 200000,
-                            uint64_t seed = 0xca11b7a7e5eedULL);
+                            uint64_t seed = 0xca11b7a7e5eedULL,
+                            ThreadPool* pool = nullptr);
+
+  /// Sets the shard pool. Not thread-safe; call before sharing the cache.
+  void set_thread_pool(ThreadPool* pool) { pool_ = pool; }
 
   /// Returns the calibration for the base config with t_width = t.
+  /// Thread-safe; the returned reference stays valid for the cache's
+  /// lifetime.
   const CellCalibration& ForT(double t);
 
   /// p(t) of Section 2.2: avg #P at `t` divided by avg #P at the precise T.
@@ -106,10 +139,21 @@ class CalibrationCache {
   StatusOr<size_t> LoadFromFile(const std::string& path);
 
  private:
+  // One cached T: per-entry lock so distinct Ts calibrate concurrently
+  // while a second request for the same T blocks until it is ready.
+  struct Entry {
+    std::mutex mu;
+    std::unique_ptr<CellCalibration> calibration;
+  };
+
+  uint64_t SeedForT(double t) const;
+
   MlcConfig base_config_;
   uint64_t trials_per_level_;
-  Rng rng_;
-  std::map<double, std::unique_ptr<CellCalibration>> cache_;
+  uint64_t seed_;
+  ThreadPool* pool_ = nullptr;
+  mutable std::mutex mu_;  // Guards cache_ (the map, not the entries).
+  std::map<double, std::unique_ptr<Entry>> cache_;
 };
 
 }  // namespace approxmem::mlc

@@ -1,0 +1,156 @@
+// The parallel experiment layer's contract: for a fixed seed, calibrations
+// and whole sweep results are bit-identical for every thread count, and the
+// shared CalibrationCache stays consistent under concurrent ForT calls.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "core/engine.h"
+#include "core/workload.h"
+#include "mlc/calibration.h"
+
+namespace approxmem {
+namespace {
+
+std::string SerializeToString(const mlc::CellCalibration& calib) {
+  std::FILE* f = std::tmpfile();
+  EXPECT_NE(f, nullptr);
+  calib.Serialize(f);
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  std::string text(static_cast<size_t>(size), '\0');
+  EXPECT_EQ(std::fread(text.data(), 1, text.size(), f), text.size());
+  std::fclose(f);
+  return text;
+}
+
+TEST(ParallelCalibrationTest, BitIdenticalAcrossThreadCounts) {
+  const mlc::MlcConfig config = mlc::MlcConfig().WithT(0.055);
+  ThreadPool pool4(4);
+  const mlc::CellCalibration serial =
+      mlc::CellCalibration::Run(config, 20000, /*seed=*/7, nullptr);
+  const mlc::CellCalibration parallel =
+      mlc::CellCalibration::Run(config, 20000, /*seed=*/7, &pool4);
+  // Full state — every CDF bucket included — must match bit for bit.
+  EXPECT_EQ(SerializeToString(serial), SerializeToString(parallel));
+
+  ThreadPool pool2(2);
+  const mlc::CellCalibration two_threads =
+      mlc::CellCalibration::Run(config, 20000, /*seed=*/7, &pool2);
+  EXPECT_EQ(SerializeToString(serial), SerializeToString(two_threads));
+}
+
+TEST(ParallelCalibrationTest, SeedAndTrialCountChangeTheResult) {
+  const mlc::MlcConfig config = mlc::MlcConfig().WithT(0.055);
+  const mlc::CellCalibration base =
+      mlc::CellCalibration::Run(config, 20000, /*seed=*/7, nullptr);
+  const mlc::CellCalibration other_seed =
+      mlc::CellCalibration::Run(config, 20000, /*seed=*/8, nullptr);
+  EXPECT_NE(SerializeToString(base), SerializeToString(other_seed));
+}
+
+TEST(ParallelCalibrationTest, CacheEntriesAreCallOrderIndependent) {
+  const mlc::MlcConfig config;
+  mlc::CalibrationCache forward(config, 5000, /*seed=*/21);
+  mlc::CalibrationCache backward(config, 5000, /*seed=*/21);
+  const std::vector<double> ts = {0.03, 0.055, 0.08, 0.1};
+  for (size_t i = 0; i < ts.size(); ++i) forward.ForT(ts[i]);
+  for (size_t i = ts.size(); i-- > 0;) backward.ForT(ts[i]);
+  for (const double t : ts) {
+    EXPECT_EQ(SerializeToString(forward.ForT(t)),
+              SerializeToString(backward.ForT(t)))
+        << "t=" << t;
+  }
+}
+
+TEST(CalibrationCacheConcurrencyTest, ConcurrentForTIsOnceAndConsistent) {
+  const mlc::MlcConfig config;
+  ThreadPool pool(4);
+  mlc::CalibrationCache cache(config, 3000, /*seed=*/99, &pool);
+  const std::vector<double> ts = {0.03, 0.055, 0.08, 0.1};
+  constexpr int kThreads = 8;
+  std::vector<const mlc::CellCalibration*> seen(
+      static_cast<size_t>(kThreads) * ts.size(), nullptr);
+  std::vector<std::thread> threads;
+  for (int th = 0; th < kThreads; ++th) {
+    threads.emplace_back([&, th] {
+      // Each thread walks the grid from a different starting point, so
+      // every T sees concurrent first requests across the run.
+      for (size_t i = 0; i < ts.size(); ++i) {
+        const size_t slot = (static_cast<size_t>(th) + i) % ts.size();
+        seen[static_cast<size_t>(th) * ts.size() + slot] =
+            &cache.ForT(ts[slot]);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  // Every thread got the same object per T: calibrated exactly once.
+  for (size_t slot = 0; slot < ts.size(); ++slot) {
+    for (int th = 1; th < kThreads; ++th) {
+      EXPECT_EQ(seen[static_cast<size_t>(th) * ts.size() + slot],
+                seen[slot])
+          << "t=" << ts[slot];
+    }
+  }
+  // And the concurrent cache matches a serial cache with the same seed.
+  mlc::CalibrationCache serial(config, 3000, /*seed=*/99);
+  for (const double t : ts) {
+    EXPECT_EQ(SerializeToString(cache.ForT(t)),
+              SerializeToString(serial.ForT(t)))
+        << "t=" << t;
+  }
+}
+
+// One sweep cell of a miniature (T x algorithm) grid, formatted the way the
+// bench binaries build their CSV rows.
+std::vector<std::string> RunMiniSweep(int threads) {
+  const std::vector<double> ts = {0.045, 0.055};
+  const std::vector<sort::AlgorithmId> algorithms = {
+      {sort::SortKind::kLsdRadix, 3},
+      {sort::SortKind::kQuicksort, 0},
+      {sort::SortKind::kMergesort, 0}};
+  ThreadPool pool(threads);
+  auto cache = std::make_shared<mlc::CalibrationCache>(
+      mlc::MlcConfig(), 5000, /*seed=*/42 ^ 0xca11b7a7e5eedULL, &pool);
+  const auto keys = core::MakeKeys(core::WorkloadKind::kUniform, 2000, 42);
+
+  std::vector<std::string> rows(ts.size() * algorithms.size());
+  pool.ParallelFor(0, rows.size(), [&](size_t cell) {
+    const size_t row = cell / algorithms.size();
+    const size_t col = cell % algorithms.size();
+    core::EngineOptions options;
+    options.seed = 42 ^ (row * 1000 + col + 1);
+    options.calibration_trials = 5000;
+    options.shared_calibration = cache;
+    core::ApproxSortEngine engine(options);
+    const auto outcome =
+        engine.SortApproxRefine(keys, algorithms[col], ts[row]);
+    ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), "%.17g,%d", outcome->write_reduction,
+                  outcome->refine.verified ? 1 : 0);
+    rows[cell] = buffer;
+  });
+  return rows;
+}
+
+TEST(ParallelSweepTest, RowsAreIdenticalAcrossThreadCounts) {
+  const std::vector<std::string> serial = RunMiniSweep(1);
+  const std::vector<std::string> parallel = RunMiniSweep(4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i], parallel[i]) << "cell " << i;
+  }
+  // Sanity: the sweep produced verified, non-trivial results.
+  for (const std::string& row : serial) {
+    EXPECT_NE(row.find(",1"), std::string::npos) << row;
+  }
+}
+
+}  // namespace
+}  // namespace approxmem

@@ -1,0 +1,146 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace approxmem {
+namespace {
+
+TEST(ThreadPoolTest, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr size_t kItems = 10000;
+  std::vector<std::atomic<int>> hits(kItems);
+  pool.ParallelFor(0, kItems, [&](size_t i) { ++hits[i]; });
+  for (size_t i = 0; i < kItems; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, RespectsBeginOffset) {
+  ThreadPool pool(3);
+  std::atomic<size_t> sum{0};
+  pool.ParallelFor(100, 200, [&](size_t i) { sum += i; });
+  size_t expected = 0;
+  for (size_t i = 100; i < 200; ++i) expected += i;
+  EXPECT_EQ(sum.load(), expected);
+}
+
+TEST(ThreadPoolTest, ResultsLandInSlotOrderRegardlessOfSchedule) {
+  // Cells write into per-index slots, so collected output is in index order
+  // no matter which thread finished first — the sweep-grid invariant.
+  ThreadPool pool(4);
+  std::vector<size_t> out(512, 0);
+  pool.ParallelFor(0, out.size(), [&](size_t i) { out[i] = i * i; });
+  for (size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], i * i);
+}
+
+TEST(ThreadPoolTest, EmptyAndSingletonRanges) {
+  ThreadPool pool(4);
+  int calls = 0;
+  pool.ParallelFor(5, 5, [&](size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  pool.ParallelFor(7, 8, [&](size_t i) {
+    ++calls;
+    EXPECT_EQ(i, 7u);
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPoolTest, SerialPoolRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.thread_count(), 1);
+  std::vector<size_t> order;
+  pool.ParallelFor(0, 16, [&](size_t i) { order.push_back(i); });
+  std::vector<size_t> expected(16);
+  std::iota(expected.begin(), expected.end(), 0);
+  EXPECT_EQ(order, expected);  // Inline execution preserves index order.
+}
+
+TEST(ThreadPoolTest, PropagatesFirstException) {
+  ThreadPool pool(4);
+  std::atomic<int> executed{0};
+  EXPECT_THROW(
+      pool.ParallelFor(0, 1000,
+                       [&](size_t i) {
+                         ++executed;
+                         if (i == 3) throw std::runtime_error("boom");
+                       }),
+      std::runtime_error);
+  // Iterations not yet started when the exception hit are skipped.
+  EXPECT_LE(executed.load(), 1000);
+  // The pool survives and is reusable after an exception.
+  std::atomic<int> after{0};
+  pool.ParallelFor(0, 100, [&](size_t) { ++after; });
+  EXPECT_EQ(after.load(), 100);
+}
+
+TEST(ThreadPoolTest, ExceptionInSerialPoolPropagates) {
+  ThreadPool pool(1);
+  EXPECT_THROW(pool.ParallelFor(0, 4,
+                                [](size_t i) {
+                                  if (i == 2) throw std::runtime_error("x");
+                                }),
+               std::runtime_error);
+}
+
+TEST(ThreadPoolTest, NestedParallelForRunsInlineWithoutDeadlock) {
+  ThreadPool pool(4);
+  constexpr size_t kOuter = 32;
+  constexpr size_t kInner = 64;
+  std::vector<std::atomic<int>> hits(kOuter * kInner);
+  pool.ParallelFor(0, kOuter, [&](size_t outer) {
+    // A worker calling ParallelFor on the same pool must not deadlock; the
+    // nested loop runs inline on that worker.
+    pool.ParallelFor(0, kInner, [&](size_t inner) {
+      ++hits[outer * kInner + inner];
+    });
+  });
+  for (size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "cell " << i;
+  }
+}
+
+TEST(ThreadPoolTest, NestedExceptionPropagatesThroughBothLevels) {
+  ThreadPool pool(3);
+  EXPECT_THROW(pool.ParallelFor(0, 8,
+                                [&](size_t outer) {
+                                  pool.ParallelFor(0, 8, [&](size_t inner) {
+                                    if (outer == 5 && inner == 5) {
+                                      throw std::runtime_error("nested");
+                                    }
+                                  });
+                                }),
+               std::runtime_error);
+}
+
+TEST(ThreadPoolTest, ConcurrentParallelForsFromDistinctThreads) {
+  // CalibrationCache::ForT issues ParallelFors from arbitrary caller
+  // threads; the pool must serve them concurrently without losing work.
+  ThreadPool pool(4);
+  constexpr int kCallers = 6;
+  constexpr size_t kItems = 2000;
+  std::vector<std::atomic<size_t>> sums(kCallers);
+  std::vector<std::thread> callers;
+  for (int c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&, c] {
+      pool.ParallelFor(0, kItems, [&, c](size_t i) { sums[c] += i + 1; });
+    });
+  }
+  for (std::thread& t : callers) t.join();
+  for (int c = 0; c < kCallers; ++c) {
+    EXPECT_EQ(sums[c].load(), kItems * (kItems + 1) / 2);
+  }
+}
+
+TEST(ThreadPoolTest, HardwareDefaultHasAtLeastOneThread) {
+  ThreadPool pool;  // threads <= 0 resolves to hardware concurrency.
+  EXPECT_GE(pool.thread_count(), 1);
+  EXPECT_GE(ThreadPool::HardwareThreads(), 1);
+}
+
+}  // namespace
+}  // namespace approxmem
