@@ -4,15 +4,18 @@ namespace approxmem::approx {
 
 ApproxArrayU32::ApproxArrayU32(size_t n, WriteModel* model, Rng rng,
                                mem::TraceBuffer* trace, uint64_t base_address,
-                               double sequential_write_discount)
+                               double sequential_write_discount,
+                               MemoryFaultHook* fault_hook)
     : actual_(n, 0),
       intended_(n, 0),
       model_(model),
       rng_(rng),
       trace_(trace),
+      fault_hook_(fault_hook),
       base_address_(base_address),
       read_cost_(model != nullptr ? model->ReadCost() : 0.0),
       seq_discount_(sequential_write_discount),
+      precise_(model == nullptr || model->IsPrecise()),
       last_written_(static_cast<size_t>(-1)) {
   // A null model is only legal for empty placeholder arrays.
   APPROXMEM_CHECK(model != nullptr || n == 0);
@@ -26,9 +29,11 @@ ApproxArrayU32::ApproxArrayU32(ApproxArrayU32&& other) noexcept
       model_(other.model_),
       rng_(other.rng_),
       trace_(other.trace_),
+      fault_hook_(other.fault_hook_),
       base_address_(other.base_address_),
       read_cost_(other.read_cost_),
       seq_discount_(other.seq_discount_),
+      precise_(other.precise_),
       last_written_(other.last_written_),
       stats_(other.stats_),
       stats_sink_(other.stats_sink_) {
@@ -45,9 +50,11 @@ ApproxArrayU32& ApproxArrayU32::operator=(ApproxArrayU32&& other) noexcept {
     model_ = other.model_;
     rng_ = other.rng_;
     trace_ = other.trace_;
+    fault_hook_ = other.fault_hook_;
     base_address_ = other.base_address_;
     read_cost_ = other.read_cost_;
     seq_discount_ = other.seq_discount_;
+    precise_ = other.precise_;
     last_written_ = other.last_written_;
     stats_ = other.stats_;
     stats_sink_ = other.stats_sink_;

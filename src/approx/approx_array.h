@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "approx/fault_hook.h"
 #include "approx/memory_stats.h"
 #include "approx/write_model.h"
 #include "common/check.h"
@@ -31,9 +32,12 @@ class ApproxArrayU32 {
   /// scales the cost of a write that lands at (last written index + 1) —
   /// the sequential-vs-random PCM write asymmetry the paper's Section 5
   /// discussion calls for (1.0 disables it).
+  /// `fault_hook`, when set, observes and may perturb every access (see
+  /// fault_hook.h); null means fault-free operation.
   ApproxArrayU32(size_t n, WriteModel* model, Rng rng,
                  mem::TraceBuffer* trace = nullptr, uint64_t base_address = 0,
-                 double sequential_write_discount = 1.0);
+                 double sequential_write_discount = 1.0,
+                 MemoryFaultHook* fault_hook = nullptr);
   ~ApproxArrayU32();
 
   ApproxArrayU32(ApproxArrayU32&& other) noexcept;
@@ -43,20 +47,30 @@ class ApproxArrayU32 {
 
   size_t size() const { return actual_.size(); }
 
-  /// Reads element `i` (one simulated memory read).
+  /// Reads element `i` (one simulated memory read). A fault hook may flip
+  /// the observed value transiently (the stored value is untouched).
   uint32_t Get(size_t i) {
     APPROXMEM_CHECK(i < actual_.size());
     ++stats_.word_reads;
     stats_.read_cost += read_cost_;
     if (trace_ != nullptr) trace_->AppendRead(base_address_ + i * 4u);
-    return actual_[i];
+    uint32_t value = actual_[i];
+    if (fault_hook_ != nullptr) {
+      value = fault_hook_->OnRead(base_address_ + i * 4u, precise_, value);
+    }
+    return value;
   }
 
   /// Writes element `i` (one simulated memory write, possibly corrupted).
   void Set(size_t i, uint32_t value) {
     APPROXMEM_CHECK(i < actual_.size());
     const WordWriteOutcome outcome = model_->Write(value, rng_);
-    actual_[i] = outcome.stored;
+    uint32_t stored = outcome.stored;
+    if (fault_hook_ != nullptr) {
+      stored = fault_hook_->OnWrite(base_address_ + i * 4u, precise_, value,
+                                    stored);
+    }
+    actual_[i] = stored;
     intended_[i] = value;
     ++stats_.word_writes;
     stats_.pv_iterations += outcome.pv_iterations;
@@ -68,7 +82,7 @@ class ApproxArrayU32 {
       stats_.write_cost += outcome.cost;
     }
     last_written_ = i;
-    if (outcome.stored != value) ++stats_.corrupted_writes;
+    if (stored != value) ++stats_.corrupted_writes;
     if (trace_ != nullptr) trace_->AppendWrite(base_address_ + i * 4u);
   }
 
@@ -103,7 +117,7 @@ class ApproxArrayU32 {
   void FlushStats();
 
   uint64_t base_address() const { return base_address_; }
-  bool precise() const { return model_->IsPrecise(); }
+  bool precise() const { return precise_; }
 
  private:
   std::vector<uint32_t> actual_;
@@ -111,9 +125,14 @@ class ApproxArrayU32 {
   WriteModel* model_;
   Rng rng_;
   mem::TraceBuffer* trace_;
+  MemoryFaultHook* fault_hook_;
   uint64_t base_address_;
   double read_cost_;
   double seq_discount_;
+  // Cached model_->IsPrecise() (true for empty placeholder arrays); lets
+  // Get/Set report the precision domain to the fault hook without a
+  // virtual call per access.
+  bool precise_;
   // Index of the most recent write; SIZE_MAX means "none yet", so the very
   // first write is never treated as sequential.
   size_t last_written_;

@@ -207,7 +207,8 @@ ApproxArrayU32 ApproxMemory::NewPreciseArray(size_t n) {
   const uint64_t base = next_base_address_;
   next_base_address_ += ((n * 4 + 4095) / 4096 + 1) * 4096;
   return ApproxArrayU32(n, precise_model_.get(), rng_.Split(), options_.trace,
-                        base, options_.sequential_write_discount);
+                        base, options_.sequential_write_discount,
+                        options_.fault_hook);
 }
 
 ApproxArrayU32 ApproxMemory::NewApproxArray(size_t n, double t) {
@@ -215,7 +216,8 @@ ApproxArrayU32 ApproxMemory::NewApproxArray(size_t n, double t) {
   const uint64_t base = next_base_address_;
   next_base_address_ += ((n * 4 + 4095) / 4096 + 1) * 4096;
   return ApproxArrayU32(n, PcmModelForT(t), rng_.Split(), options_.trace,
-                        base, options_.sequential_write_discount);
+                        base, options_.sequential_write_discount,
+                        options_.fault_hook);
 }
 
 ApproxArrayU32 ApproxMemory::NewSpintronicArray(
@@ -226,7 +228,8 @@ ApproxArrayU32 ApproxMemory::NewSpintronicArray(
   next_base_address_ += ((n * 4 + 4095) / 4096 + 1) * 4096;
   return ApproxArrayU32(n, spintronic_models_.back().get(), rng_.Split(),
                         options_.trace, base,
-                        options_.sequential_write_discount);
+                        options_.sequential_write_discount,
+                        options_.fault_hook);
 }
 
 ApproxArrayU32 ApproxMemory::NewPreciseSpintronicArray(size_t n) {
@@ -234,7 +237,8 @@ ApproxArrayU32 ApproxMemory::NewPreciseSpintronicArray(size_t n) {
   next_base_address_ += ((n * 4 + 4095) / 4096 + 1) * 4096;
   return ApproxArrayU32(n, precise_spintronic_model_.get(), rng_.Split(),
                         options_.trace, base,
-                        options_.sequential_write_discount);
+                        options_.sequential_write_discount,
+                        options_.fault_hook);
 }
 
 }  // namespace approxmem::approx

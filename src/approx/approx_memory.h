@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "approx/approx_array.h"
+#include "approx/fault_hook.h"
 #include "approx/spintronic.h"
 #include "approx/write_model.h"
 #include "common/random.h"
@@ -41,6 +42,9 @@ class ApproxMemory {
     /// Optional trace sink; when set, arrays log accesses for replay
     /// through mem::MemorySystem.
     mem::TraceBuffer* trace = nullptr;
+    /// Optional fault-injection hook observing every array access (see
+    /// fault_hook.h). Not owned; must outlive the memory and its arrays.
+    MemoryFaultHook* fault_hook = nullptr;
     /// Optional shared calibration cache. When set, this memory reuses the
     /// given cache (which is thread-safe and keys every entry's substream
     /// by (cache seed, T)) instead of building its own — so the engines of

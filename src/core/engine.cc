@@ -16,6 +16,8 @@ approx::ApproxMemory::Options ToMemoryOptions(const EngineOptions& options) {
   memory_options.shared_calibration = options.shared_calibration;
   memory_options.sequential_write_discount =
       options.sequential_write_discount;
+  memory_options.trace = options.trace;
+  memory_options.fault_hook = options.fault_hook;
   return memory_options;
 }
 

@@ -51,6 +51,9 @@ class MemorySystem {
   MemorySystemStats Finish();
 
   const CacheHierarchy& hierarchy() const { return hierarchy_; }
+  /// The banked PCM backend (for fault listeners and conservation checks).
+  PcmSimulator& pcm() { return pcm_; }
+  const PcmSimulator& pcm() const { return pcm_; }
 
  private:
   CacheHierarchy hierarchy_;

@@ -73,6 +73,13 @@ double PcmSimulator::DrainOneWrite(Bank& bank) {
   return bank.inflight_end_ns;
 }
 
+double PcmSimulator::FaultFactor(uint64_t address, AccessKind kind) {
+  if (faults_ == nullptr) return 1.0;
+  const double factor = faults_->OnPcmAccess(address, kind);
+  if (factor != 1.0) ++stats_.faulted_accesses;
+  return factor;
+}
+
 double PcmSimulator::Read(uint64_t address) {
   Bank& bank = banks_[BankOf(address)];
   const double now = cpu_time_ns_;
@@ -81,7 +88,9 @@ double PcmSimulator::Read(uint64_t address) {
   // operation currently occupying the bank.
   const double start = std::max(now, bank.inflight_end_ns);
   const double end =
-      start + ServiceLatency(bank, RowOf(address), config_.read_latency_ns);
+      start + ServiceLatency(bank, RowOf(address),
+                             config_.read_latency_ns *
+                                 FaultFactor(address, AccessKind::kRead));
   bank.inflight_end_ns = end;
   const double wait = start - now;
   stats_.read_queue_wait_ns += wait;
@@ -108,7 +117,9 @@ void PcmSimulator::Write(uint64_t address, double service_latency_ns) {
     ++stats_.write_queue_full_events;
   }
   bank.write_queue.push_back(
-      QueuedWrite{cpu_time_ns_, service_latency_ns, RowOf(address)});
+      QueuedWrite{cpu_time_ns_,
+                  service_latency_ns * FaultFactor(address, AccessKind::kWrite),
+                  RowOf(address)});
   ++stats_.writes;
 }
 

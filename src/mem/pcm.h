@@ -37,10 +37,26 @@ struct PcmConfig {
   Status Validate() const;
 };
 
+/// Observes PCM accesses and degrades faulty ones.
+///
+/// The testing layer threads one injector through both the array facade
+/// (value corruption, approx/fault_hook.h) and this listener (timing
+/// degradation of the banked device model): an access that lands on a
+/// faulty cell region costs its base latency times the returned factor.
+class PcmFaultListener {
+ public:
+  virtual ~PcmFaultListener() = default;
+
+  /// Returns the service-latency multiplier for this access (>= 1.0
+  /// degrades; exactly 1.0 means the region is healthy).
+  virtual double OnPcmAccess(uint64_t address, AccessKind kind) = 0;
+};
+
 /// Aggregate results of replaying a trace.
 struct PcmStats {
   uint64_t reads = 0;
   uint64_t writes = 0;
+  uint64_t faulted_accesses = 0;  // Accesses degraded by a fault listener.
   double total_read_latency_ns = 0.0;   // Service time seen by the CPU.
   double total_write_latency_ns = 0.0;  // Bank service time of all writes.
   double read_queue_wait_ns = 0.0;      // Waiting behind in-service ops.
@@ -75,6 +91,10 @@ class PcmSimulator {
 
   /// Replays a whole trace (reads blocking, writes posted) then finishes.
   static PcmStats Replay(const PcmConfig& config, const TraceBuffer& trace);
+
+  /// Installs a fault listener degrading the latency of faulty accesses.
+  /// Not owned; pass nullptr to detach.
+  void SetFaultListener(PcmFaultListener* listener) { faults_ = listener; }
 
   const PcmStats& Stats() const { return stats_; }
   double cpu_time_ns() const { return cpu_time_ns_; }
@@ -114,9 +134,14 @@ class PcmSimulator {
   // completion time.
   double DrainOneWrite(Bank& bank);
 
+  // Latency multiplier from the fault listener (1.0 when none); counts the
+  // access as faulted when degraded.
+  double FaultFactor(uint64_t address, AccessKind kind);
+
   PcmConfig config_;
   std::vector<Bank> banks_;
   PcmStats stats_;
+  PcmFaultListener* faults_ = nullptr;
   double cpu_time_ns_ = 0.0;
 };
 

@@ -1,0 +1,101 @@
+// Differential oracle: one engine workload vs. the precise golden model.
+//
+// The oracle runs core::ApproxSortEngine::SortApproxRefine on a generated
+// input and checks every invariant the paper's mechanism promises,
+// regardless of how much the approximate stage was corrupted (including by
+// an attached FaultInjector):
+//
+//   refine-verified          the pipeline's own verification passed;
+//   golden-keys              final keys == std::stable_sort of the input;
+//   ids-permutation          final IDs are a permutation of 0..n-1;
+//   keys-match-ids           finalKey[i] == input[finalID[i]];
+//   precise-cost-accounting  every precise-domain ledger costs exactly
+//                            (writes x 1 us + reads x 50 ns), uncorrupted;
+//   t0-bit-identical         at the precise operating point the approx-only
+//                            sort output already equals the golden keys
+//                            with zero corrupted writes;
+//   trace-conservation       replaying the access trace through
+//                            mem::MemorySystem conserves accesses across
+//                            the cache hierarchy and PCM (hits + misses ==
+//                            reads in; PCM writes == writes in).
+//
+// Faults injected into the *approximate* domain must never produce a
+// failure (that is the refine guarantee under test); faults injected into
+// the *precise* domain must produce one (the oracle's own negative test).
+#ifndef APPROXMEM_TESTING_DIFFERENTIAL_ORACLE_H_
+#define APPROXMEM_TESTING_DIFFERENTIAL_ORACLE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "approx/approx_memory.h"
+#include "mlc/calibration.h"
+#include "sort/sort_common.h"
+#include "testing/fault_injection.h"
+#include "testing/generators.h"
+
+namespace approxmem::testing {
+
+/// One oracle case: everything needed to reproduce a run, as a tuple the
+/// shrinker can minimize.
+struct OracleCase {
+  uint64_t seed = 1;
+  size_t n = 256;
+  /// Paper T label: 0 (precise point), 30, 55, 100, ... (t = label/1000).
+  int paper_t = 55;
+  sort::AlgorithmId algorithm;
+  InputShape shape = InputShape::kUniform;
+
+  /// "quicksort/uniform n=256 T=55 seed=1" — paste-able repro label.
+  std::string Name() const;
+};
+
+struct OracleOptions {
+  /// Monte-Carlo trials per calibration; small values keep the suite fast.
+  uint64_t calibration_trials = 5000;
+  approx::SimulationMode mode = approx::SimulationMode::kFast;
+  /// Share one cache across many cases so each T calibrates once.
+  std::shared_ptr<mlc::CalibrationCache> shared_calibration;
+  /// Optional fault injector attached to the engine. Not owned.
+  FaultInjector* injector = nullptr;
+  /// Replay the full access trace through mem::MemorySystem and check
+  /// conservation. Costs memory proportional to the access count.
+  bool check_trace_conservation = false;
+  /// Run the approx-only bit-identical check when paper_t == 0 and no
+  /// injector is attached.
+  bool check_bit_identical_at_t0 = true;
+};
+
+/// One violated invariant.
+struct OracleFailure {
+  std::string invariant;  // One of the names in the header comment.
+  std::string detail;
+};
+
+struct OracleReport {
+  OracleCase oracle_case;
+  bool ok = false;
+  std::vector<OracleFailure> failures;
+  /// FNV-1a digest of the outputs and verdict; equal digests across runs
+  /// and thread counts demonstrate determinism.
+  uint64_t digest = 0;
+  /// Ledger extracts for reporting.
+  size_t rem_estimate = 0;
+  double write_reduction = 0.0;
+
+  std::string FailureSummary() const;
+};
+
+/// Runs one case against the golden model. Deterministic in (case,
+/// options, injector plan).
+OracleReport RunDifferentialOracle(const OracleCase& oracle_case,
+                                   const OracleOptions& options);
+
+/// FNV-1a 64-bit, the digest primitive used across the test framework.
+uint64_t Fnv1a64(const void* data, size_t bytes, uint64_t seed = 0xcbf29ce484222325ULL);
+
+}  // namespace approxmem::testing
+
+#endif  // APPROXMEM_TESTING_DIFFERENTIAL_ORACLE_H_

@@ -1,0 +1,102 @@
+#include "testing/fault_injection.h"
+
+namespace approxmem::testing {
+
+FaultPlan FaultPlan::ApproxStorm(uint64_t seed) {
+  FaultPlan plan;
+  plan.seed = seed;
+  Rng rng(seed ^ 0xfa017570a3ULL);
+  TransientReadFault flips;
+  flips.domain = FaultDomain::kApproxOnly;
+  flips.probability = rng.UniformDouble(1e-4, 2e-3);
+  plan.read_flips.push_back(flips);
+  DriftBurstFault burst;
+  burst.domain = FaultDomain::kApproxOnly;
+  burst.start_write = rng.UniformInt(4096);
+  burst.length = 512 + rng.UniformInt(4096);
+  burst.probability = rng.UniformDouble(0.01, 0.2);
+  plan.drift_bursts.push_back(burst);
+  ErrorRateOverride over;
+  over.domain = FaultDomain::kApproxOnly;
+  over.probability = rng.UniformDouble(1e-4, 5e-3);
+  plan.rate_overrides.push_back(over);
+  return plan;
+}
+
+FaultInjector::FaultInjector(const FaultPlan& plan)
+    : plan_(plan), write_rng_(0), read_rng_(0) {
+  Rng root(plan.seed);
+  write_rng_ = root.Split();
+  read_rng_ = root.Split();
+}
+
+uint32_t FaultInjector::OnWrite(uint64_t address, bool precise_domain,
+                                uint32_t intended, uint32_t stored) {
+  (void)intended;
+  const uint64_t write_index = writes_seen_++;
+  uint32_t out = stored;
+  for (const DriftBurstFault& burst : plan_.drift_bursts) {
+    if (!DomainMatches(burst.domain, precise_domain)) continue;
+    if (write_index < burst.start_write ||
+        write_index >= burst.start_write + burst.length) {
+      continue;
+    }
+    if (write_rng_.UniformDouble() < burst.probability) {
+      out = FlipRandomBit(out, write_rng_);
+    }
+  }
+  for (const ErrorRateOverride& over : plan_.rate_overrides) {
+    if (!DomainMatches(over.domain, precise_domain)) continue;
+    if (!over.region.Contains(address)) continue;
+    if (write_rng_.UniformDouble() < over.probability) {
+      out = FlipRandomBit(out, write_rng_);
+    }
+  }
+  for (const StuckAtFault& stuck : plan_.stuck_at) {
+    if (!DomainMatches(stuck.domain, precise_domain)) continue;
+    if (!stuck.region.Contains(address)) continue;
+    out = (out & ~stuck.mask) | (stuck.value & stuck.mask);
+  }
+  if (out != stored) ++injected_write_faults_;
+  return out;
+}
+
+uint32_t FaultInjector::OnRead(uint64_t address, bool precise_domain,
+                               uint32_t value) {
+  ++reads_seen_;
+  uint32_t out = value;
+  for (const TransientReadFault& flip : plan_.read_flips) {
+    if (!DomainMatches(flip.domain, precise_domain)) continue;
+    if (!flip.region.Contains(address)) continue;
+    if (read_rng_.UniformDouble() < flip.probability) {
+      out = FlipRandomBit(out, read_rng_);
+    }
+  }
+  // Stuck-at applies to reads as well so the fault is visible even for
+  // cells written before the injector was attached.
+  for (const StuckAtFault& stuck : plan_.stuck_at) {
+    if (!DomainMatches(stuck.domain, precise_domain)) continue;
+    if (!stuck.region.Contains(address)) continue;
+    out = (out & ~stuck.mask) | (stuck.value & stuck.mask);
+  }
+  if (out != value) ++injected_read_faults_;
+  return out;
+}
+
+bool FaultInjector::InDegradedRegion(uint64_t address) const {
+  for (const StuckAtFault& stuck : plan_.stuck_at) {
+    if (stuck.region.Contains(address)) return true;
+  }
+  for (const ErrorRateOverride& over : plan_.rate_overrides) {
+    if (over.region.Contains(address)) return true;
+  }
+  return false;
+}
+
+double FaultInjector::OnPcmAccess(uint64_t address, mem::AccessKind kind) {
+  (void)kind;
+  if (plan_.pcm_latency_factor == 1.0) return 1.0;
+  return InDegradedRegion(address) ? plan_.pcm_latency_factor : 1.0;
+}
+
+}  // namespace approxmem::testing

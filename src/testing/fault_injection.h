@@ -1,0 +1,165 @@
+// Deterministic fault injection for the approximate-memory engine.
+//
+// A FaultPlan describes a set of substrate faults; a FaultInjector realizes
+// the plan as an approx::MemoryFaultHook (value corruption on the array
+// facade) and a mem::PcmFaultListener (latency degradation on the banked
+// device model). Everything stochastic flows through two Rng::Split
+// substreams of one uint64 seed, so any failure an injected run produces is
+// replayable from (plan, workload seed) alone.
+//
+// Fault kinds (all scoped by address region and precision domain):
+//   * stuck-at cells   — bits in a region permanently forced to a value,
+//                        applied to every write and read of the region;
+//   * transient read flips — a read observes a flipped bit with some
+//                        probability; the stored value is untouched;
+//   * drift bursts     — a window of the write sequence (e.g. "writes
+//                        10'000 to 20'000") during which writes suffer an
+//                        extra error probability, modeling a burst of
+//                        resistance drift;
+//   * error-rate overrides — a region whose writes suffer an extra word
+//                        error probability regardless of the write model's
+//                        own calibrated rate.
+#ifndef APPROXMEM_TESTING_FAULT_INJECTION_H_
+#define APPROXMEM_TESTING_FAULT_INJECTION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "approx/fault_hook.h"
+#include "common/random.h"
+#include "mem/pcm.h"
+
+namespace approxmem::testing {
+
+/// Which precision domain a fault applies to. Faults in the approximate
+/// domain are covered by the paper's refine guarantee; faults in the
+/// precise domain break it and must be caught by the differential oracle.
+enum class FaultDomain {
+  kAny,
+  kPreciseOnly,
+  kApproxOnly,
+};
+
+/// Half-open byte-address region [begin, end) in the flat simulated space.
+struct AddressRegion {
+  uint64_t begin = 0;
+  uint64_t end = ~uint64_t{0};
+
+  bool Contains(uint64_t address) const {
+    return address >= begin && address < end;
+  }
+  static AddressRegion All() { return AddressRegion{}; }
+};
+
+/// Bits under `mask` in the region permanently read/write as `value`.
+struct StuckAtFault {
+  AddressRegion region;
+  FaultDomain domain = FaultDomain::kAny;
+  uint32_t mask = 1;
+  uint32_t value = 0;
+};
+
+/// Reads in the region observe a random single-bit flip with `probability`.
+struct TransientReadFault {
+  AddressRegion region;
+  FaultDomain domain = FaultDomain::kApproxOnly;
+  double probability = 0.0;
+};
+
+/// Writes number [start_write, start_write + length) seen by the injector
+/// (counted across all matching arrays) suffer an extra single-bit error
+/// with `probability` each.
+struct DriftBurstFault {
+  FaultDomain domain = FaultDomain::kApproxOnly;
+  uint64_t start_write = 0;
+  uint64_t length = 0;
+  double probability = 0.0;
+};
+
+/// Writes in the region suffer an extra single-bit error with
+/// `probability`, on top of the write model's own calibrated error rate.
+struct ErrorRateOverride {
+  AddressRegion region;
+  FaultDomain domain = FaultDomain::kApproxOnly;
+  double probability = 0.0;
+};
+
+/// A complete, replayable fault scenario.
+struct FaultPlan {
+  /// Seeds the injector's substreams; one uint64 replays everything.
+  uint64_t seed = 1;
+  /// PCM service-latency multiplier for accesses inside any stuck-at or
+  /// override region (the timing half of a degraded cell region).
+  double pcm_latency_factor = 1.0;
+
+  std::vector<StuckAtFault> stuck_at;
+  std::vector<TransientReadFault> read_flips;
+  std::vector<DriftBurstFault> drift_bursts;
+  std::vector<ErrorRateOverride> rate_overrides;
+
+  bool Empty() const {
+    return stuck_at.empty() && read_flips.empty() && drift_bursts.empty() &&
+           rate_overrides.empty();
+  }
+
+  /// A moderate approx-domain fault storm (read flips + drift burst +
+  /// write-error override), used by the fuzzer. The refine guarantee must
+  /// hold under any plan this returns.
+  static FaultPlan ApproxStorm(uint64_t seed);
+};
+
+/// Realizes a FaultPlan. Deterministic: two injectors with equal plans fed
+/// the same access sequence make identical decisions.
+class FaultInjector final : public approx::MemoryFaultHook,
+                            public mem::PcmFaultListener {
+ public:
+  explicit FaultInjector(const FaultPlan& plan);
+
+  // approx::MemoryFaultHook:
+  uint32_t OnWrite(uint64_t address, bool precise_domain, uint32_t intended,
+                   uint32_t stored) override;
+  uint32_t OnRead(uint64_t address, bool precise_domain,
+                  uint32_t value) override;
+
+  // mem::PcmFaultListener:
+  double OnPcmAccess(uint64_t address, mem::AccessKind kind) override;
+
+  const FaultPlan& plan() const { return plan_; }
+
+  /// Counters for tests and fuzzer reporting.
+  uint64_t writes_seen() const { return writes_seen_; }
+  uint64_t reads_seen() const { return reads_seen_; }
+  uint64_t injected_write_faults() const { return injected_write_faults_; }
+  uint64_t injected_read_faults() const { return injected_read_faults_; }
+
+ private:
+  static bool DomainMatches(FaultDomain domain, bool precise_domain) {
+    switch (domain) {
+      case FaultDomain::kAny:
+        return true;
+      case FaultDomain::kPreciseOnly:
+        return precise_domain;
+      case FaultDomain::kApproxOnly:
+        return !precise_domain;
+    }
+    return false;
+  }
+
+  uint32_t FlipRandomBit(uint32_t value, Rng& rng) {
+    return value ^ (1u << rng.UniformInt(32));
+  }
+
+  bool InDegradedRegion(uint64_t address) const;
+
+  FaultPlan plan_;
+  Rng write_rng_;
+  Rng read_rng_;
+  uint64_t writes_seen_ = 0;
+  uint64_t reads_seen_ = 0;
+  uint64_t injected_write_faults_ = 0;
+  uint64_t injected_read_faults_ = 0;
+};
+
+}  // namespace approxmem::testing
+
+#endif  // APPROXMEM_TESTING_FAULT_INJECTION_H_

@@ -1,0 +1,89 @@
+#include "testing/generators.h"
+
+#include <algorithm>
+
+#include "common/random.h"
+
+namespace approxmem::testing {
+
+const std::vector<InputShape>& AllShapes() {
+  static const std::vector<InputShape> kShapes = {
+      InputShape::kUniform,  InputShape::kZipf,
+      InputShape::kPresorted, InputShape::kReverse,
+      InputShape::kDupHeavy, InputShape::kAdversarialPivot,
+  };
+  return kShapes;
+}
+
+std::string ShapeName(InputShape shape) {
+  switch (shape) {
+    case InputShape::kUniform:
+      return "uniform";
+    case InputShape::kZipf:
+      return "zipf";
+    case InputShape::kPresorted:
+      return "presorted";
+    case InputShape::kReverse:
+      return "reverse";
+    case InputShape::kDupHeavy:
+      return "dup_heavy";
+    case InputShape::kAdversarialPivot:
+      return "adversarial_pivot";
+  }
+  return "unknown";
+}
+
+StatusOr<InputShape> ParseShapeName(const std::string& name) {
+  for (const InputShape shape : AllShapes()) {
+    if (ShapeName(shape) == name) return shape;
+  }
+  return Status::InvalidArgument("unknown input shape: " + name);
+}
+
+std::vector<uint32_t> MakeInput(InputShape shape, size_t n, uint64_t seed) {
+  Rng rng(seed ^ 0x5ea7ed5eedULL);
+  std::vector<uint32_t> keys;
+  switch (shape) {
+    case InputShape::kUniform:
+      return UniformKeys(n, rng);
+    case InputShape::kZipf:
+      return SkewedKeys(n, /*skew=*/1.1, rng);
+    case InputShape::kPresorted:
+      keys = UniformKeys(n, rng);
+      std::sort(keys.begin(), keys.end());
+      return keys;
+    case InputShape::kReverse:
+      keys = UniformKeys(n, rng);
+      std::sort(keys.begin(), keys.end(), std::greater<uint32_t>());
+      return keys;
+    case InputShape::kDupHeavy: {
+      // At most 4 distinct values: exercises equal-key runs in every
+      // algorithm and maximally collides radix buckets.
+      keys.resize(n);
+      const uint32_t values[4] = {7u, 7u, 0x80000000u, 0xffffffffu};
+      for (size_t i = 0; i < n; ++i) {
+        keys[i] = values[rng.UniformInt(4)];
+      }
+      return keys;
+    }
+    case InputShape::kAdversarialPivot: {
+      // Organ-pipe layout (ascending evens then descending odds) defeats
+      // middle/median pivot picks and first/last picks alike; the random
+      // pivots under study stay O(n log n) only in expectation.
+      keys.resize(n);
+      size_t out = 0;
+      for (size_t i = 0; i < n; i += 2) keys[out++] = static_cast<uint32_t>(i);
+      for (size_t i = n; i-- > 0;) {
+        if (i % 2 == 1) keys[out++] = static_cast<uint32_t>(i);
+      }
+      return keys;
+    }
+  }
+  return keys;
+}
+
+double TFromPaperLabel(int paper_t) {
+  return paper_t == 0 ? 0.025 : static_cast<double>(paper_t) / 1000.0;
+}
+
+}  // namespace approxmem::testing

@@ -1,0 +1,48 @@
+// Input-shape generators for the property-based correctness tooling.
+//
+// The paper's experiments use uniform keys; correctness of the refine
+// guarantee must hold for *every* input, so the test framework sweeps a
+// wider family of shapes, including patterns adversarial for specific
+// algorithms (pivot killers for quicksort, heavy duplicates for the radix
+// bucket logic). All generators are pure functions of (shape, n, seed).
+#ifndef APPROXMEM_TESTING_GENERATORS_H_
+#define APPROXMEM_TESTING_GENERATORS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace approxmem::testing {
+
+/// Input shapes swept by the property runner and the fuzzer.
+enum class InputShape {
+  kUniform,           // Uniform over the full 32-bit range.
+  kZipf,              // Power-law skew (many duplicates, heavy head).
+  kPresorted,         // Already sorted ascending (Rem = 0 on entry).
+  kReverse,           // Strictly descending (worst case for Rem).
+  kDupHeavy,          // Very few distinct values (duplicate handling).
+  kAdversarialPivot,  // Median-of-3-killer-style organ pipe permutation.
+};
+
+/// All shapes, in a stable order (index 0 is the simplest for shrinking).
+const std::vector<InputShape>& AllShapes();
+
+/// Human-readable name ("uniform", "zipf", ...).
+std::string ShapeName(InputShape shape);
+
+/// Parses a name produced by ShapeName.
+StatusOr<InputShape> ParseShapeName(const std::string& name);
+
+/// Generates `n` keys of the given shape, deterministic in `seed`.
+std::vector<uint32_t> MakeInput(InputShape shape, size_t n, uint64_t seed);
+
+/// Maps the paper's integer T label to a target-range half-width t:
+/// T == 0 is the precise operating point (t = 0.025, error-free in
+/// practice); any other label is T/1000 (55 -> 0.055).
+double TFromPaperLabel(int paper_t);
+
+}  // namespace approxmem::testing
+
+#endif  // APPROXMEM_TESTING_GENERATORS_H_

@@ -1,0 +1,118 @@
+#include "testing/golden.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+
+namespace approxmem::testing {
+
+std::vector<GoldenRecord> GoldenStableSort(const std::vector<uint32_t>& keys) {
+  std::vector<GoldenRecord> records(keys.size());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    records[i] = GoldenRecord{keys[i], static_cast<uint32_t>(i)};
+  }
+  std::stable_sort(records.begin(), records.end(),
+                   [](const GoldenRecord& a, const GoldenRecord& b) {
+                     return a.key < b.key;
+                   });
+  return records;
+}
+
+bool IsIdPermutation(const std::vector<uint32_t>& ids, size_t n) {
+  if (ids.size() != n) return false;
+  std::vector<bool> seen(n, false);
+  for (const uint32_t id : ids) {
+    if (id >= n || seen[id]) return false;
+    seen[id] = true;
+  }
+  return true;
+}
+
+bool KeysMatchIds(const std::vector<uint32_t>& input,
+                  const std::vector<uint32_t>& keys,
+                  const std::vector<uint32_t>& ids) {
+  if (keys.size() != ids.size()) return false;
+  for (size_t i = 0; i < keys.size(); ++i) {
+    if (ids[i] >= input.size() || keys[i] != input[ids[i]]) return false;
+  }
+  return true;
+}
+
+std::vector<dbops::GroupRow> GoldenGroupBy(
+    const std::vector<uint32_t>& keys, const std::vector<uint32_t>& values) {
+  std::vector<size_t> order(keys.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&keys](size_t a, size_t b) { return keys[a] < keys[b]; });
+
+  std::vector<dbops::GroupRow> groups;
+  for (const size_t i : order) {
+    const uint32_t key = keys[i];
+    const uint32_t value = values[i];
+    if (groups.empty() || groups.back().group_key != key) {
+      groups.push_back(dbops::GroupRow{key, 0, 0, value, value});
+    }
+    dbops::GroupRow& row = groups.back();
+    ++row.count;
+    row.sum += value;
+    row.min = std::min(row.min, value);
+    row.max = std::max(row.max, value);
+  }
+  return groups;
+}
+
+std::vector<dbops::JoinPair> GoldenJoinPairs(
+    const std::vector<uint32_t>& left_keys,
+    const std::vector<uint32_t>& right_keys) {
+  const std::vector<GoldenRecord> left = GoldenStableSort(left_keys);
+  const std::vector<GoldenRecord> right = GoldenStableSort(right_keys);
+  std::vector<dbops::JoinPair> pairs;
+  size_t l = 0;
+  size_t r = 0;
+  while (l < left.size() && r < right.size()) {
+    if (left[l].key < right[r].key) {
+      ++l;
+    } else if (left[l].key > right[r].key) {
+      ++r;
+    } else {
+      const uint32_t key = left[l].key;
+      size_t l_end = l;
+      while (l_end < left.size() && left[l_end].key == key) ++l_end;
+      size_t r_end = r;
+      while (r_end < right.size() && right[r_end].key == key) ++r_end;
+      for (size_t i = l; i < l_end; ++i) {
+        for (size_t j = r; j < r_end; ++j) {
+          pairs.push_back(dbops::JoinPair{left[i].id, right[j].id});
+        }
+      }
+      l = l_end;
+      r = r_end;
+    }
+  }
+  CanonicalizeJoinPairs(pairs);
+  return pairs;
+}
+
+void CanonicalizeJoinPairs(std::vector<dbops::JoinPair>& pairs) {
+  std::sort(pairs.begin(), pairs.end(),
+            [](const dbops::JoinPair& a, const dbops::JoinPair& b) {
+              if (a.left_row != b.left_row) return a.left_row < b.left_row;
+              return a.right_row < b.right_row;
+            });
+}
+
+bool PreciseCostsConserve(const approx::MemoryStats& stats,
+                          const mlc::MlcConfig& mlc) {
+  if (stats.corrupted_writes != 0) return false;
+  const double expected_write =
+      static_cast<double>(stats.word_writes) * mlc.precise_write_latency_ns;
+  const double expected_read =
+      static_cast<double>(stats.word_reads) * mlc.read_latency_ns;
+  // Costs are accumulated one access at a time; allow only float-sum slack.
+  const double write_slack = 1e-6 * (expected_write + 1.0);
+  const double read_slack = 1e-6 * (expected_read + 1.0);
+  return std::abs(stats.write_cost - expected_write) <= write_slack &&
+         std::abs(stats.read_cost - expected_read) <= read_slack;
+}
+
+}  // namespace approxmem::testing

@@ -1,0 +1,64 @@
+// Precise golden models for the differential oracle.
+//
+// Everything here is computed with plain std:: containers and algorithms —
+// no instrumented arrays, no write models, no randomness — so a divergence
+// between an engine run and a golden result always indicts the engine
+// stack, never the oracle.
+#ifndef APPROXMEM_TESTING_GOLDEN_H_
+#define APPROXMEM_TESTING_GOLDEN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "approx/memory_stats.h"
+#include "dbops/aggregate.h"
+#include "dbops/join.h"
+#include "mlc/mlc_config.h"
+
+namespace approxmem::testing {
+
+/// A sorted record: key plus the 0-based input position it came from.
+struct GoldenRecord {
+  uint32_t key = 0;
+  uint32_t id = 0;
+};
+
+/// Stable-sorts (key, id) records by key. The key sequence is the unique
+/// correct output of any of the engine's sorts; the id sequence is one
+/// witness permutation (engines may legally produce another when keys
+/// repeat).
+std::vector<GoldenRecord> GoldenStableSort(const std::vector<uint32_t>& keys);
+
+/// True iff `ids` is a permutation of 0..n-1.
+bool IsIdPermutation(const std::vector<uint32_t>& ids, size_t n);
+
+/// True iff keys[i] == input[ids[i]] for all i (each output key really is
+/// the key of the record its id claims).
+bool KeysMatchIds(const std::vector<uint32_t>& input,
+                  const std::vector<uint32_t>& keys,
+                  const std::vector<uint32_t>& ids);
+
+/// Reference GROUP BY: groups in ascending key order, exact count / sum /
+/// min / max per group. Must match dbops::GroupByAggregate bit for bit.
+std::vector<dbops::GroupRow> GoldenGroupBy(const std::vector<uint32_t>& keys,
+                                           const std::vector<uint32_t>& values);
+
+/// Reference equi-join as a canonically ordered pair set (sorted by
+/// (left_row, right_row)). Engine output must equal this after
+/// CanonicalizeJoinPairs, since within-key pair order is unspecified.
+std::vector<dbops::JoinPair> GoldenJoinPairs(
+    const std::vector<uint32_t>& left_keys,
+    const std::vector<uint32_t>& right_keys);
+
+/// Sorts pairs by (left_row, right_row) for set comparison.
+void CanonicalizeJoinPairs(std::vector<dbops::JoinPair>& pairs);
+
+/// Exact cost accounting for a precise-domain MemoryStats ledger: writes
+/// cost exactly precise_write_latency_ns each, reads read_latency_ns each,
+/// and no write is ever corrupted. Returns true iff the ledger conserves.
+bool PreciseCostsConserve(const approx::MemoryStats& stats,
+                          const mlc::MlcConfig& mlc);
+
+}  // namespace approxmem::testing
+
+#endif  // APPROXMEM_TESTING_GOLDEN_H_

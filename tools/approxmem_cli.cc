@@ -10,14 +10,22 @@
 //
 // Common flags: --n, --t, --seed, --workload=uniform|skewed|nearly_sorted|
 // reversed|all_equal, --exact (full Monte-Carlo write path).
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "common/flags.h"
+#include "common/thread_pool.h"
 #include "common/table_printer.h"
 #include "core/engine.h"
 #include "core/workload.h"
 #include "refine/cost_model.h"
+#include "testing/differential_oracle.h"
+#include "testing/fault_injection.h"
+#include "testing/property_runner.h"
 
 namespace approxmem {
 namespace {
@@ -29,6 +37,10 @@ constexpr char kUsage[] =
     "  refine    --algo=A --t=T        Sections 4-5: approx-refine + WR\n"
     "  sweep     --algo=A              WR across the T grid\n"
     "  recommend --algo=A --t=T --rem=R  Eq. 4 decision for size --n\n"
+    "  fuzz      [--seconds=60] [--cases=0] [--threads=1] [--n_max=512]\n"
+    "            [--inject=1]           randomized differential-oracle runs\n"
+    "            (see TESTING.md; prints a minimized repro and exits 1 on\n"
+    "            the first invariant violation)\n"
     "common: --n=N --seed=S --workload=uniform|skewed|nearly_sorted|\n"
     "        reversed|all_equal --exact\n"
     "algorithms: quicksort mergesort lsd3..lsd6 msd3..msd6 hlsd3..6 "
@@ -157,6 +169,88 @@ int Recommend(core::ApproxSortEngine& engine,
   return 0;
 }
 
+// Randomized differential-oracle fuzzing, bounded by wall time and/or a
+// case count. Every case draws a fresh (n, T, algorithm, shape) tuple and,
+// with --inject (default on), an approx-domain fault storm; the refine
+// guarantee must hold through all of it. Deterministic per --seed: the
+// verdict of case index i never depends on time or thread count — the time
+// bound only decides how many indices get run.
+int Fuzz(const Flags& flags, uint64_t seed) {
+  const double seconds = flags.GetDouble("seconds", 60.0);
+  const size_t max_cases = static_cast<size_t>(flags.GetInt("cases", 0));
+  const bool inject = flags.GetBool("inject", true);
+
+  testing::RunnerOptions runner;
+  runner.seed = seed;
+  runner.threads = static_cast<int>(flags.GetInt("threads", 1));
+  runner.max_n = static_cast<size_t>(flags.GetInt("n_max", 512));
+  runner.shrink = true;
+
+  // One shared calibration cache across all cases: each T calibrates once.
+  const uint64_t trials =
+      static_cast<uint64_t>(flags.GetInt("calibration_trials", 5000));
+  auto cache = std::make_shared<mlc::CalibrationCache>(
+      mlc::MlcConfig{}, trials, seed ^ 0xca11b7a7e5eedULL);
+
+  const auto check = [&](const testing::OracleCase& oracle_case) {
+    testing::OracleOptions oracle;
+    oracle.calibration_trials = trials;
+    oracle.shared_calibration = cache;
+    if (inject) {
+      testing::FaultPlan plan =
+          testing::FaultPlan::ApproxStorm(oracle_case.seed);
+      testing::FaultInjector injector(plan);
+      testing::OracleOptions with_faults = oracle;
+      with_faults.injector = &injector;
+      return testing::RunDifferentialOracle(oracle_case, with_faults);
+    }
+    return testing::RunDifferentialOracle(oracle_case, oracle);
+  };
+
+  const auto start = std::chrono::steady_clock::now();
+  const auto deadline = start + std::chrono::duration<double>(seconds);
+  const int concurrency = runner.threads <= 0 ? ThreadPool::HardwareThreads()
+                                              : runner.threads;
+  const size_t batch =
+      concurrency == 1 ? 8 : static_cast<size_t>(concurrency) * 4;
+  size_t next_index = 0;
+  size_t total = 0;
+  while (std::chrono::steady_clock::now() < deadline &&
+         (max_cases == 0 || total < max_cases)) {
+    size_t count = batch;
+    if (max_cases != 0) count = std::min(count, max_cases - total);
+    std::vector<testing::OracleCase> cases(count);
+    for (size_t i = 0; i < count; ++i) {
+      cases[i] = testing::MakeRandomCase(runner, next_index++);
+    }
+    const testing::RunnerResult result =
+        testing::RunCases(runner, cases, check);
+    total += result.cases_run;
+    if (!result.ok()) {
+      const testing::OracleReport& bad = *result.minimized;
+      std::fprintf(stderr, "FAIL after %zu cases\n", total);
+      std::fprintf(stderr, "  %s\n", bad.FailureSummary().c_str());
+      std::fprintf(stderr,
+                   "  repro: seed=%llu n=%zu T=%d algo=%s shape=%s "
+                   "inject=%d\n",
+                   static_cast<unsigned long long>(bad.oracle_case.seed),
+                   bad.oracle_case.n, bad.oracle_case.paper_t,
+                   bad.oracle_case.algorithm.Name().c_str(),
+                   testing::ShapeName(bad.oracle_case.shape).c_str(),
+                   inject ? 1 : 0);
+      return 1;
+    }
+    std::printf("fuzz: %zu cases ok (%.1fs elapsed)\n", total,
+                std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                              start)
+                    .count());
+    std::fflush(stdout);
+  }
+  std::printf("fuzz: PASS — %zu cases, 0 failures (seed=%llu)\n", total,
+              static_cast<unsigned long long>(seed));
+  return 0;
+}
+
 int Main(int argc, char** argv) {
   StatusOr<Flags> flags = Flags::Parse(argc, argv);
   if (!flags.ok()) {
@@ -167,6 +261,10 @@ int Main(int argc, char** argv) {
   if (cmd.empty() || flags->Has("help")) {
     std::fputs(kUsage, stdout);
     return cmd.empty() ? 2 : 0;
+  }
+
+  if (cmd == "fuzz") {
+    return Fuzz(*flags, static_cast<uint64_t>(flags->GetInt("seed", 42)));
   }
 
   core::EngineOptions options;
