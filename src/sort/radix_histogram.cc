@@ -34,10 +34,16 @@ std::vector<size_t> CountDigits(const Buffers& src, size_t lo, size_t hi,
 
 // Scatters src[lo, hi) into dst by digit; one write per element. Bucket
 // start offsets come from `counts` (exclusive prefix sums built here).
-// Because an element's stored digit can change between the counting read
-// and the scatter read on approximate memory, cursor overflow into the next
-// bucket is possible; the scatter clamps to the segment so it stays in
-// bounds (the resulting disorder is the phenomenon under study).
+//
+// Because an element's observed digit can change between the counting read
+// and the scatter read (read disturbance / injected transient faults), a
+// cursor can run past its bucket into slots that another cursor also
+// claims. A collision must not drop the element: keys and IDs move
+// together, and a lost or doubled ID breaks the permutation contract the
+// refine stage depends on. Colliding elements are diverted to the slots
+// left unclaimed at the end of the pass, so the scatter is a permutation
+// of [lo, hi) under any corruption. Fault-free passes never divert, and
+// read/write counts are identical either way.
 void Scatter(const Buffers& src, const Buffers& dst, size_t lo, size_t hi,
              int shift, const RadixPlan& plan,
              const std::vector<size_t>& counts,
@@ -49,13 +55,27 @@ void Scatter(const Buffers& src, const Buffers& dst, size_t lo, size_t hi,
     if (bucket_starts != nullptr) (*bucket_starts)[b] = offset;
     offset += counts[b];
   }
+  std::vector<bool> claimed(hi - lo, false);
+  std::vector<std::pair<uint32_t, uint32_t>> diverted;  // (key, id value)
   for (size_t i = lo; i < hi; ++i) {
     const uint32_t key = src.keys->Get(i);
     const uint32_t digit = (key >> shift) & plan.mask;
-    size_t pos = cursor[digit]++;
-    if (pos >= hi) pos = hi - 1;  // Clamp under cross-read corruption.
+    const size_t pos = cursor[digit]++;
+    if (pos >= hi || claimed[pos - lo]) {
+      diverted.emplace_back(key,
+                            src.ids != nullptr ? src.ids->Get(i) : 0u);
+      continue;
+    }
+    claimed[pos - lo] = true;
     dst.keys->Set(pos, key);
     if (src.ids != nullptr) dst.ids->Set(pos, src.ids->Get(i));
+  }
+  size_t slot = lo;
+  for (const auto& [key, id_value] : diverted) {
+    while (claimed[slot - lo]) ++slot;
+    claimed[slot - lo] = true;
+    dst.keys->Set(slot, key);
+    if (src.ids != nullptr) dst.ids->Set(slot, id_value);
   }
 }
 
