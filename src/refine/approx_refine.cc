@@ -124,11 +124,19 @@ StatusOr<RefineReport> ApproxRefineSort(const std::vector<uint32_t>& keys,
   // ---- Refine stage, step 1: extract a sorted subsequence of Key~ (read
   // back through Key0[ID[i]]); leftovers land in REMID. The scan reads ID
   // once and Key0 once per element (Listing 1's single pass).
+  // IDs read back from precise memory are contracted to be < n, but a
+  // fault-injection harness can corrupt them in storage; clamp untrusted
+  // indices so the lookups stay in bounds and verification (which checks
+  // the ID column against the original keys) reports the corruption
+  // instead of the process aborting on a bounds CHECK.
+  const auto key0_at = [&key0, n](uint32_t index) {
+    return key0.Get(index < n ? index : index % n);
+  };
   std::vector<uint32_t> ids(n);
   std::vector<uint32_t> current(n);
   for (size_t i = 0; i < n; ++i) {
     ids[i] = id.Get(i);
-    current[i] = key0.Get(ids[i]);
+    current[i] = key0_at(ids[i]);
   }
   std::vector<uint32_t> rem_ids;
   if (options.lis_mode == LisMode::kHeuristic) {
@@ -165,7 +173,7 @@ StatusOr<RefineReport> ApproxRefineSort(const std::vector<uint32_t>& keys,
   // relative to the paper's alpha(Rem~)-only ledger, see DESIGN.md).
   approx::ApproxArrayU32 rem_keys = options.precise_alloc(rem);
   for (size_t j = 0; j < rem; ++j) {
-    rem_keys.Set(j, key0.Get(remid.Get(j)));
+    rem_keys.Set(j, key0_at(remid.Get(j)));
   }
   {
     sort::SortSpec spec;
@@ -211,11 +219,11 @@ StatusOr<RefineReport> ApproxRefineSort(const std::vector<uint32_t>& keys,
         ++lis_ptr;
       }
       if (!have_lis) break;
-      const uint32_t lis_key = key0.Get(lis_id);
+      const uint32_t lis_key = key0_at(lis_id);
       // Merge: emit REMID entries smaller than the LIS head first.
       while (rem_ptr < rem && final_ptr < n) {
         const uint32_t rem_id = remid.Get(rem_ptr);
-        const uint32_t rem_key = key0.Get(rem_id);
+        const uint32_t rem_key = key0_at(rem_id);
         if (rem_key >= lis_key) break;
         final_id_array.Set(final_ptr, rem_id);
         final_key_array.Set(final_ptr, rem_key);
@@ -234,7 +242,7 @@ StatusOr<RefineReport> ApproxRefineSort(const std::vector<uint32_t>& keys,
     while (rem_ptr < rem && final_ptr < n) {
       const uint32_t rem_id = remid.Get(rem_ptr);
       final_id_array.Set(final_ptr, rem_id);
-      final_key_array.Set(final_ptr, key0.Get(rem_id));
+      final_key_array.Set(final_ptr, key0_at(rem_id));
       ++final_ptr;
       ++rem_ptr;
     }

@@ -1,5 +1,9 @@
 #include "mlc/calibration.h"
 
+#include <fstream>
+#include <sstream>
+#include <string>
+
 #include <gtest/gtest.h>
 
 #include "common/stats.h"
@@ -140,6 +144,38 @@ TEST(CalibrationPersistenceTest, SaveLoadRoundTrip) {
     EXPECT_EQ(original.SamplePvIterations(1, a),
               reloaded.SamplePvIterations(1, b));
   }
+}
+
+// Persistence is a pure serialization of the calibration tables: saving a
+// freshly loaded cache must reproduce the original file byte for byte.
+TEST(CalibrationPersistenceTest, SaveLoadSaveIsBitIdentical) {
+  const auto read_bytes = [](const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+  };
+
+  const std::string first_path =
+      ::testing::TempDir() + "/calibration_bitident_a.txt";
+  const std::string second_path =
+      ::testing::TempDir() + "/calibration_bitident_b.txt";
+  CalibrationCache cache(MlcConfig(), 20000, 13);
+  cache.ForT(0.025);
+  cache.ForT(0.055);
+  cache.ForT(0.1);
+  ASSERT_TRUE(cache.SaveToFile(first_path));
+
+  CalibrationCache restored(MlcConfig(), 20000, 14);
+  const auto loaded = restored.LoadFromFile(first_path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(*loaded, 3u);
+  ASSERT_TRUE(restored.SaveToFile(second_path));
+
+  const std::string first_bytes = read_bytes(first_path);
+  const std::string second_bytes = read_bytes(second_path);
+  ASSERT_FALSE(first_bytes.empty());
+  EXPECT_EQ(first_bytes, second_bytes);
 }
 
 TEST(CalibrationPersistenceTest, MismatchedConfigIsSkipped) {

@@ -1,0 +1,154 @@
+// Unit tests for the deterministic fault injector and its plumbing
+// through the instrumented arrays and the banked PCM model.
+#include "testing/fault_injection.h"
+
+#include <gtest/gtest.h>
+
+#include "approx/approx_memory.h"
+#include "mem/pcm.h"
+
+namespace approxmem::testing {
+namespace {
+
+TEST(fault_injection, StuckAtForcesBitsOnWriteAndRead) {
+  FaultPlan plan;
+  StuckAtFault stuck;
+  stuck.mask = 0x3u;
+  stuck.value = 0x1u;
+  plan.stuck_at.push_back(stuck);
+  FaultInjector injector(plan);
+
+  // Write path: stored bits under the mask come back forced.
+  EXPECT_EQ(injector.OnWrite(0, true, 0xff, 0xff), 0xfdu);
+  // Read path: the same forcing applies (covers pre-attach contents).
+  EXPECT_EQ(injector.OnRead(0, true, 0x00), 0x01u);
+  // Idempotent: re-applying changes nothing.
+  EXPECT_EQ(injector.OnRead(0, true, 0x01), 0x01u);
+  EXPECT_EQ(injector.injected_write_faults(), 1u);
+  EXPECT_EQ(injector.injected_read_faults(), 1u);
+}
+
+TEST(fault_injection, RegionAndDomainScoping) {
+  FaultPlan plan;
+  StuckAtFault stuck;
+  stuck.region = AddressRegion{100, 200};
+  stuck.domain = FaultDomain::kApproxOnly;
+  stuck.mask = 0xffffffffu;
+  stuck.value = 0u;
+  plan.stuck_at.push_back(stuck);
+  FaultInjector injector(plan);
+
+  // Outside the region: untouched.
+  EXPECT_EQ(injector.OnWrite(99, false, 7, 7), 7u);
+  EXPECT_EQ(injector.OnWrite(200, false, 7, 7), 7u);
+  // Inside the region but wrong domain (precise): untouched.
+  EXPECT_EQ(injector.OnWrite(150, true, 7, 7), 7u);
+  // Inside region, approx domain: forced to zero.
+  EXPECT_EQ(injector.OnWrite(150, false, 7, 7), 0u);
+}
+
+TEST(fault_injection, TransientReadFlipsLeaveStoredValueIntact) {
+  FaultPlan plan;
+  plan.seed = 5;
+  TransientReadFault flips;
+  flips.domain = FaultDomain::kAny;
+  flips.probability = 1.0;  // Flip every read, deterministically.
+  plan.read_flips.push_back(flips);
+  FaultInjector injector(plan);
+
+  // Every read is perturbed by exactly one bit...
+  for (int i = 0; i < 16; ++i) {
+    const uint32_t observed = injector.OnRead(4 * i, false, 0u);
+    EXPECT_EQ(__builtin_popcount(observed), 1);
+  }
+  // ...but the write path is untouched: the stored value never changes.
+  EXPECT_EQ(injector.OnWrite(0, false, 123, 123), 123u);
+}
+
+TEST(fault_injection, DriftBurstHitsOnlyItsWriteWindow) {
+  FaultPlan plan;
+  plan.seed = 9;
+  DriftBurstFault burst;
+  burst.domain = FaultDomain::kAny;
+  burst.start_write = 10;
+  burst.length = 20;
+  burst.probability = 1.0;
+  plan.drift_bursts.push_back(burst);
+  FaultInjector injector(plan);
+
+  uint64_t faulted = 0;
+  for (uint64_t i = 0; i < 50; ++i) {
+    if (injector.OnWrite(4 * i, false, 0, 0) != 0u) ++faulted;
+  }
+  EXPECT_EQ(faulted, 20u);
+  EXPECT_EQ(injector.injected_write_faults(), 20u);
+  EXPECT_EQ(injector.writes_seen(), 50u);
+}
+
+TEST(fault_injection, EqualPlansMakeIdenticalDecisions) {
+  const FaultPlan plan = FaultPlan::ApproxStorm(1234);
+  FaultInjector a(plan);
+  FaultInjector b(plan);
+  for (uint64_t i = 0; i < 2000; ++i) {
+    EXPECT_EQ(a.OnWrite(4 * i, false, 77, 77), b.OnWrite(4 * i, false, 77, 77));
+    EXPECT_EQ(a.OnRead(4 * i, false, 42), b.OnRead(4 * i, false, 42));
+  }
+  EXPECT_EQ(a.injected_write_faults(), b.injected_write_faults());
+  EXPECT_EQ(a.injected_read_faults(), b.injected_read_faults());
+}
+
+TEST(fault_injection, HookReachesArraysThroughApproxMemory) {
+  FaultPlan plan;
+  StuckAtFault stuck;
+  stuck.domain = FaultDomain::kPreciseOnly;
+  stuck.mask = 0x1u;
+  stuck.value = 0x1u;
+  plan.stuck_at.push_back(stuck);
+  FaultInjector injector(plan);
+
+  approx::ApproxMemory::Options options;
+  options.calibration_trials = 2000;
+  options.fault_hook = &injector;
+  approx::ApproxMemory memory(options);
+
+  approx::ApproxArrayU32 precise = memory.NewPreciseArray(8);
+  precise.Set(0, 2u);  // Even value: the stuck low bit corrupts it.
+  EXPECT_EQ(precise.Get(0), 3u);
+  // The corruption is visible in the array's own accounting.
+  EXPECT_EQ(precise.stats().corrupted_writes, 1u);
+
+  // Approximate arrays are out of this plan's domain: at the precise
+  // operating point their writes stay clean.
+  approx::ApproxArrayU32 approximate = memory.NewApproxArray(8, 0.025);
+  approximate.Set(0, 2u);
+  EXPECT_EQ(approximate.Get(0), 2u);
+}
+
+TEST(fault_injection, PcmLatencyDegradationInFaultyRegions) {
+  FaultPlan plan;
+  plan.pcm_latency_factor = 4.0;
+  StuckAtFault stuck;
+  stuck.region = AddressRegion{0, 4096};
+  plan.stuck_at.push_back(stuck);
+  FaultInjector injector(plan);
+
+  mem::PcmConfig config;
+  mem::PcmSimulator degraded(config);
+  degraded.SetFaultListener(&injector);
+  mem::PcmSimulator clean(config);
+
+  // Same address inside the degraded region: 4x the read service time.
+  const double slow = degraded.Read(128);
+  const double fast = clean.Read(128);
+  EXPECT_DOUBLE_EQ(slow, 4.0 * fast);
+  EXPECT_EQ(degraded.Stats().faulted_accesses, 1u);
+
+  // Outside the region the factor is 1.0 and nothing is counted.
+  mem::PcmSimulator outside(config);
+  outside.SetFaultListener(&injector);
+  outside.Read(1u << 20);
+  EXPECT_EQ(outside.Stats().faulted_accesses, 0u);
+}
+
+}  // namespace
+}  // namespace approxmem::testing

@@ -2,14 +2,17 @@
 // exactly on precise memory, preserve the multiset, and terminate safely on
 // heavily corrupted approximate memory.
 #include <algorithm>
+#include <memory>
 #include <tuple>
 
 #include <gtest/gtest.h>
 
 #include "approx/approx_memory.h"
 #include "core/workload.h"
+#include "mlc/calibration.h"
 #include "sort/sort_common.h"
 #include "sortedness/measures.h"
+#include "testing/property_runner.h"
 
 namespace approxmem::sort {
 namespace {
@@ -181,6 +184,54 @@ INSTANTIATE_TEST_SUITE_P(
         {SortKind::kLsdHistogram, 4},
         {SortKind::kMsdHistogram, 4}}),
     PrintAlgorithm());
+
+// The headline refine property, as a generated matrix: for every sort
+// kind x input shape x T, approx-refine restores exact sortedness and the
+// full differential-oracle invariant set. 6 kinds x 6 shapes x 4 T labels
+// = 144 generated cases, run through the property runner both serially
+// and in parallel — the verdict digest must not depend on the thread
+// count.
+TEST(refine_property, MatrixRestoresExactSortednessForAllKindsShapesAndT) {
+  testing::RunnerOptions runner;
+  runner.seed = 2024;
+  runner.algorithms = {
+      AlgorithmId{SortKind::kQuicksort, 0},
+      AlgorithmId{SortKind::kMergesort, 0},
+      AlgorithmId{SortKind::kLsdRadix, 4},
+      AlgorithmId{SortKind::kMsdRadix, 4},
+      AlgorithmId{SortKind::kLsdHistogram, 4},
+      AlgorithmId{SortKind::kMsdHistogram, 4},
+  };
+  runner.t_labels = {0, 30, 55, 100};
+  const std::vector<testing::OracleCase> cases =
+      testing::MatrixCases(runner, 200);
+  ASSERT_EQ(cases.size(), 6u * 6u * 4u);
+
+  const auto make_check = [] {
+    auto cache = std::make_shared<mlc::CalibrationCache>(mlc::MlcConfig{},
+                                                         3000, 0xabcdULL);
+    return testing::CaseCheck([cache](const testing::OracleCase& oracle_case) {
+      testing::OracleOptions options;
+      options.calibration_trials = 3000;
+      options.shared_calibration = cache;
+      return testing::RunDifferentialOracle(oracle_case, options);
+    });
+  };
+
+  runner.threads = 1;
+  const testing::RunnerResult serial =
+      testing::RunCases(runner, cases, make_check());
+  EXPECT_TRUE(serial.ok()) << (serial.minimized.has_value()
+                                   ? serial.minimized->FailureSummary()
+                                   : "");
+  EXPECT_EQ(serial.cases_run, 144u);
+
+  runner.threads = 0;  // Hardware concurrency.
+  const testing::RunnerResult parallel =
+      testing::RunCases(runner, cases, make_check());
+  EXPECT_EQ(serial.digest, parallel.digest);
+  EXPECT_EQ(parallel.cases_failed, 0u);
+}
 
 }  // namespace
 }  // namespace approxmem::sort
