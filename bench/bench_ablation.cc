@@ -66,7 +66,7 @@ void WorkloadAblation(const bench::BenchEnv& env,
     std::vector<std::string> row = {core::WorkloadName(workload)};
     for (const auto& algorithm : algorithms) {
       const auto outcome = engine.SortApproxRefine(keys, algorithm, 0.055);
-      if (!outcome.ok() || !outcome->refine.verified) {
+      if (!outcome.ok() || !outcome->refine.verified()) {
         row.push_back("ERROR");
         continue;
       }

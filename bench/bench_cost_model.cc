@@ -33,6 +33,7 @@ int Main(int argc, char** argv) {
         std::fprintf(stderr, "%s\n", outcome.status().ToString().c_str());
         return 1;
       }
+      bench::RequireVerified(*outcome, "cost_model");
       const double p = engine.PvRatio(t);
       const bool recommend = engine.RecommendApproxRefine(
           algorithm, env.n, t, outcome->refine.rem_estimate);

@@ -46,6 +46,11 @@ int Main(int argc, char** argv) {
           cell.error = outcome.status().ToString();
           return;
         }
+        if (!outcome->refine.verified()) {
+          cell.error = "UNVERIFIED refine output — " +
+                       outcome->refine.verification.ToString();
+          return;
+        }
         cell.write_reduction = outcome->write_reduction;
       });
 

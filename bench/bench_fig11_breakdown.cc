@@ -29,6 +29,7 @@ int Main(int argc, char** argv) {
       std::fprintf(stderr, "%s\n", outcome.status().ToString().c_str());
       return 1;
     }
+    bench::RequireVerified(*outcome, "fig11");
     rows.push_back(Row{algorithm.Name(),
                        outcome->refine.ApproxStageWriteCost(),
                        outcome->refine.RefineStageWriteCost()});

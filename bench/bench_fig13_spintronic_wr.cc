@@ -36,10 +36,7 @@ int Main(int argc, char** argv) {
         std::fprintf(stderr, "%s\n", outcome.status().ToString().c_str());
         return 1;
       }
-      if (!outcome->refine.verified) {
-        std::fprintf(stderr, "UNSOUND: unsorted output\n");
-        return 1;
-      }
+      bench::RequireVerified(*outcome, "fig13");
       row.push_back(TablePrinter::FmtPercent(outcome->write_reduction, 1));
       if (outcome->write_reduction > best) {
         best = outcome->write_reduction;

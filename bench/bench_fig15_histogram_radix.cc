@@ -38,6 +38,7 @@ int Main(int argc, char** argv) {
         std::fprintf(stderr, "%s\n", outcome.status().ToString().c_str());
         return 1;
       }
+      bench::RequireVerified(*outcome, "fig15");
       row.push_back(TablePrinter::FmtPercent(outcome->write_reduction, 1));
     }
     table.AddRow(row);

@@ -39,7 +39,11 @@ int Main(int argc, char** argv) {
           return;
         }
         cell.write_reduction = outcome->write_reduction;
-        cell.verified = outcome->refine.verified;
+        cell.verified = outcome->refine.verified();
+        if (!cell.verified) {
+          cell.error = "UNVERIFIED refine output — " +
+                       outcome->refine.verification.ToString();
+        }
       });
 
   TablePrinter table("Figure 9: write reduction vs T (approx-refine)");

@@ -80,6 +80,10 @@ core::ApproxSortEngine MakeEngine(const BenchEnv& env) {
   return core::ApproxSortEngine(CellOptions(env, env.seed));
 }
 
+core::EngineOptions MakeEngineOptions(const BenchEnv& env) {
+  return CellOptions(env, env.seed);
+}
+
 uint64_t CellSeed(uint64_t seed, size_t row, size_t col) {
   // 1-based row so cell (0, 0) still perturbs the base seed.
   return seed ^ SplitMix64((static_cast<uint64_t>(row) + 1) * 0x100000001b3ULL +

@@ -82,6 +82,11 @@ int SweepThreads(const BenchEnv& env);
 /// (and its --calibration_cache persistence) with every other engine.
 core::ApproxSortEngine MakeEngine(const BenchEnv& env);
 
+/// The options MakeEngine would use — for benches that need to tweak a
+/// field (e.g. enable health monitoring) while still sharing the
+/// process-wide calibration cache.
+core::EngineOptions MakeEngineOptions(const BenchEnv& env);
+
 /// Deterministic per-cell seed for grid cell (row, col): env.seed xor a
 /// SplitMix64 hash of the cell coordinates.
 uint64_t CellSeed(uint64_t seed, size_t row, size_t col);
@@ -98,6 +103,17 @@ core::ApproxSortEngine MakeCellEngine(const BenchEnv& env, size_t row,
 /// order afterwards, so artifacts are identical for every thread count.
 void ParallelSweep(const BenchEnv& env, size_t rows, size_t cols,
                    const std::function<void(size_t row, size_t col)>& fn);
+
+/// Aborts the bench with a one-line diagnostic when an approx-refine
+/// outcome finished unverified: a figure must never be built from numbers
+/// whose output was not exactly sorted.
+inline void RequireVerified(const core::RefineOutcome& outcome,
+                            const char* context) {
+  if (outcome.refine.verified()) return;
+  std::fprintf(stderr, "%s: UNVERIFIED refine output — %s\n", context,
+               outcome.refine.verification.ToString().c_str());
+  std::exit(1);
+}
 
 /// Creates env.csv_dir if missing and returns env.csv_dir + "/" + file.
 std::string CsvPath(const BenchEnv& env, const std::string& file);

@@ -43,7 +43,7 @@ void LisModeAblation(const bench::BenchEnv& env) {
         };
         const auto report =
             refine::ApproxRefineSort(keys, options, nullptr, nullptr);
-        if (!report.ok() || !report->verified) {
+        if (!report.ok() || !report->verified()) {
           std::fprintf(stderr, "refine failed\n");
           std::exit(1);
         }
@@ -92,7 +92,7 @@ void SequentialDiscountAblation(const bench::BenchEnv& env) {
           sort::AlgorithmId{sort::SortKind::kQuicksort, 0},
           sort::AlgorithmId{sort::SortKind::kMergesort, 0}}) {
       const auto outcome = engine.SortApproxRefine(keys, algorithm, 0.055);
-      if (!outcome.ok() || !outcome->refine.verified) {
+      if (!outcome.ok() || !outcome->refine.verified()) {
         row.push_back("ERROR");
         continue;
       }

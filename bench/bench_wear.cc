@@ -29,6 +29,7 @@ int Main(int argc, char** argv) {
       std::fprintf(stderr, "%s\n", outcome.status().ToString().c_str());
       return 1;
     }
+    bench::RequireVerified(*outcome, "wear");
     const double dn = static_cast<double>(env.n);
     const double refine_wear =
         (outcome->refine.prep_approx.pv_iterations +

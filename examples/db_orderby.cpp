@@ -65,7 +65,7 @@ int main(int argc, char** argv) {
 
   // Materialize the query result from precise memory and re-verify against
   // the table itself (not just the sorted key column).
-  bool exact = outcome->refine.verified;
+  bool exact = outcome->refine.verified();
   uint64_t checksum = 0;
   uint32_t previous = 0;
   for (size_t i = 0; i < rows; ++i) {

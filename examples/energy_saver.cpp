@@ -43,8 +43,8 @@ int main(int argc, char** argv) {
                 outcome->refine.ApproxStageWriteCost(),
                 outcome->refine.RefineStageWriteCost(),
                 outcome->write_reduction * 100.0,
-                outcome->refine.verified ? "yes" : "NO");
-    if (outcome->write_reduction > best_saving && outcome->refine.verified) {
+                outcome->refine.verified() ? "yes" : "NO");
+    if (outcome->write_reduction > best_saving && outcome->refine.verified()) {
       best_saving = outcome->write_reduction;
       best_config = config;
       have_best = true;

@@ -50,7 +50,7 @@ int main(int argc, char** argv) {
   std::printf("n=%zu  T=%.3f  algorithm=%s\n", n, t,
               algorithm.Name().c_str());
   std::printf("verified exactly sorted: %s\n",
-              outcome->refine.verified ? "yes" : "NO (bug!)");
+              outcome->refine.verified() ? "yes" : "NO (bug!)");
   std::printf("first keys: %u %u %u ... last: %u\n", sorted_keys[0],
               sorted_keys[1], sorted_keys[2], sorted_keys.back());
 

@@ -94,6 +94,6 @@ int main(int argc, char** argv) {
   }
   std::printf("Measured: %.2f%% write reduction, output verified %s.\n",
               outcome->write_reduction * 100.0,
-              outcome->refine.verified ? "exactly sorted" : "UNSORTED");
-  return outcome->refine.verified ? 0 : 1;
+              outcome->refine.verified() ? "exactly sorted" : "UNSORTED");
+  return outcome->refine.verified() ? 0 : 1;
 }

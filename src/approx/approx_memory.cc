@@ -172,7 +172,8 @@ ApproxMemory::ApproxMemory(const Options& options)
                              options.mlc.WithT(options.mlc.precise_t_width),
                              options.calibration_trials,
                              /*seed=*/options.seed ^ 0xca11b7a7e5eedULL)),
-      rng_(options.seed) {
+      rng_(options.seed),
+      health_(options.health) {
   APPROXMEM_CHECK_OK(options.mlc.WithT(options.mlc.precise_t_width)
                          .Validate());
   const double precise_avg_pv =
@@ -203,21 +204,71 @@ WriteModel* ApproxMemory::PcmModelForT(double t) {
   return pcm_models_.back().second.get();
 }
 
-ApproxArrayU32 ApproxMemory::NewPreciseArray(size_t n) {
-  const uint64_t base = next_base_address_;
-  next_base_address_ += ((n * 4 + 4095) / 4096 + 1) * 4096;
-  return ApproxArrayU32(n, precise_model_.get(), rng_.Split(), options_.trace,
-                        base, options_.sequential_write_discount,
+ApproxArrayU32 ApproxMemory::AllocateArray(size_t n, WriteModel* model,
+                                           double model_word_error_rate) {
+  const uint64_t span = ((n * 4 + 4095) / 4096 + 1) * 4096;
+  const auto make_array = [&](uint64_t base) {
+    return ApproxArrayU32(n, model, rng_.Split(), options_.trace, base,
+                          options_.sequential_write_discount,
+                          options_.fault_hook);
+  };
+  if (!health_.enabled()) {
+    const uint64_t base = next_base_address_;
+    next_base_address_ += span;
+    return make_array(base);
+  }
+  // Canary-probe candidate regions; skip quarantined ones with a stride
+  // that doubles per consecutive failure so large degraded regions are
+  // escaped in O(log size) probes.
+  const uint32_t words = health_.options().canary_words;
+  for (int attempt = 0;; ++attempt) {
+    const uint64_t base = next_base_address_;
+    health_.RecordRegionProbed();
+    // Sentinels interleave with the allocation: `words` canary words at the
+    // region head (sharing the data array's first addresses) and at the
+    // tail of the region's last page. Probe costs land in the monitor's own
+    // ledger, never in the workload's.
+    const uint64_t tail_base = base + span - uint64_t{words} * 4u;
+    ApproxArrayU32 head(words, model, rng_.Split(), /*trace=*/nullptr, base,
+                        options_.sequential_write_discount,
                         options_.fault_hook);
+    ApproxArrayU32 tail(words, model, rng_.Split(), /*trace=*/nullptr,
+                        tail_base, options_.sequential_write_discount,
+                        options_.fault_hook);
+    const uint64_t errors =
+        health_.ProbeSite(head) + health_.ProbeSite(tail);
+    const double observed =
+        words > 0 ? static_cast<double>(errors) / (2.0 * words) : 0.0;
+    if (health_.WithinThreshold(observed, model_word_error_rate) ||
+        attempt >= health_.options().max_alloc_retries) {
+      next_base_address_ = base + span;
+      return make_array(base);
+    }
+    health_.RecordQuarantine(base, span);
+    health_.RecordRetry();
+    // Back off past the quarantined region, doubling the stride while
+    // consecutive candidates keep failing (capped to avoid overflow).
+    const int shift = attempt < 20 ? attempt : 20;
+    next_base_address_ = base + (span << shift);
+  }
+}
+
+ApproxArrayU32 ApproxMemory::NewPreciseArray(size_t n) {
+  // Precise memory's modeled error rate is zero; any canary mismatch is
+  // substrate misbehaviour and counts fully against the error floor.
+  return AllocateArray(n, precise_model_.get(),
+                       /*model_word_error_rate=*/0.0);
 }
 
 ApproxArrayU32 ApproxMemory::NewApproxArray(size_t n, double t) {
   APPROXMEM_CHECK_OK(options_.mlc.WithT(t).Validate());
-  const uint64_t base = next_base_address_;
-  next_base_address_ += ((n * 4 + 4095) / 4096 + 1) * 4096;
-  return ApproxArrayU32(n, PcmModelForT(t), rng_.Split(), options_.trace,
-                        base, options_.sequential_write_discount,
-                        options_.fault_hook);
+  WriteModel* model = PcmModelForT(t);
+  double model_word_error_rate = 0.0;
+  if (health_.enabled()) {
+    model_word_error_rate = calibration_->ForT(t).WordErrorRate(
+        options_.mlc.CellsPerWord());
+  }
+  return AllocateArray(n, model, model_word_error_rate);
 }
 
 ApproxArrayU32 ApproxMemory::NewSpintronicArray(

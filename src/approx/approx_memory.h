@@ -14,6 +14,7 @@
 
 #include "approx/approx_array.h"
 #include "approx/fault_hook.h"
+#include "approx/health_monitor.h"
 #include "approx/spintronic.h"
 #include "approx/write_model.h"
 #include "common/random.h"
@@ -57,6 +58,10 @@ class ApproxMemory {
     /// sequential writes raises the approx-refine gain (the refine stage is
     /// mostly sequential); 1.0 keeps the paper's uniform-latency model.
     double sequential_write_discount = 1.0;
+    /// Online health monitoring: allocation-time canary probes and region
+    /// quarantine (see health_monitor.h). Disabled by default so that
+    /// unmonitored experiments keep their exact RNG stream assignment.
+    HealthOptions health;
   };
 
   explicit ApproxMemory(const Options& options);
@@ -83,12 +88,25 @@ class ApproxMemory {
   const mlc::MlcConfig& mlc_config() const { return options_.mlc; }
   const Options& options() const { return options_; }
 
+  /// The online health monitor (no-op object when Options::health is
+  /// disabled); see health_monitor.h for canary and quarantine semantics.
+  const HealthMonitor& health() const { return health_; }
+
  private:
   WriteModel* PcmModelForT(double t);
+
+  /// Hands out an array over the next healthy address region. With
+  /// monitoring disabled this is plain bump allocation; with it enabled,
+  /// candidate regions are canary-probed against `model_word_error_rate`
+  /// and quarantined/skipped (with exponentially growing stride) when the
+  /// observed rate breaches the threshold.
+  ApproxArrayU32 AllocateArray(size_t n, WriteModel* model,
+                               double model_word_error_rate);
 
   Options options_;
   std::shared_ptr<mlc::CalibrationCache> calibration_;
   Rng rng_;
+  HealthMonitor health_;
   uint64_t next_base_address_ = 0;
   std::unique_ptr<WriteModel> precise_model_;
   std::unique_ptr<WriteModel> precise_spintronic_model_;

@@ -10,6 +10,19 @@ MemoryStats& MemoryStats::operator+=(const MemoryStats& other) {
   corrupted_writes += other.corrupted_writes;
   sequential_writes += other.sequential_writes;
   pv_iterations += other.pv_iterations;
+  degraded_regions += other.degraded_regions;
+  return *this;
+}
+
+MemoryStats& MemoryStats::operator-=(const MemoryStats& other) {
+  word_reads -= other.word_reads;
+  word_writes -= other.word_writes;
+  write_cost -= other.write_cost;
+  read_cost -= other.read_cost;
+  corrupted_writes -= other.corrupted_writes;
+  sequential_writes -= other.sequential_writes;
+  pv_iterations -= other.pv_iterations;
+  degraded_regions -= other.degraded_regions;
   return *this;
 }
 

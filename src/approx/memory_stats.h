@@ -24,10 +24,21 @@ struct MemoryStats {
   /// Total program-and-verify iterations across all writes (PCM wear
   /// proxy: each iteration is one RESET/SET pulse on the cells).
   double pv_iterations = 0.0;
+  /// Address regions the online health monitor marked degraded (canary
+  /// probes observed an error rate far beyond the calibrated model) and
+  /// quarantined away from this workload's allocations.
+  uint64_t degraded_regions = 0;
 
   MemoryStats& operator+=(const MemoryStats& other);
+  /// Counter-wise difference; valid only for `a - b` where every counter of
+  /// `b` is a snapshot of the same (monotonically growing) ledger as `a`.
+  MemoryStats& operator-=(const MemoryStats& other);
   friend MemoryStats operator+(MemoryStats a, const MemoryStats& b) {
     a += b;
+    return a;
+  }
+  friend MemoryStats operator-(MemoryStats a, const MemoryStats& b) {
+    a -= b;
     return a;
   }
 };

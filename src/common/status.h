@@ -20,6 +20,9 @@ enum class StatusCode {
   kFailedPrecondition,
   kInternal,
   kUnimplemented,
+  /// A transient substrate failure (e.g. corruption detected mid-run); the
+  /// operation may succeed if retried. See Status::IsRetryable().
+  kUnavailable,
 };
 
 /// Returns a short human-readable name ("OK", "INVALID_ARGUMENT", ...).
@@ -51,8 +54,23 @@ class Status {
   static Status Unimplemented(std::string message) {
     return Status(StatusCode::kUnimplemented, std::move(message));
   }
+  static Status Unavailable(std::string message) {
+    return Status(StatusCode::kUnavailable, std::move(message));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
+
+  /// Classification used by the resilient execution layer: retryable
+  /// failures are data- or substrate-dependent conditions a bounded retry
+  /// (possibly at a different operating point) may cure — kUnavailable
+  /// (transient substrate failure) and kInternal (a violated runtime
+  /// invariant such as failed output verification). Configuration and
+  /// usage errors (kInvalidArgument, kFailedPrecondition, kOutOfRange,
+  /// kUnimplemented) are deterministic and never retried.
+  bool IsRetryable() const {
+    return code_ == StatusCode::kUnavailable ||
+           code_ == StatusCode::kInternal;
+  }
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
 

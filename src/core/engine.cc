@@ -18,6 +18,7 @@ approx::ApproxMemory::Options ToMemoryOptions(const EngineOptions& options) {
       options.sequential_write_discount;
   memory_options.trace = options.trace;
   memory_options.fault_hook = options.fault_hook;
+  memory_options.health = options.health;
   return memory_options;
 }
 

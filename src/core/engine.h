@@ -49,6 +49,10 @@ struct EngineOptions {
   mem::TraceBuffer* trace = nullptr;
   /// Optional fault-injection hook (see approx/fault_hook.h). Not owned.
   approx::MemoryFaultHook* fault_hook = nullptr;
+  /// Online substrate health monitoring: allocation-time canary probes and
+  /// region quarantine (see approx/health_monitor.h). Off by default so
+  /// unmonitored experiments keep their exact RNG stream assignment.
+  approx::HealthOptions health;
 };
 
 /// Result of sorting in approximate memory only (no precise output).

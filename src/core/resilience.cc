@@ -1,0 +1,214 @@
+#include "core/resilience.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+#include <utility>
+
+namespace approxmem::core {
+namespace {
+
+constexpr uint64_t kFnvOffset = 14695981039346656037ULL;
+constexpr uint64_t kFnvPrime = 1099511628211ULL;
+
+uint64_t FnvMix(uint64_t h, uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (value >> (8 * i)) & 0xffu;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+}  // namespace
+
+std::string_view AttemptPolicyName(AttemptPolicy policy) {
+  switch (policy) {
+    case AttemptPolicy::kInitial:
+      return "INITIAL";
+    case AttemptPolicy::kRefineRetry:
+      return "REFINE_RETRY";
+    case AttemptPolicy::kGuardBandEscalation:
+      return "GUARD_BAND_ESCALATION";
+    case AttemptPolicy::kPreciseFallback:
+      return "PRECISE_FALLBACK";
+  }
+  return "UNKNOWN";
+}
+
+uint64_t ResilienceReport::AttemptDigest() const {
+  uint64_t h = kFnvOffset;
+  h = FnvMix(h, static_cast<uint64_t>(attempts.size()));
+  for (const AttemptRecord& a : attempts) {
+    h = FnvMix(h, static_cast<uint64_t>(a.policy));
+    h = FnvMix(h, std::bit_cast<uint64_t>(a.t));
+    h = FnvMix(h, static_cast<uint64_t>(a.status.code()));
+    h = FnvMix(h, a.verified ? 1 : 0);
+    h = FnvMix(h, static_cast<uint64_t>(a.verification.failure));
+    h = FnvMix(h, static_cast<uint64_t>(a.rem_estimate));
+    h = FnvMix(h, a.cost.word_writes);
+    h = FnvMix(h, a.cost.word_reads);
+  }
+  h = FnvMix(h, verified ? 1 : 0);
+  h = FnvMix(h, static_cast<uint64_t>(final_policy));
+  h = FnvMix(h, std::bit_cast<uint64_t>(final_t));
+  return h;
+}
+
+StatusOr<ResilienceReport> SortResilient(
+    ApproxSortEngine& engine, const std::vector<uint32_t>& keys,
+    const sort::AlgorithmId& algorithm, double t,
+    const ResilienceOptions& options, std::vector<uint32_t>* final_keys,
+    std::vector<uint32_t>* final_ids) {
+  const Status valid = engine.options().mlc.WithT(t).Validate();
+  if (!valid.ok()) return valid;
+
+  approx::ApproxMemory& memory = engine.memory();
+  const refine::ArrayAlloc precise_alloc = [&memory](size_t n) {
+    return memory.NewPreciseArray(n);
+  };
+  const uint64_t base_sort_seed = engine.options().seed ^ 0x4e414cULL;
+  // All canary traffic spent during this call (baseline and attempts alike)
+  // is charged to the cumulative ledger at the end.
+  const approx::MemoryStats canary_before =
+      memory.health().stats().canary_costs;
+
+  ResilienceReport report;
+  report.n = keys.size();
+
+  // The precise baseline: Equation 2's denominator, same seed as the plain
+  // engine path so resilient and plain outcomes are directly comparable.
+  {
+    StatusOr<refine::PreciseBaselineReport> baseline =
+        refine::PreciseSortBaseline(keys, algorithm, precise_alloc,
+                                    base_sort_seed, /*with_ids=*/true);
+    if (!baseline.ok()) return baseline.status();
+    report.baseline = std::move(baseline.value());
+  }
+
+  // Each full attempt after the first draws its pivot seed from a split of
+  // the ladder RNG — deterministic, replayable, independent streams.
+  Rng ladder_rng(engine.options().seed ^ 0x7e511e47ULL);
+  const double precise_t = engine.options().mlc.precise_t_width;
+
+  bool succeeded = false;
+  std::vector<uint32_t> out_keys;
+  std::vector<uint32_t> out_ids;
+
+  const auto log_failure = [&options](const AttemptRecord& rec) {
+    if (!options.log_diagnostics) return;
+    std::fprintf(stderr, "[resilience] %s t=%.4f failed: %s\n",
+                 AttemptPolicyName(rec.policy).data(), rec.t,
+                 rec.status.ok() ? rec.verification.ToString().c_str()
+                                 : rec.status.message().c_str());
+  };
+
+  // Runs one full attempt (approx stage + refine, with up to
+  // max_refine_retries refine-only re-runs). Returns Ok when it verified;
+  // a retryable failure lets the ladder climb, anything else aborts.
+  const auto full_attempt = [&](AttemptPolicy policy, double attempt_t,
+                                uint64_t sort_seed,
+                                bool precise_domain) -> Status {
+    refine::RefineOptions ro;
+    ro.algorithm = algorithm;
+    ro.precise_alloc = precise_alloc;
+    ro.approx_alloc =
+        precise_domain
+            ? precise_alloc
+            : refine::ArrayAlloc([&memory, attempt_t](size_t n) {
+                return memory.NewApproxArray(n, attempt_t);
+              });
+    ro.sort_seed = sort_seed;
+
+    refine::ApproxStageState state;
+    Status status = refine::RunApproxStage(keys, ro, &state);
+    if (!status.ok()) {
+      AttemptRecord rec;
+      rec.policy = policy;
+      rec.t = attempt_t;
+      rec.status = status;
+      rec.cost = state.report.TotalStats();
+      report.cumulative += rec.cost;
+      report.attempts.push_back(rec);
+      log_failure(report.attempts.back());
+      return status;
+    }
+    for (int run = 0;; ++run) {
+      refine::RefineReport rep;
+      std::vector<uint32_t> fk;
+      std::vector<uint32_t> fi;
+      status = refine::RunRefineStage(state, ro, &rep, &fk, &fi);
+      AttemptRecord rec;
+      rec.policy = run == 0 ? policy : AttemptPolicy::kRefineRetry;
+      rec.t = attempt_t;
+      rec.status = status;
+      rec.verified = status.ok() && rep.verified();
+      rec.verification = rep.verification;
+      rec.rem_estimate = rep.rem_estimate;
+      // A refine-only re-run pays just the refine stage again; the approx
+      // stage it reuses was charged by run 0.
+      rec.cost = run == 0 ? rep.TotalStats() : rep.refine_precise;
+      report.cumulative += rec.cost;
+      report.attempts.push_back(rec);
+      report.refine = rep;
+      report.final_policy = rec.policy;
+      report.final_t = attempt_t;
+      if (rec.verified) {
+        succeeded = true;
+        out_keys = std::move(fk);
+        out_ids = std::move(fi);
+        return Status::Ok();
+      }
+      log_failure(report.attempts.back());
+      if (!status.ok() && !status.IsRetryable()) return status;
+      if (run >= options.max_refine_retries) {
+        // Exhausted this rung; report the unverified output so the caller
+        // still has the best effort if the whole ladder runs dry.
+        out_keys = std::move(fk);
+        out_ids = std::move(fi);
+        return status.ok() ? Status::Unavailable("verification failed")
+                           : status;
+      }
+    }
+  };
+
+  Status last = full_attempt(AttemptPolicy::kInitial, t, base_sort_seed,
+                             /*precise_domain=*/false);
+  double current_t = t;
+  int escalations = 0;
+  bool fell_back = false;
+  while (!succeeded) {
+    if (!last.ok() && !last.IsRetryable()) return last;
+    if (escalations < options.max_escalations) {
+      ++escalations;
+      current_t =
+          std::max(options.min_t, current_t * options.escalation_factor);
+      last = full_attempt(AttemptPolicy::kGuardBandEscalation, current_t,
+                          ladder_rng.Split().Next64(),
+                          /*precise_domain=*/false);
+    } else if (options.allow_precise_fallback && !fell_back) {
+      fell_back = true;
+      last = full_attempt(AttemptPolicy::kPreciseFallback, precise_t,
+                          ladder_rng.Split().Next64(),
+                          /*precise_domain=*/true);
+    } else {
+      break;  // Ladder exhausted: report honestly with verified == false.
+    }
+  }
+
+  report.verified = succeeded;
+  if (final_keys != nullptr) *final_keys = std::move(out_keys);
+  if (final_ids != nullptr) *final_ids = std::move(out_ids);
+
+  report.canary_costs =
+      memory.health().stats().canary_costs - canary_before;
+  report.health = memory.health().stats();
+  report.cumulative += report.canary_costs;
+  const double baseline_cost = report.baseline.TotalWriteCost();
+  report.write_reduction =
+      baseline_cost > 0.0
+          ? 1.0 - report.cumulative.write_cost / baseline_cost
+          : 0.0;
+  return report;
+}
+
+}  // namespace approxmem::core

@@ -22,7 +22,7 @@ StatusOr<GroupByResult> GroupByAggregate(core::ApproxSortEngine& engine,
   const auto outcome = engine.SortApproxRefine(
       keys, options.algorithm, options.t, &sorted_keys, &row_ids);
   if (!outcome.ok()) return outcome.status();
-  if (!outcome->refine.verified) {
+  if (!outcome->refine.verified()) {
     return Status::Internal("approx-refine sort failed verification");
   }
   result.sort_write_reduction = outcome->write_reduction;

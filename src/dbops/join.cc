@@ -17,7 +17,7 @@ StatusOr<JoinResult> SortMergeJoin(core::ApproxSortEngine& engine,
                                               options.t, &left_sorted,
                                               &left_ids);
     if (!left.ok()) return left.status();
-    if (!left->refine.verified) {
+    if (!left->refine.verified()) {
       return Status::Internal("left sort failed verification");
     }
     result.left_sort_write_reduction = left->write_reduction;
@@ -27,7 +27,7 @@ StatusOr<JoinResult> SortMergeJoin(core::ApproxSortEngine& engine,
                                                options.t, &right_sorted,
                                                &right_ids);
     if (!right.ok()) return right.status();
-    if (!right->refine.verified) {
+    if (!right->refine.verified()) {
       return Status::Internal("right sort failed verification");
     }
     result.right_sort_write_reduction = right->write_reduction;

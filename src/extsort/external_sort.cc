@@ -130,7 +130,7 @@ StatusOr<ExternalSortReport> ExternalSort(core::ApproxSortEngine& engine,
       const auto outcome = engine.SortApproxRefine(
           chunk, options.algorithm, options.t, &sorted_chunk, nullptr);
       if (!outcome.ok()) return outcome.status();
-      if (!outcome->refine.verified) {
+      if (!outcome->refine.verified()) {
         return Status::Internal("approx-refine produced unsorted run");
       }
       report.memory_write_cost += outcome->refine.TotalWriteCost();

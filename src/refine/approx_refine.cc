@@ -1,6 +1,7 @@
 #include "refine/approx_refine.h"
 
 #include <algorithm>
+#include <string>
 #include <unordered_set>
 #include <utility>
 
@@ -21,6 +22,66 @@ ArrayAlloc WithSink(const ArrayAlloc& alloc, approx::MemoryStats* sink) {
 }
 
 }  // namespace
+
+std::string_view VerifyFailureKindName(VerifyFailureKind kind) {
+  switch (kind) {
+    case VerifyFailureKind::kNone:
+      return "NONE";
+    case VerifyFailureKind::kOrderViolation:
+      return "ORDER_VIOLATION";
+    case VerifyFailureKind::kIdPermutationLoss:
+      return "ID_PERMUTATION_LOSS";
+    case VerifyFailureKind::kKeyIdMismatch:
+      return "KEY_ID_MISMATCH";
+  }
+  return "UNKNOWN";
+}
+
+std::string VerificationReport::ToString() const {
+  if (ok()) return "ok";
+  return std::string(VerifyFailureKindName(failure)) + " first at " +
+         std::to_string(first_violation) + " (" +
+         std::to_string(violation_count) + " violations)";
+}
+
+VerificationReport VerifyRefineOutput(const std::vector<uint32_t>& input_keys,
+                                      const std::vector<uint32_t>& out_keys,
+                                      const std::vector<uint32_t>& out_ids,
+                                      bool merge_conserved) {
+  VerificationReport v;
+  const size_t n = input_keys.size();
+  const auto note = [&v](VerifyFailureKind kind, size_t index) {
+    if (v.failure == VerifyFailureKind::kNone) {
+      v.failure = kind;
+      v.first_violation = index;
+    }
+    ++v.violation_count;
+  };
+  // Element conservation: a merge that lost or duplicated elements cannot
+  // have produced a permutation, whatever the element-wise checks say.
+  if (!merge_conserved || out_keys.size() != n || out_ids.size() != n) {
+    note(VerifyFailureKind::kIdPermutationLoss, n);
+  }
+  for (size_t i = 1; i < out_keys.size(); ++i) {
+    if (out_keys[i - 1] > out_keys[i]) {
+      note(VerifyFailureKind::kOrderViolation, i);
+    }
+  }
+  const size_t m = std::min(out_keys.size(), out_ids.size());
+  std::vector<bool> seen(n, false);
+  for (size_t i = 0; i < m; ++i) {
+    const uint32_t rid = out_ids[i];
+    if (rid >= n || seen[rid]) {
+      note(VerifyFailureKind::kIdPermutationLoss, i);
+      continue;
+    }
+    seen[rid] = true;
+    if (out_keys[i] != input_keys[rid]) {
+      note(VerifyFailureKind::kKeyIdMismatch, i);
+    }
+  }
+  return v;
+}
 
 std::vector<size_t> HeuristicRemPositions(const std::vector<uint32_t>& values) {
   std::vector<size_t> rem;
@@ -59,37 +120,46 @@ double RefineReport::RefineStageWriteCost() const {
   return refine_precise.write_cost;
 }
 
-StatusOr<RefineReport> ApproxRefineSort(const std::vector<uint32_t>& keys,
-                                        const RefineOptions& options,
-                                        std::vector<uint32_t>* final_keys,
-                                        std::vector<uint32_t>* final_ids) {
+approx::MemoryStats RefineReport::TotalStats() const {
+  approx::MemoryStats total;
+  total += prep_approx;
+  total += prep_precise;
+  total += sort_approx;
+  total += sort_precise;
+  total += refine_precise;
+  return total;
+}
+
+Status RunApproxStage(const std::vector<uint32_t>& keys,
+                      const RefineOptions& options, ApproxStageState* state) {
   if (!options.approx_alloc || !options.precise_alloc) {
     return Status::InvalidArgument(
         "approx_alloc and precise_alloc must be set");
   }
   const size_t n = keys.size();
-  RefineReport report;
-  report.n = n;
-  if (n == 0) {
-    report.verified = true;
-    if (final_keys != nullptr) final_keys->clear();
-    if (final_ids != nullptr) final_ids->clear();
-    return report;
-  }
+  *state = ApproxStageState();
+  state->n = n;
+  state->input_keys = keys;
+  state->report.n = n;
+  if (n == 0) return Status::Ok();
 
-  Rng sort_rng(options.sort_seed);
+  state->sort_rng = Rng(options.sort_seed);
+  RefineReport& report = state->report;
 
   // ---- Warm-up: Key0 and ID live in precise memory; loading the inputs is
   // not part of the measured cost (the data is given).
-  approx::ApproxArrayU32 key0 = options.precise_alloc(n);
+  state->key0.emplace(options.precise_alloc(n));
+  approx::ApproxArrayU32& key0 = *state->key0;
   key0.Store(keys);
-  approx::ApproxArrayU32 id = options.precise_alloc(n);
+  state->id.emplace(options.precise_alloc(n));
+  approx::ApproxArrayU32& id = *state->id;
   for (size_t i = 0; i < n; ++i) id.Set(i, static_cast<uint32_t>(i));
   key0.ResetStats();
   id.ResetStats();
 
   // ---- Approx preparation: copy Key0 into the approximate domain.
-  approx::ApproxArrayU32 key_approx = options.approx_alloc(n);
+  state->key_approx.emplace(options.approx_alloc(n));
+  approx::ApproxArrayU32& key_approx = *state->key_approx;
   key_approx.CopyFrom(key0);
   report.prep_approx = key_approx.stats();
   report.prep_precise = key0.stats();
@@ -98,6 +168,7 @@ StatusOr<RefineReport> ApproxRefineSort(const std::vector<uint32_t>& keys,
 
   // ---- Approx stage: sort <Key~, ID>; key traffic is approximate, ID
   // traffic precise, and scratch follows suit.
+  Status sort_status = Status::Ok();
   {
     sort::SortSpec spec;
     spec.keys = &key_approx;
@@ -106,17 +177,54 @@ StatusOr<RefineReport> ApproxRefineSort(const std::vector<uint32_t>& keys,
                                      &report.sort_approx);
     spec.alloc_id_buffer = WithSink(options.precise_alloc,
                                     &report.sort_precise);
-    const Status status = sort::RunSort(spec, options.algorithm, sort_rng);
-    if (!status.ok()) return status;
+    sort_status = sort::RunSort(spec, options.algorithm, state->sort_rng);
   }
+  // Accumulate before propagating any error: an aborted sort's traffic must
+  // stay on the ledger so callers that retry account for the full cost.
   report.sort_approx += key_approx.stats();
   report.sort_precise += id.stats();
   key_approx.ResetStats();
   id.ResetStats();
+  if (!sort_status.ok()) return sort_status;
 
   if (options.measure_approx_sortedness) {
     report.approx_sortedness = sortedness::Measure(key_approx);
   }
+  return Status::Ok();
+}
+
+Status RunRefineStage(ApproxStageState& state, const RefineOptions& options,
+                      RefineReport* report, std::vector<uint32_t>* final_keys,
+                      std::vector<uint32_t>* final_ids) {
+  if (!options.precise_alloc) {
+    return Status::InvalidArgument("precise_alloc must be set");
+  }
+  if (!state.ready()) {
+    return Status::FailedPrecondition(
+        "RunRefineStage needs a state produced by RunApproxStage");
+  }
+  const size_t n = state.n;
+  *report = state.report;
+  report->verification = VerificationReport{};
+  if (n == 0) {
+    if (final_keys != nullptr) final_keys->clear();
+    if (final_ids != nullptr) final_ids->clear();
+    return Status::Ok();
+  }
+  approx::ApproxArrayU32& key0 = *state.key0;
+  approx::ApproxArrayU32& id = *state.id;
+  // Re-runs restart the pivot stream exactly where the approx stage left
+  // it, so a retry is a replay, not a new random experiment.
+  Rng sort_rng = state.sort_rng;
+
+  // Charges this run's Key0/ID access costs to `report` and zeroes the
+  // arrays' counters so a subsequent retry starts from a clean ledger.
+  const auto close_ledger = [&]() {
+    report->refine_precise += key0.stats();
+    report->refine_precise += id.stats();
+    key0.ResetStats();
+    id.ResetStats();
+  };
 
   // ---- Refine preparation: nothing is materialized; Key~ is recovered via
   // Key0[ID[i]] reads throughout the refine stage (writes saved by reads).
@@ -157,10 +265,10 @@ StatusOr<RefineReport> ApproxRefineSort(const std::vector<uint32_t>& keys,
       pile_state.Set(i, member[i]);
       if (member[i] == 0) rem_ids.push_back(ids[i]);
     }
-    report.refine_precise += prev_state.stats();
-    report.refine_precise += pile_state.stats();
+    report->refine_precise += prev_state.stats();
+    report->refine_precise += pile_state.stats();
   }
-  report.rem_estimate = rem_ids.size();
+  report->rem_estimate = rem_ids.size();
   const size_t rem = rem_ids.size();
 
   // Materialize REMID (Rem~ precise writes, as in the paper's ledger).
@@ -180,11 +288,18 @@ StatusOr<RefineReport> ApproxRefineSort(const std::vector<uint32_t>& keys,
     spec.keys = &rem_keys;
     spec.ids = &remid;
     spec.alloc_key_buffer = WithSink(options.precise_alloc,
-                                     &report.refine_precise);
+                                     &report->refine_precise);
     spec.alloc_id_buffer = WithSink(options.precise_alloc,
-                                    &report.refine_precise);
+                                    &report->refine_precise);
     const Status status = sort::RunSort(spec, options.algorithm, sort_rng);
-    if (!status.ok()) return status;
+    if (!status.ok()) {
+      // Close the ledger before propagating: the aborted attempt's costs
+      // stay accounted (REMID/RemKeys traffic plus Key0/ID reads so far).
+      report->refine_precise += remid.stats();
+      report->refine_precise += rem_keys.stats();
+      close_ledger();
+      return status;
+    }
   }
 
   // ---- Refine stage, step 3 (Listing 2): merge the approximate LIS (re-
@@ -253,30 +368,33 @@ StatusOr<RefineReport> ApproxRefineSort(const std::vector<uint32_t>& keys,
   {
     const std::vector<uint32_t> out_keys = final_key_array.Snapshot();
     const std::vector<uint32_t> out_ids = final_id_array.Snapshot();
-    bool ok = merge_conserved && sortedness::IsSorted(out_keys);
-    std::vector<bool> seen(n, false);
-    for (size_t i = 0; ok && i < n; ++i) {
-      const uint32_t rid = out_ids[i];
-      if (rid >= n || seen[rid] || out_keys[i] != keys[rid]) {
-        ok = false;
-        break;
-      }
-      seen[rid] = true;
-    }
-    report.verified = ok;
+    report->verification = VerifyRefineOutput(state.input_keys, out_keys,
+                                              out_ids, merge_conserved);
     if (final_keys != nullptr) *final_keys = out_keys;
     if (final_ids != nullptr) *final_ids = out_ids;
   }
 
   // ---- Close the ledger: everything the refine stage touched in precise
   // memory (Key0/ID reads, REMID, RemKeys, set storage, outputs).
-  report.refine_precise += key0.stats();
-  report.refine_precise += id.stats();
-  report.refine_precise += remid.stats();
-  report.refine_precise += rem_keys.stats();
-  report.refine_precise += remid_set_storage.stats();
-  report.refine_precise += final_key_array.stats();
-  report.refine_precise += final_id_array.stats();
+  report->refine_precise += remid.stats();
+  report->refine_precise += rem_keys.stats();
+  report->refine_precise += remid_set_storage.stats();
+  report->refine_precise += final_key_array.stats();
+  report->refine_precise += final_id_array.stats();
+  close_ledger();
+  return Status::Ok();
+}
+
+StatusOr<RefineReport> ApproxRefineSort(const std::vector<uint32_t>& keys,
+                                        const RefineOptions& options,
+                                        std::vector<uint32_t>* final_keys,
+                                        std::vector<uint32_t>* final_ids) {
+  ApproxStageState state;
+  Status status = RunApproxStage(keys, options, &state);
+  if (!status.ok()) return status;
+  RefineReport report;
+  status = RunRefineStage(state, options, &report, final_keys, final_ids);
+  if (!status.ok()) return status;
   return report;
 }
 

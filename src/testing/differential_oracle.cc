@@ -91,7 +91,7 @@ OracleReport RunDifferentialOracle(const OracleCase& oracle_case,
   report.rem_estimate = outcome->refine.rem_estimate;
   report.write_reduction = outcome->write_reduction;
 
-  if (!outcome->refine.verified) {
+  if (!outcome->refine.verified()) {
     Fail(report, "refine-verified",
          "the pipeline's own output verification failed");
   }

@@ -45,7 +45,7 @@ TEST_F(RefineFixture, ProducesExactlySortedOutput) {
     const auto report = ApproxRefineSort(
         keys, MakeRefineOptions(algorithm, 0.08), &out_keys, &out_ids);
     ASSERT_TRUE(report.ok()) << report.status().ToString();
-    EXPECT_TRUE(report->verified) << algorithm.Name();
+    EXPECT_TRUE(report->verified()) << algorithm.Name();
     ASSERT_EQ(out_keys.size(), keys.size());
     EXPECT_TRUE(std::is_sorted(out_keys.begin(), out_keys.end()));
     for (size_t i = 0; i < out_keys.size(); ++i) {
@@ -62,7 +62,7 @@ TEST_F(RefineFixture, VerifiedEvenAtWorstCorruption) {
                         0.124),
       nullptr, nullptr);
   ASSERT_TRUE(report.ok());
-  EXPECT_TRUE(report->verified);
+  EXPECT_TRUE(report->verified());
   // Rem~ should be near n for a chaotic output.
   EXPECT_GT(report->rem_estimate, keys.size() / 2);
 }
@@ -77,7 +77,7 @@ TEST_F(RefineFixture, EdgeCaseSizes) {
                           0.055),
         &out_keys, nullptr);
     ASSERT_TRUE(report.ok()) << "n=" << n;
-    EXPECT_TRUE(report->verified) << "n=" << n;
+    EXPECT_TRUE(report->verified()) << "n=" << n;
     EXPECT_EQ(out_keys.size(), n);
     EXPECT_TRUE(std::is_sorted(out_keys.begin(), out_keys.end()));
   }
@@ -91,7 +91,7 @@ TEST_F(RefineFixture, DuplicateKeysAreHandled) {
                         0.07),
       nullptr, nullptr);
   ASSERT_TRUE(report.ok());
-  EXPECT_TRUE(report->verified);
+  EXPECT_TRUE(report->verified());
 }
 
 TEST_F(RefineFixture, RemEstimateTracksExactRem) {
@@ -162,6 +162,128 @@ TEST_F(RefineFixture, MissingAllocatorsRejected) {
   const auto report = ApproxRefineSort({1, 2, 3}, options, nullptr, nullptr);
   EXPECT_FALSE(report.ok());
   EXPECT_EQ(report.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(VerifyRefineOutputTest, CleanOutputReportsNone) {
+  const std::vector<uint32_t> input = {30, 10, 20};
+  const VerificationReport report =
+      VerifyRefineOutput(input, {10, 20, 30}, {1, 2, 0});
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.failure, VerifyFailureKind::kNone);
+  EXPECT_EQ(report.violation_count, 0u);
+  EXPECT_EQ(report.ToString(), "ok");
+}
+
+TEST(VerifyRefineOutputTest, CategorizesOrderViolation) {
+  const std::vector<uint32_t> input = {30, 10, 20};
+  const VerificationReport report =
+      VerifyRefineOutput(input, {10, 30, 20}, {1, 0, 2});
+  EXPECT_FALSE(report.ok());
+  EXPECT_EQ(report.failure, VerifyFailureKind::kOrderViolation);
+  EXPECT_EQ(report.first_violation, 2u);
+  EXPECT_GE(report.violation_count, 1u);
+  EXPECT_NE(report.ToString().find("ORDER_VIOLATION"), std::string::npos);
+}
+
+TEST(VerifyRefineOutputTest, CategorizesDuplicatedIds) {
+  const std::vector<uint32_t> input = {30, 10, 20};
+  // Keys are sorted but record 1 was emitted twice and record 2 lost.
+  const VerificationReport report =
+      VerifyRefineOutput(input, {10, 10, 30}, {1, 1, 0});
+  EXPECT_FALSE(report.ok());
+  EXPECT_EQ(report.failure, VerifyFailureKind::kIdPermutationLoss);
+  EXPECT_GE(report.violation_count, 1u);
+}
+
+TEST(VerifyRefineOutputTest, CategorizesOutOfRangeIds) {
+  const std::vector<uint32_t> input = {30, 10, 20};
+  const VerificationReport report =
+      VerifyRefineOutput(input, {10, 20, 30}, {1, 2, 7});
+  EXPECT_FALSE(report.ok());
+  EXPECT_EQ(report.failure, VerifyFailureKind::kIdPermutationLoss);
+}
+
+TEST(VerifyRefineOutputTest, CategorizesKeyIdMismatch) {
+  const std::vector<uint32_t> input = {30, 10, 20};
+  // IDs are a valid permutation but the key written for record 0 is wrong.
+  const VerificationReport report =
+      VerifyRefineOutput(input, {10, 20, 31}, {1, 2, 0});
+  EXPECT_FALSE(report.ok());
+  EXPECT_EQ(report.failure, VerifyFailureKind::kKeyIdMismatch);
+  EXPECT_EQ(report.first_violation, 2u);
+}
+
+TEST(VerifyRefineOutputTest, LostConservationIsAPermutationLoss) {
+  const std::vector<uint32_t> input = {30, 10, 20};
+  const VerificationReport report = VerifyRefineOutput(
+      input, {10, 20, 30}, {1, 2, 0}, /*merge_conserved=*/false);
+  EXPECT_FALSE(report.ok());
+  EXPECT_EQ(report.failure, VerifyFailureKind::kIdPermutationLoss);
+  EXPECT_EQ(report.first_violation, input.size());
+}
+
+TEST(VerifyRefineOutputTest, EveryKindHasAName) {
+  EXPECT_EQ(VerifyFailureKindName(VerifyFailureKind::kNone), "NONE");
+  EXPECT_EQ(VerifyFailureKindName(VerifyFailureKind::kOrderViolation),
+            "ORDER_VIOLATION");
+  EXPECT_EQ(VerifyFailureKindName(VerifyFailureKind::kIdPermutationLoss),
+            "ID_PERMUTATION_LOSS");
+  EXPECT_EQ(VerifyFailureKindName(VerifyFailureKind::kKeyIdMismatch),
+            "KEY_ID_MISMATCH");
+}
+
+TEST_F(RefineFixture, StageSplitMatchesMonolithicRun) {
+  // RunApproxStage + RunRefineStage consume the same RNG streams as the
+  // one-shot ApproxRefineSort, so costs and outputs are bit-identical —
+  // and a second refine run over the same state replays the first exactly.
+  const auto keys = core::MakeKeys(core::WorkloadKind::kUniform, 8000, 13);
+  const sort::AlgorithmId algorithm{sort::SortKind::kQuicksort, 0};
+
+  std::vector<uint32_t> mono_keys;
+  std::vector<uint32_t> mono_ids;
+  approx::ApproxMemory mono_memory(MakeOptions());
+  RefineOptions mono_options;
+  mono_options.algorithm = algorithm;
+  mono_options.approx_alloc = [&mono_memory](size_t n) {
+    return mono_memory.NewApproxArray(n, 0.055);
+  };
+  mono_options.precise_alloc = [&mono_memory](size_t n) {
+    return mono_memory.NewPreciseArray(n);
+  };
+  const auto mono =
+      ApproxRefineSort(keys, mono_options, &mono_keys, &mono_ids);
+  ASSERT_TRUE(mono.ok());
+
+  const RefineOptions split_options =
+      MakeRefineOptions(algorithm, 0.055);
+  ApproxStageState state;
+  ASSERT_TRUE(RunApproxStage(keys, split_options, &state).ok());
+  ASSERT_TRUE(state.ready());
+
+  RefineReport first;
+  std::vector<uint32_t> first_keys;
+  std::vector<uint32_t> first_ids;
+  ASSERT_TRUE(RunRefineStage(state, split_options, &first, &first_keys,
+                             &first_ids)
+                  .ok());
+  EXPECT_TRUE(first.verified());
+  EXPECT_EQ(first_keys, mono_keys);
+  EXPECT_EQ(first_ids, mono_ids);
+  EXPECT_DOUBLE_EQ(first.TotalWriteCost(), mono->TotalWriteCost());
+  EXPECT_EQ(first.rem_estimate, mono->rem_estimate);
+
+  RefineReport second;
+  std::vector<uint32_t> second_keys;
+  std::vector<uint32_t> second_ids;
+  ASSERT_TRUE(RunRefineStage(state, split_options, &second, &second_keys,
+                             &second_ids)
+                  .ok());
+  EXPECT_EQ(second_keys, first_keys);
+  EXPECT_EQ(second_ids, first_ids);
+  // Each run closes its own ledger: equal refine costs, not doubled ones.
+  EXPECT_EQ(second.refine_precise.word_writes,
+            first.refine_precise.word_writes);
+  EXPECT_DOUBLE_EQ(second.TotalWriteCost(), first.TotalWriteCost());
 }
 
 TEST_F(RefineFixture, PreciseBaselineSortsAndCounts) {

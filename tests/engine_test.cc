@@ -74,7 +74,7 @@ TEST(EngineTest, RefineVerifiedAndReductionAtSweetSpot) {
       keys, sort::AlgorithmId{sort::SortKind::kLsdRadix, 3}, 0.055,
       &out_keys, &out_ids);
   ASSERT_TRUE(outcome.ok());
-  EXPECT_TRUE(outcome->refine.verified);
+  EXPECT_TRUE(outcome->refine.verified());
   EXPECT_TRUE(outcome->baseline.verified);
   EXPECT_TRUE(std::is_sorted(out_keys.begin(), out_keys.end()));
   EXPECT_GT(outcome->write_reduction, 0.02);
@@ -89,7 +89,7 @@ TEST(EngineTest, RefineMergesortNeverWins) {
     const auto outcome = engine.SortApproxRefine(
         keys, sort::AlgorithmId{sort::SortKind::kMergesort, 0}, t);
     ASSERT_TRUE(outcome.ok());
-    EXPECT_TRUE(outcome->refine.verified);
+    EXPECT_TRUE(outcome->refine.verified());
     EXPECT_LT(outcome->write_reduction, 0.01) << "t=" << t;
   }
 }
@@ -134,7 +134,7 @@ TEST(EngineTest, SpintronicRefineVerifiedAcrossOperatingPoints) {
     const auto outcome = engine.SortSpintronicRefine(
         keys, sort::AlgorithmId{sort::SortKind::kMsdRadix, 6}, config);
     ASSERT_TRUE(outcome.ok());
-    EXPECT_TRUE(outcome->refine.verified)
+    EXPECT_TRUE(outcome->refine.verified())
         << approx::SpintronicLabel(config);
   }
 }

@@ -123,7 +123,7 @@ TEST(IntegrationTest, ExactModeRefineAgreesWithFastMode) {
     const auto outcome = engine.SortApproxRefine(
         keys, sort::AlgorithmId{sort::SortKind::kQuicksort, 0}, 0.055);
     EXPECT_TRUE(outcome.ok());
-    EXPECT_TRUE(outcome->refine.verified);
+    EXPECT_TRUE(outcome->refine.verified());
     return outcome->write_reduction;
   };
   const double fast = run(approx::SimulationMode::kFast);
@@ -142,7 +142,7 @@ TEST(IntegrationTest, SkewedAndNearlySortedWorkloadsAlsoVerify) {
       const auto outcome =
           engine.SortApproxRefine(keys, algorithm, 0.055, &out);
       ASSERT_TRUE(outcome.ok());
-      EXPECT_TRUE(outcome->refine.verified)
+      EXPECT_TRUE(outcome->refine.verified())
           << algorithm.Name() << " on " << core::WorkloadName(workload);
       EXPECT_TRUE(std::is_sorted(out.begin(), out.end()));
     }

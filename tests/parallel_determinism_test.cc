@@ -133,7 +133,7 @@ std::vector<std::string> RunMiniSweep(int threads) {
     ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
     char buffer[64];
     std::snprintf(buffer, sizeof(buffer), "%.17g,%d", outcome->write_reduction,
-                  outcome->refine.verified ? 1 : 0);
+                  outcome->refine.verified() ? 1 : 0);
     rows[cell] = buffer;
   });
   return rows;

@@ -112,7 +112,7 @@ TEST_F(ExactLisModeTest, ProducesVerifiedOutput) {
   const auto report = ApproxRefineSort(
       keys, MakeRefineOptions(LisMode::kExact, 0.07), &out, nullptr);
   ASSERT_TRUE(report.ok());
-  EXPECT_TRUE(report->verified);
+  EXPECT_TRUE(report->verified());
 }
 
 TEST_F(ExactLisModeTest, FindsExactlyRemElements) {

@@ -29,6 +29,26 @@ TEST(StatusTest, EveryCodeHasAName) {
             "FAILED_PRECONDITION");
   EXPECT_EQ(StatusCodeName(StatusCode::kInternal), "INTERNAL");
   EXPECT_EQ(StatusCodeName(StatusCode::kUnimplemented), "UNIMPLEMENTED");
+  EXPECT_EQ(StatusCodeName(StatusCode::kUnavailable), "UNAVAILABLE");
+}
+
+TEST(StatusTest, UnavailableFactoryCarriesCodeAndMessage) {
+  const Status status = Status::Unavailable("verification failed");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(status.ToString(), "UNAVAILABLE: verification failed");
+}
+
+TEST(StatusTest, OnlyTransientCodesAreRetryable) {
+  // The resilience ladder climbs on these two...
+  EXPECT_TRUE(Status::Unavailable("x").IsRetryable());
+  EXPECT_TRUE(Status::Internal("x").IsRetryable());
+  // ...and aborts on everything else (including Ok, which never retries).
+  EXPECT_FALSE(Status::Ok().IsRetryable());
+  EXPECT_FALSE(Status::InvalidArgument("x").IsRetryable());
+  EXPECT_FALSE(Status::OutOfRange("x").IsRetryable());
+  EXPECT_FALSE(Status::FailedPrecondition("x").IsRetryable());
+  EXPECT_FALSE(Status::Unimplemented("x").IsRetryable());
 }
 
 TEST(StatusTest, EqualityComparesCodeAndMessage) {

@@ -21,6 +21,7 @@
 #include "common/thread_pool.h"
 #include "common/table_printer.h"
 #include "core/engine.h"
+#include "core/resilience.h"
 #include "core/workload.h"
 #include "refine/cost_model.h"
 #include "testing/differential_oracle.h"
@@ -37,10 +38,16 @@ constexpr char kUsage[] =
     "  refine    --algo=A --t=T        Sections 4-5: approx-refine + WR\n"
     "  sweep     --algo=A              WR across the T grid\n"
     "  recommend --algo=A --t=T --rem=R  Eq. 4 decision for size --n\n"
+    "  resilient --algo=A --t=T        approx-refine behind the verified-\n"
+    "            retry ladder (core/resilience.h): [--inject=0] fault storm,\n"
+    "            [--monitor=1] canary quarantine, [--retries=1]\n"
+    "            [--escalations=2] [--escalation_factor=0.5] [--min_t=0.025]\n"
+    "            [--log=0]; exits 1 if the final output is unverified\n"
     "  fuzz      [--seconds=60] [--cases=0] [--threads=1] [--n_max=512]\n"
-    "            [--inject=1]           randomized differential-oracle runs\n"
-    "            (see TESTING.md; prints a minimized repro and exits 1 on\n"
-    "            the first invariant violation)\n"
+    "            [--inject=1] [--resilient=0]  randomized differential-\n"
+    "            oracle runs; --resilient=1 drives SortResilient with\n"
+    "            monitoring on instead (see TESTING.md; prints a minimized\n"
+    "            repro and exits 1 on the first invariant violation)\n"
     "common: --n=N --seed=S --workload=uniform|skewed|nearly_sorted|\n"
     "        reversed|all_equal --exact\n"
     "algorithms: quicksort mergesort lsd3..lsd6 msd3..msd6 hlsd3..6 "
@@ -121,7 +128,7 @@ int Refine(core::ApproxSortEngine& engine, const sort::AlgorithmId& algorithm,
   std::printf("%s on %zu keys at T=%.3f (approx-refine):\n",
               algorithm.Name().c_str(), keys.size(), t);
   std::printf("  verified sorted   %s\n",
-              outcome->refine.verified ? "yes" : "NO");
+              outcome->refine.verified() ? "yes" : "NO");
   std::printf("  Rem~              %zu\n", outcome->refine.rem_estimate);
   std::printf("  approx stage      %.3f ms write latency\n",
               outcome->refine.ApproxStageWriteCost() / 1e6);
@@ -132,7 +139,89 @@ int Refine(core::ApproxSortEngine& engine, const sort::AlgorithmId& algorithm,
   std::printf("  write reduction   %.2f%% measured, %.2f%% predicted\n",
               outcome->write_reduction * 100.0,
               outcome->predicted_write_reduction * 100.0);
-  return outcome->refine.verified ? 0 : 1;
+  if (!outcome->refine.verified()) {
+    std::fprintf(stderr, "refine: UNVERIFIED output — %s\n",
+                 outcome->refine.verification.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}
+
+int Resilient(const Flags& flags, const sort::AlgorithmId& algorithm,
+              const std::vector<uint32_t>& keys, double t,
+              core::EngineOptions engine_options) {
+  engine_options.health.enabled = flags.GetBool("monitor", true);
+
+  std::unique_ptr<testing::FaultInjector> injector;
+  if (flags.GetBool("inject", false)) {
+    injector = std::make_unique<testing::FaultInjector>(
+        testing::FaultPlan::ApproxStorm(engine_options.seed));
+    engine_options.fault_hook = injector.get();
+  }
+  core::ApproxSortEngine engine(engine_options);
+
+  core::ResilienceOptions resilience;
+  resilience.max_refine_retries = static_cast<int>(flags.GetInt("retries", 1));
+  resilience.max_escalations = static_cast<int>(flags.GetInt("escalations", 2));
+  resilience.escalation_factor = flags.GetDouble("escalation_factor", 0.5);
+  resilience.min_t = flags.GetDouble("min_t", 0.025);
+  resilience.log_diagnostics = flags.GetBool("log", false);
+
+  const auto report = core::SortResilient(engine, keys, algorithm, t,
+                                          resilience);
+  if (!report.ok()) {
+    std::fprintf(stderr, "%s\n", report.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("%s on %zu keys at T=%.3f (resilient approx-refine):\n",
+              algorithm.Name().c_str(), keys.size(), t);
+  TablePrinter table("attempt ladder");
+  table.SetHeader({"#", "policy", "T", "status", "verified", "Rem~",
+                   "write_cost"});
+  for (size_t i = 0; i < report->attempts.size(); ++i) {
+    const core::AttemptRecord& a = report->attempts[i];
+    table.AddRow({TablePrinter::FmtInt(static_cast<long long>(i + 1)),
+                  std::string(core::AttemptPolicyName(a.policy)),
+                  TablePrinter::Fmt(a.t, 3),
+                  a.status.ok() ? "ok" : a.status.ToString(),
+                  a.verified ? "yes" : (a.status.ok()
+                                            ? a.verification.ToString()
+                                            : "-"),
+                  TablePrinter::FmtInt(
+                      static_cast<long long>(a.rem_estimate)),
+                  TablePrinter::Fmt(a.cost.write_cost / 1e6, 3)});
+  }
+  table.Print();
+  std::printf("  final policy      %s (T=%.3f)\n",
+              core::AttemptPolicyName(report->final_policy).data(),
+              report->final_t);
+  std::printf("  cumulative cost   %.3f ms write latency "
+              "(canaries %.3f ms)\n",
+              report->cumulative.write_cost / 1e6,
+              report->canary_costs.write_cost / 1e6);
+  std::printf("  precise baseline  %.3f ms write latency\n",
+              report->baseline.TotalWriteCost() / 1e6);
+  std::printf("  write reduction   %.2f%% (cumulative, Eq. 2-honest)\n",
+              report->write_reduction * 100.0);
+  if (engine_options.health.enabled) {
+    const approx::HealthStats& health = report->health;
+    std::printf("  health monitor    %llu regions probed, %llu quarantined, "
+                "%llu alloc retries, %llu/%llu canary errors\n",
+                static_cast<unsigned long long>(health.regions_probed),
+                static_cast<unsigned long long>(health.regions_quarantined),
+                static_cast<unsigned long long>(health.allocation_retries),
+                static_cast<unsigned long long>(health.canary_errors),
+                static_cast<unsigned long long>(health.canary_writes));
+  }
+  if (!report->verified) {
+    std::fprintf(stderr,
+                 "resilient: UNVERIFIED after %zu attempts — %s\n",
+                 report->attempts.size(),
+                 report->refine.verification.ToString().c_str());
+    return 1;
+  }
+  return 0;
 }
 
 int Sweep(core::ApproxSortEngine& engine, const sort::AlgorithmId& algorithm,
@@ -143,6 +232,11 @@ int Sweep(core::ApproxSortEngine& engine, const sort::AlgorithmId& algorithm,
     const auto outcome = engine.SortApproxRefine(keys, algorithm, t);
     if (!outcome.ok()) {
       std::fprintf(stderr, "%s\n", outcome.status().ToString().c_str());
+      return 1;
+    }
+    if (!outcome->refine.verified()) {
+      std::fprintf(stderr, "sweep: UNVERIFIED output at T=%.3f — %s\n", t,
+                   outcome->refine.verification.ToString().c_str());
       return 1;
     }
     table.AddRow(
@@ -169,16 +263,90 @@ int Recommend(core::ApproxSortEngine& engine,
   return 0;
 }
 
+// One fuzz case driven through SortResilient (health monitoring on): the
+// ladder must end with a verified, exactly sorted output whatever the
+// fault storm did, and the final keys must match a std::sort of the input.
+testing::OracleReport RunResilientFuzzCase(
+    const testing::OracleCase& oracle_case,
+    const std::shared_ptr<mlc::CalibrationCache>& cache, uint64_t trials,
+    bool inject) {
+  testing::OracleReport report;
+  report.oracle_case = oracle_case;
+  report.digest = testing::Fnv1a64(nullptr, 0);
+
+  const double t = testing::TFromPaperLabel(oracle_case.paper_t);
+  const std::vector<uint32_t> input =
+      testing::MakeInput(oracle_case.shape, oracle_case.n, oracle_case.seed);
+
+  core::EngineOptions engine_options;
+  engine_options.calibration_trials = trials;
+  engine_options.seed = oracle_case.seed;
+  engine_options.shared_calibration = cache;
+  engine_options.health.enabled = true;
+  std::unique_ptr<testing::FaultInjector> injector;
+  if (inject) {
+    injector = std::make_unique<testing::FaultInjector>(
+        testing::FaultPlan::ApproxStorm(oracle_case.seed));
+    engine_options.fault_hook = injector.get();
+  }
+  core::ApproxSortEngine engine(engine_options);
+
+  std::vector<uint32_t> final_keys;
+  std::vector<uint32_t> final_ids;
+  const auto result = core::SortResilient(
+      engine, input, oracle_case.algorithm, t, core::ResilienceOptions{},
+      &final_keys, &final_ids);
+  if (!result.ok()) {
+    report.failures.push_back(
+        testing::OracleFailure{"engine-status", result.status().ToString()});
+    return report;
+  }
+  report.rem_estimate = result->refine.rem_estimate;
+  report.write_reduction = result->write_reduction;
+  if (!result->verified) {
+    report.failures.push_back(testing::OracleFailure{
+        "resilient-verified",
+        "ladder exhausted unverified after " +
+            std::to_string(result->attempts.size()) + " attempts: " +
+            result->refine.verification.ToString()});
+  }
+  std::vector<uint32_t> golden = input;
+  std::sort(golden.begin(), golden.end());
+  if (final_keys != golden) {
+    report.failures.push_back(testing::OracleFailure{
+        "golden-keys", "resilient output does not match std::sort"});
+  }
+  report.ok = report.failures.empty();
+  const uint64_t attempt_digest = result->AttemptDigest();
+  report.digest =
+      testing::Fnv1a64(&attempt_digest, sizeof(attempt_digest),
+                       report.digest);
+  if (!final_keys.empty()) {
+    report.digest =
+        testing::Fnv1a64(final_keys.data(),
+                         final_keys.size() * sizeof(uint32_t), report.digest);
+  }
+  if (!final_ids.empty()) {
+    report.digest =
+        testing::Fnv1a64(final_ids.data(),
+                         final_ids.size() * sizeof(uint32_t), report.digest);
+  }
+  return report;
+}
+
 // Randomized differential-oracle fuzzing, bounded by wall time and/or a
 // case count. Every case draws a fresh (n, T, algorithm, shape) tuple and,
 // with --inject (default on), an approx-domain fault storm; the refine
-// guarantee must hold through all of it. Deterministic per --seed: the
-// verdict of case index i never depends on time or thread count — the time
-// bound only decides how many indices get run.
+// guarantee must hold through all of it. With --resilient=1 each case runs
+// through SortResilient (monitoring on) instead of the plain oracle.
+// Deterministic per --seed: the verdict of case index i never depends on
+// time or thread count — the time bound only decides how many indices get
+// run.
 int Fuzz(const Flags& flags, uint64_t seed) {
   const double seconds = flags.GetDouble("seconds", 60.0);
   const size_t max_cases = static_cast<size_t>(flags.GetInt("cases", 0));
   const bool inject = flags.GetBool("inject", true);
+  const bool resilient = flags.GetBool("resilient", false);
 
   testing::RunnerOptions runner;
   runner.seed = seed;
@@ -193,6 +361,9 @@ int Fuzz(const Flags& flags, uint64_t seed) {
       mlc::MlcConfig{}, trials, seed ^ 0xca11b7a7e5eedULL);
 
   const auto check = [&](const testing::OracleCase& oracle_case) {
+    if (resilient) {
+      return RunResilientFuzzCase(oracle_case, cache, trials, inject);
+    }
     testing::OracleOptions oracle;
     oracle.calibration_trials = trials;
     oracle.shared_calibration = cache;
@@ -304,6 +475,9 @@ int Main(int argc, char** argv) {
   if (cmd == "study") return Study(engine, *algorithm, keys, t);
   if (cmd == "refine") return Refine(engine, *algorithm, keys, t);
   if (cmd == "sweep") return Sweep(engine, *algorithm, keys);
+  if (cmd == "resilient") {
+    return Resilient(*flags, *algorithm, keys, t, options);
+  }
 
   std::fprintf(stderr, "unknown --cmd=%s\n%s", cmd.c_str(), kUsage);
   return 2;
