@@ -28,24 +28,20 @@ int Main(int argc, char** argv) {
                    "WR_predicted", "use_approx_refine?"});
   for (const auto& algorithm : algorithms) {
     for (const double t : {0.035, 0.055, 0.075}) {
-      const auto outcome = engine.SortApproxRefine(keys, algorithm, t);
-      if (!outcome.ok()) {
-        std::fprintf(stderr, "%s\n", outcome.status().ToString().c_str());
-        return 1;
-      }
-      bench::RequireVerified(*outcome, "cost_model");
+      const auto outcome = bench::RequireVerifiedOutcome(
+          engine.SortApproxRefine(keys, algorithm, t), "cost_model");
       const double p = engine.PvRatio(t);
       const bool recommend = engine.RecommendApproxRefine(
-          algorithm, env.n, t, outcome->refine.rem_estimate);
+          algorithm, env.n, t, outcome.refine.rem_estimate);
       table.AddRow(
           {algorithm.Name(), TablePrinter::Fmt(t, 3),
            TablePrinter::Fmt(p, 3),
            TablePrinter::FmtPercent(
-               static_cast<double>(outcome->refine.rem_estimate) /
+               static_cast<double>(outcome.refine.rem_estimate) /
                    static_cast<double>(env.n),
                2),
-           TablePrinter::FmtPercent(outcome->write_reduction, 2),
-           TablePrinter::FmtPercent(outcome->predicted_write_reduction, 2),
+           TablePrinter::FmtPercent(outcome.write_reduction, 2),
+           TablePrinter::FmtPercent(outcome.predicted_write_reduction, 2),
            recommend ? "yes" : "no"});
     }
   }

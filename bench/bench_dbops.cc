@@ -30,17 +30,14 @@ int Main(int argc, char** argv) {
         sort::AlgorithmId{sort::SortKind::kQuicksort, 0}}) {
     dbops::GroupByOptions options;
     options.algorithm = algorithm;
-    const auto result =
-        dbops::GroupByAggregate(engine, group_keys, values, options);
-    if (!result.ok()) {
-      std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
-      return 1;
-    }
+    const auto result = bench::RequireOk(
+        dbops::GroupByAggregate(engine, group_keys, values, options),
+        "dbops group-by");
     group_table.AddRow(
         {algorithm.Name(),
-         TablePrinter::FmtInt(static_cast<long long>(result->groups.size())),
-         TablePrinter::FmtPercent(result->sort_write_reduction, 1),
-         result->verified ? "yes" : "NO"});
+         TablePrinter::FmtInt(static_cast<long long>(result.groups.size())),
+         TablePrinter::FmtPercent(result.sort_write_reduction, 1),
+         result.verified ? "yes" : "NO"});
   }
   group_table.Print();
 
@@ -57,17 +54,14 @@ int Main(int argc, char** argv) {
     dbops::JoinOptions options;
     options.algorithm = algorithm;
     options.max_output_pairs = 50000000;
-    const auto result = dbops::SortMergeJoin(engine, left, right, options);
-    if (!result.ok()) {
-      std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
-      return 1;
-    }
+    const auto result = bench::RequireOk(
+        dbops::SortMergeJoin(engine, left, right, options), "dbops join");
     join_table.AddRow(
         {algorithm.Name(),
-         TablePrinter::FmtInt(static_cast<long long>(result->pairs.size())),
-         TablePrinter::FmtPercent(result->left_sort_write_reduction, 1),
-         TablePrinter::FmtPercent(result->right_sort_write_reduction, 1),
-         result->verified ? "yes" : "NO"});
+         TablePrinter::FmtInt(static_cast<long long>(result.pairs.size())),
+         TablePrinter::FmtPercent(result.left_sort_write_reduction, 1),
+         TablePrinter::FmtPercent(result.right_sort_write_reduction, 1),
+         result.verified ? "yes" : "NO"});
   }
   join_table.Print();
   std::printf(

@@ -41,25 +41,21 @@ int Main(int argc, char** argv) {
       return extsort::ExternalSort(engine, disk, input_file, options,
                                    nullptr);
     };
-    const auto precise = run(false);
-    const auto approximate = run(true);
-    if (!precise.ok() || !approximate.ok()) {
-      std::fprintf(stderr, "external sort failed\n");
-      return 1;
-    }
-    const double reduction = 1.0 - approximate->memory_write_cost /
-                                       precise->memory_write_cost;
+    const auto precise = bench::RequireOk(run(false), "extsort precise");
+    const auto approximate = bench::RequireOk(run(true), "extsort approx");
+    const double reduction = 1.0 - approximate.memory_write_cost /
+                                       precise.memory_write_cost;
     table.AddRow(
         {TablePrinter::FmtInt(static_cast<long long>(budget)),
          TablePrinter::FmtInt(static_cast<long long>(
-             approximate->initial_runs)),
+             approximate.initial_runs)),
          TablePrinter::FmtInt(static_cast<long long>(
-             approximate->merge_passes)),
-         TablePrinter::Fmt(approximate->disk.TotalTimeUs() / 1000.0, 1),
-         TablePrinter::Fmt(precise->memory_write_cost / 1e6, 1),
-         TablePrinter::Fmt(approximate->memory_write_cost / 1e6, 1),
+             approximate.merge_passes)),
+         TablePrinter::Fmt(approximate.disk.TotalTimeUs() / 1000.0, 1),
+         TablePrinter::Fmt(precise.memory_write_cost / 1e6, 1),
+         TablePrinter::Fmt(approximate.memory_write_cost / 1e6, 1),
          TablePrinter::FmtPercent(reduction, 1),
-         approximate->verified && precise->verified ? "yes" : "NO"});
+         approximate.verified && precise.verified ? "yes" : "NO"});
   }
   table.Print();
   std::printf(

@@ -24,15 +24,11 @@ int Main(int argc, char** argv) {
   };
   std::vector<Row> rows;
   for (const auto& algorithm : bench::PanelAlgorithms()) {
-    const auto outcome = engine.SortApproxRefine(keys, algorithm, t);
-    if (!outcome.ok()) {
-      std::fprintf(stderr, "%s\n", outcome.status().ToString().c_str());
-      return 1;
-    }
-    bench::RequireVerified(*outcome, "fig11");
+    const auto outcome = bench::RequireVerifiedOutcome(
+        engine.SortApproxRefine(keys, algorithm, t), "fig11");
     rows.push_back(Row{algorithm.Name(),
-                       outcome->refine.ApproxStageWriteCost(),
-                       outcome->refine.RefineStageWriteCost()});
+                       outcome.refine.ApproxStageWriteCost(),
+                       outcome.refine.RefineStageWriteCost()});
   }
 
   const double unit = rows.front().approx_cost;  // 3-bit LSD approx stage.

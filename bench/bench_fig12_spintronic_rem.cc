@@ -1,5 +1,7 @@
 // Figure 12 (Appendix A): Rem ratio after sorting in approximate spintronic
-// memory, across the four energy-saving/error-rate operating points.
+// memory, across the four energy-saving/error-rate operating points. An
+// ordinary SortApproxOnly run on the spintronic backend: the knob is the
+// per-bit write-error probability of each operating point.
 #include <cstdio>
 
 #include "approx/spintronic.h"
@@ -10,7 +12,8 @@ namespace approxmem {
 namespace {
 
 int Main(int argc, char** argv) {
-  const bench::BenchEnv env = bench::ParseBenchEnv(argc, argv);
+  const bench::BenchEnv env = bench::ParseBenchEnv(
+      argc, argv, bench::kDefaultN, approx::kSpintronicBackendName);
   bench::PrintRunHeader(
       "Figure 12: Rem ratio on approximate spintronic memory", env);
   core::ApproxSortEngine engine = bench::MakeEngine(env);
@@ -26,13 +29,11 @@ int Main(int argc, char** argv) {
   for (const auto& config : approx::PaperSpintronicConfigs()) {
     std::vector<std::string> row = {approx::SpintronicLabel(config)};
     for (const auto& algorithm : algorithms) {
-      const auto result = engine.SortSpintronicOnly(keys, algorithm, config);
-      if (!result.ok()) {
-        std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
-        return 1;
-      }
+      const auto result = bench::RequireOk(
+          engine.SortApproxOnly(keys, algorithm, config.bit_error_prob),
+          "fig12");
       row.push_back(
-          TablePrinter::FmtPercent(result->sortedness.rem_ratio, 2));
+          TablePrinter::FmtPercent(result.sortedness.rem_ratio, 2));
     }
     table.AddRow(row);
   }

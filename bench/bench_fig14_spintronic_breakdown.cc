@@ -1,6 +1,6 @@
 // Figure 14 (Appendix A): breakdown of write energy into approx and refine
 // stages at the 33%-saving operating point, normalized to 3-bit LSD's
-// approx stage.
+// approx stage. An ordinary SortApproxRefine run on the spintronic backend.
 #include <cstdio>
 
 #include "approx/spintronic.h"
@@ -11,7 +11,8 @@ namespace approxmem {
 namespace {
 
 int Main(int argc, char** argv) {
-  const bench::BenchEnv env = bench::ParseBenchEnv(argc, argv, 100000);
+  const bench::BenchEnv env = bench::ParseBenchEnv(
+      argc, argv, 100000, approx::kSpintronicBackendName);
   bench::PrintRunHeader("Figure 14: spintronic write-energy breakdown", env);
   core::ApproxSortEngine engine = bench::MakeEngine(env);
   const auto keys =
@@ -26,15 +27,12 @@ int Main(int argc, char** argv) {
   };
   std::vector<Row> rows;
   for (const auto& algorithm : bench::PanelAlgorithms()) {
-    const auto outcome = engine.SortSpintronicRefine(keys, algorithm, config);
-    if (!outcome.ok()) {
-      std::fprintf(stderr, "%s\n", outcome.status().ToString().c_str());
-      return 1;
-    }
-    bench::RequireVerified(*outcome, "fig14");
+    const auto outcome = bench::RequireVerifiedOutcome(
+        engine.SortApproxRefine(keys, algorithm, config.bit_error_prob),
+        "fig14");
     rows.push_back(Row{algorithm.Name(),
-                       outcome->refine.ApproxStageWriteCost(),
-                       outcome->refine.RefineStageWriteCost()});
+                       outcome.refine.ApproxStageWriteCost(),
+                       outcome.refine.RefineStageWriteCost()});
   }
 
   const double unit = rows.front().approx_energy;

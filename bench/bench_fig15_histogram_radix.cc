@@ -33,13 +33,9 @@ int Main(int argc, char** argv) {
   for (const double t : bench::PaperTGrid()) {
     std::vector<std::string> row = {TablePrinter::Fmt(t, 3)};
     for (const auto& algorithm : algorithms) {
-      const auto outcome = engine.SortApproxRefine(keys, algorithm, t);
-      if (!outcome.ok()) {
-        std::fprintf(stderr, "%s\n", outcome.status().ToString().c_str());
-        return 1;
-      }
-      bench::RequireVerified(*outcome, "fig15");
-      row.push_back(TablePrinter::FmtPercent(outcome->write_reduction, 1));
+      const auto outcome = bench::RequireVerifiedOutcome(
+          engine.SortApproxRefine(keys, algorithm, t), "fig15");
+      row.push_back(TablePrinter::FmtPercent(outcome.write_reduction, 1));
     }
     table.AddRow(row);
   }

@@ -59,10 +59,7 @@ int Main(int argc, char** argv) {
     std::vector<std::string> wr_row = error_row;
     for (size_t col = 0; col < algorithms.size(); ++col) {
       const Cell& cell = cells[row * algorithms.size() + col];
-      if (!cell.error.empty()) {
-        std::fprintf(stderr, "%s\n", cell.error.c_str());
-        return 1;
-      }
+      bench::RequireNoCellError(cell.error);
       error_row.push_back(TablePrinter::FmtPercent(cell.error_rate, 2));
       rem_row.push_back(TablePrinter::FmtPercent(cell.rem_ratio, 2));
       wr_row.push_back(TablePrinter::FmtPercent(cell.write_reduction, 1));

@@ -26,17 +26,14 @@ int Main(int argc, char** argv) {
     std::printf("\n== T = %.3f ==\n", t);
     for (const auto& algorithm : sort::HeadlineAlgorithms()) {
       std::vector<uint32_t> output;
-      const auto result = engine.SortApproxOnly(keys, algorithm, t, &output);
-      if (!result.ok()) {
-        std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
-        return 1;
-      }
+      const auto result = bench::RequireOk(
+          engine.SortApproxOnly(keys, algorithm, t, &output), "fig5to7");
       const sortedness::ShapeSummary shape =
           sortedness::SummarizeShape(output);
       std::printf("%-12s |%s| Rem=%6.2f%% displaced=%6.2f%% devP50=%.3f\n",
                   algorithm.Name().c_str(),
                   sortedness::ShapeSparkline(output).c_str(),
-                  result->sortedness.rem_ratio * 100.0,
+                  result.sortedness.rem_ratio * 100.0,
                   shape.displaced_fraction * 100.0, shape.deviation_p50);
       char path[256];
       std::snprintf(path, sizeof(path), "%s/shape_T%03d_%s.csv",

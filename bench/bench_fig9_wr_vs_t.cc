@@ -24,7 +24,6 @@ int Main(int argc, char** argv) {
 
   struct Cell {
     double write_reduction = 0.0;
-    bool verified = false;
     std::string error;
   };
   std::vector<Cell> cells(t_grid.size() * algorithms.size());
@@ -34,16 +33,8 @@ int Main(int argc, char** argv) {
         Cell& cell = cells[row * algorithms.size() + col];
         const auto outcome =
             engine.SortApproxRefine(keys, algorithms[col], t_grid[row]);
-        if (!outcome.ok()) {
-          cell.error = outcome.status().ToString();
-          return;
-        }
-        cell.write_reduction = outcome->write_reduction;
-        cell.verified = outcome->refine.verified();
-        if (!cell.verified) {
-          cell.error = "UNVERIFIED refine output — " +
-                       outcome->refine.verification.ToString();
-        }
+        cell.error = bench::RefineCellError(outcome);
+        if (cell.error.empty()) cell.write_reduction = outcome->write_reduction;
       });
 
   TablePrinter table("Figure 9: write reduction vs T (approx-refine)");
@@ -58,15 +49,7 @@ int Main(int argc, char** argv) {
     std::vector<std::string> table_row = {TablePrinter::Fmt(t_grid[row], 3)};
     for (size_t col = 0; col < algorithms.size(); ++col) {
       const Cell& cell = cells[row * algorithms.size() + col];
-      if (!cell.error.empty()) {
-        std::fprintf(stderr, "%s\n", cell.error.c_str());
-        return 1;
-      }
-      if (!cell.verified) {
-        std::fprintf(stderr, "UNSOUND: %s at T=%.3f not exactly sorted\n",
-                     algorithms[col].Name().c_str(), t_grid[row]);
-        return 1;
-      }
+      bench::RequireNoCellError(cell.error);
       table_row.push_back(TablePrinter::FmtPercent(cell.write_reduction, 1));
       if (cell.write_reduction > best_wr) {
         best_wr = cell.write_reduction;

@@ -63,6 +63,7 @@ Runtime& GetRuntime(const BenchEnv& env) {
 core::EngineOptions CellOptions(const BenchEnv& env, uint64_t seed) {
   Runtime& runtime = GetRuntime(env);
   core::EngineOptions options;
+  options.backend = env.backend;
   options.seed = seed;
   options.calibration_trials = static_cast<uint64_t>(
       env.flags.GetInt("calibration_trials", 200000));
@@ -109,8 +110,9 @@ std::string CsvPath(const BenchEnv& env, const std::string& file) {
 }
 
 void PrintRunHeader(const char* what, const BenchEnv& env) {
-  std::printf("# %s | n=%zu seed=%llu threads=%d%s\n", what, env.n,
-              static_cast<unsigned long long>(env.seed), SweepThreads(env),
+  std::printf("# %s | n=%zu seed=%llu threads=%d backend=%s%s\n", what,
+              env.n, static_cast<unsigned long long>(env.seed),
+              SweepThreads(env), env.backend.c_str(),
               env.full ? " (paper scale)" : "");
   std::printf(
       "# Shapes should match the paper; absolute values depend on the "

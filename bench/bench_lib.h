@@ -13,15 +13,22 @@
 //                    before the run and save the (possibly grown) cache
 //                    back afterwards, so repeated figure runs skip the
 //                    Monte-Carlo calibration entirely.
+//   --backend=<name> memory-technology backend every engine allocates on
+//                    (see approx/memory_backend.h). Benches default to the
+//                    technology their figure studies (mlc-pcm for most,
+//                    spintronic for fig12-14); any registered backend works.
 // plus the APPROX_BENCH_N environment variable as an n override.
 #ifndef APPROXMEM_BENCH_BENCH_LIB_H_
 #define APPROXMEM_BENCH_BENCH_LIB_H_
 
 #include <cstdio>
+#include <cstdlib>
 #include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "approx/memory_backend.h"
 #include "common/flags.h"
 #include "core/engine.h"
 #include "core/workload.h"
@@ -39,12 +46,16 @@ struct BenchEnv {
   int threads = 0;  // 0 = hardware concurrency.
   std::string csv_dir = "bench_artifacts";
   std::string calibration_cache;  // Empty = no persistence.
+  std::string backend = std::string(approx::kPcmBackendName);
   Flags flags;
 };
 
-/// Parses flags/environment; exits the process on malformed flags.
-inline BenchEnv ParseBenchEnv(int argc, char** argv,
-                              size_t default_n = kDefaultN) {
+/// Parses flags/environment; exits the process on malformed flags or an
+/// unregistered --backend. `default_backend` is the technology the bench
+/// studies when --backend is not given.
+inline BenchEnv ParseBenchEnv(
+    int argc, char** argv, size_t default_n = kDefaultN,
+    std::string_view default_backend = approx::kPcmBackendName) {
   StatusOr<Flags> flags = Flags::Parse(argc, argv);
   if (!flags.ok()) {
     std::fprintf(stderr, "%s\n", flags.status().ToString().c_str());
@@ -60,6 +71,16 @@ inline BenchEnv ParseBenchEnv(int argc, char** argv,
   env.threads = static_cast<int>(flags->GetInt("threads", 0));
   env.csv_dir = flags->GetString("csv_dir", "bench_artifacts");
   env.calibration_cache = flags->GetString("calibration_cache", "");
+  env.backend = flags->GetString("backend", std::string(default_backend));
+  if (!approx::IsRegisteredBackend(env.backend)) {
+    std::fprintf(stderr, "unknown --backend=%s; registered:",
+                 env.backend.c_str());
+    for (const std::string& name : approx::RegisteredBackendNames()) {
+      std::fprintf(stderr, " %s", name.c_str());
+    }
+    std::fprintf(stderr, "\n");
+    std::exit(2);
+  }
   return env;
 }
 
@@ -112,6 +133,47 @@ inline void RequireVerified(const core::RefineOutcome& outcome,
   if (outcome.refine.verified()) return;
   std::fprintf(stderr, "%s: UNVERIFIED refine output — %s\n", context,
                outcome.refine.verification.ToString().c_str());
+  std::exit(1);
+}
+
+/// Unwraps a StatusOr or aborts the bench with its diagnostic — the shared
+/// form of the per-bench `if (!result.ok()) { fprintf; return 1; }` block.
+template <typename T>
+T RequireOk(StatusOr<T> result, const char* context) {
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s: %s\n", context,
+                 result.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(result).value();
+}
+
+/// RequireOk + RequireVerified in one step for approx-refine runs.
+inline core::RefineOutcome RequireVerifiedOutcome(
+    StatusOr<core::RefineOutcome> outcome, const char* context) {
+  core::RefineOutcome value = RequireOk(std::move(outcome), context);
+  RequireVerified(value, context);
+  return value;
+}
+
+/// Diagnostic for one sweep cell's approx-refine result: empty when the
+/// run succeeded and verified, the failure description otherwise. Sweep
+/// benches store this per cell (worker threads must not exit the process)
+/// and call RequireNoCellError while assembling the table.
+inline std::string RefineCellError(
+    const StatusOr<core::RefineOutcome>& outcome) {
+  if (!outcome.ok()) return outcome.status().ToString();
+  if (!outcome->refine.verified()) {
+    return "UNVERIFIED refine output — " +
+           outcome->refine.verification.ToString();
+  }
+  return std::string();
+}
+
+/// Aborts the bench when a sweep cell recorded an error.
+inline void RequireNoCellError(const std::string& error) {
+  if (error.empty()) return;
+  std::fprintf(stderr, "%s\n", error.c_str());
   std::exit(1);
 }
 

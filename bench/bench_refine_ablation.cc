@@ -81,8 +81,7 @@ void SequentialDiscountAblation(const bench::BenchEnv& env) {
   table.SetHeader({"seq_discount", "3-bit LSD", "3-bit MSD", "Quicksort",
                    "Mergesort"});
   for (const double discount : {1.0, 0.7, 0.5}) {
-    core::EngineOptions options;
-    options.seed = env.seed;
+    core::EngineOptions options = bench::MakeEngineOptions(env);
     options.sequential_write_discount = discount;
     core::ApproxSortEngine engine(options);
     std::vector<std::string> row = {TablePrinter::Fmt(discount, 2)};

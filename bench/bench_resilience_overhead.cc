@@ -31,26 +31,20 @@ int Main(int argc, char** argv) {
   for (const auto& algorithm : bench::PanelAlgorithms()) {
     // Separate engines so both paths see identical RNG streams.
     core::ApproxSortEngine plain_engine = bench::MakeEngine(env);
-    const auto plain = plain_engine.SortApproxRefine(keys, algorithm, t);
-    if (!plain.ok()) {
-      std::fprintf(stderr, "%s\n", plain.status().ToString().c_str());
-      return 1;
-    }
-    bench::RequireVerified(*plain, "resilience_overhead");
+    const auto plain = bench::RequireVerifiedOutcome(
+        plain_engine.SortApproxRefine(keys, algorithm, t),
+        "resilience_overhead");
 
     core::EngineOptions options = bench::MakeEngineOptions(env);
     options.health.enabled = true;
     core::ApproxSortEngine resilient_engine(options);
-    const auto resilient =
-        core::SortResilient(resilient_engine, keys, algorithm, t);
-    if (!resilient.ok()) {
-      std::fprintf(stderr, "%s\n", resilient.status().ToString().c_str());
-      return 1;
-    }
-    if (!resilient->verified) {
+    const auto resilient = bench::RequireOk(
+        core::SortResilient(resilient_engine, keys, algorithm, t),
+        "resilience_overhead");
+    if (!resilient.verified) {
       std::fprintf(stderr,
                    "resilience_overhead: UNVERIFIED resilient output — %s\n",
-                   resilient->refine.verification.ToString().c_str());
+                   resilient.refine.verification.ToString().c_str());
       return 1;
     }
 
@@ -59,23 +53,23 @@ int Main(int argc, char** argv) {
     // true cost of resilience. (Comparing against the *plain* run instead
     // would also count RNG stream perturbation — monitoring shifts every
     // array's substream, an unbiased difference, not an overhead.)
-    const double attempt_cost = resilient->refine.TotalWriteCost();
+    const double attempt_cost = resilient.refine.TotalWriteCost();
     const double overhead =
         attempt_cost > 0.0
-            ? resilient->cumulative.write_cost / attempt_cost - 1.0
+            ? resilient.cumulative.write_cost / attempt_cost - 1.0
             : 0.0;
     const double canary_share =
-        resilient->cumulative.write_cost > 0.0
-            ? resilient->canary_costs.write_cost /
-                  resilient->cumulative.write_cost
+        resilient.cumulative.write_cost > 0.0
+            ? resilient.canary_costs.write_cost /
+                  resilient.cumulative.write_cost
             : 0.0;
-    if (resilient->attempts.size() != 1 || overhead > 0.02) ok = false;
+    if (resilient.attempts.size() != 1 || overhead > 0.02) ok = false;
     table.AddRow(
         {algorithm.Name(),
          TablePrinter::FmtInt(
-             static_cast<long long>(resilient->attempts.size())),
-         TablePrinter::FmtPercent(plain->write_reduction, 2),
-         TablePrinter::FmtPercent(resilient->write_reduction, 2),
+             static_cast<long long>(resilient.attempts.size())),
+         TablePrinter::FmtPercent(plain.write_reduction, 2),
+         TablePrinter::FmtPercent(resilient.write_reduction, 2),
          TablePrinter::FmtPercent(canary_share, 3),
          TablePrinter::FmtPercent(overhead, 3)});
   }

@@ -50,10 +50,7 @@ int Main(int argc, char** argv) {
     std::vector<std::string> table_row = {TablePrinter::Fmt(t_grid[row], 3)};
     for (size_t col = 0; col < algorithms.size(); ++col) {
       const Cell& cell = cells[row * algorithms.size() + col];
-      if (!cell.error.empty()) {
-        std::fprintf(stderr, "%s\n", cell.error.c_str());
-        return 1;
-      }
+      bench::RequireNoCellError(cell.error);
       table_row.push_back(TablePrinter::FmtPercent(cell.rem_ratio, 4));
     }
     table.AddRow(table_row);

@@ -24,22 +24,18 @@ int Main(int argc, char** argv) {
   table.SetHeader({"T", "p(t)", "wear_approx_refine", "wear_precise",
                    "wear_reduction", "write_reduction"});
   for (const double t : {0.035, 0.045, 0.055, 0.065}) {
-    const auto outcome = engine.SortApproxRefine(keys, algorithm, t);
-    if (!outcome.ok()) {
-      std::fprintf(stderr, "%s\n", outcome.status().ToString().c_str());
-      return 1;
-    }
-    bench::RequireVerified(*outcome, "wear");
+    const auto outcome = bench::RequireVerifiedOutcome(
+        engine.SortApproxRefine(keys, algorithm, t), "wear");
     const double dn = static_cast<double>(env.n);
     const double refine_wear =
-        (outcome->refine.prep_approx.pv_iterations +
-         outcome->refine.prep_precise.pv_iterations +
-         outcome->refine.sort_approx.pv_iterations +
-         outcome->refine.sort_precise.pv_iterations +
-         outcome->refine.refine_precise.pv_iterations) /
+        (outcome.refine.prep_approx.pv_iterations +
+         outcome.refine.prep_precise.pv_iterations +
+         outcome.refine.sort_approx.pv_iterations +
+         outcome.refine.sort_precise.pv_iterations +
+         outcome.refine.refine_precise.pv_iterations) /
         dn;
-    const double baseline_wear = (outcome->baseline.keys.pv_iterations +
-                                  outcome->baseline.ids.pv_iterations) /
+    const double baseline_wear = (outcome.baseline.keys.pv_iterations +
+                                  outcome.baseline.ids.pv_iterations) /
                                  dn;
     table.AddRow({TablePrinter::Fmt(t, 3),
                   TablePrinter::Fmt(engine.PvRatio(t), 3),
@@ -47,7 +43,7 @@ int Main(int argc, char** argv) {
                   TablePrinter::Fmt(baseline_wear, 1),
                   TablePrinter::FmtPercent(1.0 - refine_wear / baseline_wear,
                                            1),
-                  TablePrinter::FmtPercent(outcome->write_reduction, 1)});
+                  TablePrinter::FmtPercent(outcome.write_reduction, 1)});
   }
   table.Print();
   std::printf(

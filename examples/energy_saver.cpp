@@ -20,7 +20,9 @@ int main(int argc, char** argv) {
   }
   const size_t n = static_cast<size_t>(flags->GetInt("n", 300000));
 
-  core::ApproxSortEngine engine({});
+  core::EngineOptions options;
+  options.backend = std::string(approx::kSpintronicBackendName);
+  core::ApproxSortEngine engine(options);
   const auto keys = core::MakeKeys(core::WorkloadKind::kUniform, n, 13);
   const sort::AlgorithmId algorithm{sort::SortKind::kLsdRadix, 3};
 
@@ -33,7 +35,8 @@ int main(int argc, char** argv) {
   approx::SpintronicConfig best_config;
   bool have_best = false;
   for (const auto& config : approx::PaperSpintronicConfigs()) {
-    const auto outcome = engine.SortSpintronicRefine(keys, algorithm, config);
+    const auto outcome =
+        engine.SortApproxRefine(keys, algorithm, config.bit_error_prob);
     if (!outcome.ok()) {
       std::fprintf(stderr, "%s\n", outcome.status().ToString().c_str());
       return 1;

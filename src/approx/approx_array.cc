@@ -16,6 +16,7 @@ ApproxArrayU32::ApproxArrayU32(size_t n, WriteModel* model, Rng rng,
       read_cost_(model != nullptr ? model->ReadCost() : 0.0),
       seq_discount_(sequential_write_discount),
       precise_(model == nullptr || model->IsPrecise()),
+      address_sensitive_(model != nullptr && model->AddressSensitive()),
       last_written_(static_cast<size_t>(-1)) {
   // A null model is only legal for empty placeholder arrays.
   APPROXMEM_CHECK(model != nullptr || n == 0);
@@ -34,6 +35,7 @@ ApproxArrayU32::ApproxArrayU32(ApproxArrayU32&& other) noexcept
       read_cost_(other.read_cost_),
       seq_discount_(other.seq_discount_),
       precise_(other.precise_),
+      address_sensitive_(other.address_sensitive_),
       last_written_(other.last_written_),
       stats_(other.stats_),
       stats_sink_(other.stats_sink_) {
@@ -55,6 +57,7 @@ ApproxArrayU32& ApproxArrayU32::operator=(ApproxArrayU32&& other) noexcept {
     read_cost_ = other.read_cost_;
     seq_discount_ = other.seq_discount_;
     precise_ = other.precise_;
+    address_sensitive_ = other.address_sensitive_;
     last_written_ = other.last_written_;
     stats_ = other.stats_;
     stats_sink_ = other.stats_sink_;

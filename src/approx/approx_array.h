@@ -52,7 +52,9 @@ class ApproxArrayU32 {
   uint32_t Get(size_t i) {
     APPROXMEM_CHECK(i < actual_.size());
     ++stats_.word_reads;
-    stats_.read_cost += read_cost_;
+    stats_.read_cost += address_sensitive_
+                            ? model_->ReadCostAt(base_address_ + i * 4u)
+                            : read_cost_;
     if (trace_ != nullptr) trace_->AppendRead(base_address_ + i * 4u);
     uint32_t value = actual_[i];
     if (fault_hook_ != nullptr) {
@@ -64,7 +66,10 @@ class ApproxArrayU32 {
   /// Writes element `i` (one simulated memory write, possibly corrupted).
   void Set(size_t i, uint32_t value) {
     APPROXMEM_CHECK(i < actual_.size());
-    const WordWriteOutcome outcome = model_->Write(value, rng_);
+    const WordWriteOutcome outcome =
+        address_sensitive_
+            ? model_->WriteAt(base_address_ + i * 4u, value, rng_)
+            : model_->Write(value, rng_);
     uint32_t stored = outcome.stored;
     if (fault_hook_ != nullptr) {
       stored = fault_hook_->OnWrite(base_address_ + i * 4u, precise_, value,
@@ -133,6 +138,10 @@ class ApproxArrayU32 {
   // Get/Set report the precision domain to the fault hook without a
   // virtual call per access.
   bool precise_;
+  // Cached model_->AddressSensitive(); when set, every access goes through
+  // the model's *At overloads (banked/trace-driven cost sources) instead of
+  // the flat cached-cost fast path.
+  bool address_sensitive_;
   // Index of the most recent write; SIZE_MAX means "none yet", so the very
   // first write is never treated as sequential.
   size_t last_written_;

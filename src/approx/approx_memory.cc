@@ -1,166 +1,23 @@
 #include "approx/approx_memory.h"
 
-#include <cmath>
+#include <utility>
 
 #include "common/check.h"
-#include "mlc/cell.h"
-#include "mlc/word_codec.h"
 
 namespace approxmem::approx {
 namespace {
 
-/// Precise PCM: identity stores at the Table 1 write latency (1 us).
-class PrecisePcmWriteModel final : public WriteModel {
- public:
-  PrecisePcmWriteModel(const mlc::MlcConfig& config, double precise_avg_pv)
-      : write_latency_ns_(config.precise_write_latency_ns),
-        read_latency_ns_(config.read_latency_ns),
-        pv_per_word_(precise_avg_pv * config.CellsPerWord()) {}
-
-  WordWriteOutcome Write(uint32_t intended, Rng& /*rng*/) override {
-    return WordWriteOutcome{intended, write_latency_ns_, pv_per_word_};
-  }
-  double ReadCost() const override { return read_latency_ns_; }
-  std::string_view CostUnit() const override { return "ns"; }
-  bool IsPrecise() const override { return true; }
-
- private:
-  double write_latency_ns_;
-  double read_latency_ns_;
-  double pv_per_word_;
-};
-
-/// Approximate PCM, exact path: full per-cell program-and-verify loops.
-class ExactPcmWriteModel final : public WriteModel {
- public:
-  ExactPcmWriteModel(const mlc::MlcConfig& config, double ns_per_iteration)
-      : config_(config), ns_per_iteration_(ns_per_iteration) {}
-
-  WordWriteOutcome Write(uint32_t intended, Rng& rng) override {
-    const int cells = config_.CellsPerWord();
-    const mlc::WordLevels levels = mlc::EncodeWord(intended, config_);
-    mlc::WordLevels read_levels{};
-    uint64_t iterations = 0;
-    for (int c = 0; c < cells; ++c) {
-      const mlc::CellWriteResult w =
-          mlc::WriteCell(levels[static_cast<size_t>(c)], config_, rng);
-      iterations += w.iterations;
-      read_levels[static_cast<size_t>(c)] =
-          static_cast<uint8_t>(mlc::ReadCell(w.analog, config_, rng));
-    }
-    WordWriteOutcome outcome;
-    outcome.stored = mlc::DecodeWord(read_levels, config_);
-    // Word write latency scales with the mean per-cell #P (cells are
-    // programmed in parallel but P&V energy/latency follows avg #P; this is
-    // the paper's p(t) convention).
-    outcome.cost = static_cast<double>(iterations) / cells *
-                   ns_per_iteration_;
-    outcome.pv_iterations = static_cast<double>(iterations);
-    return outcome;
-  }
-  double ReadCost() const override { return config_.read_latency_ns; }
-  std::string_view CostUnit() const override { return "ns"; }
-  bool IsPrecise() const override { return false; }
-
- private:
-  mlc::MlcConfig config_;
-  double ns_per_iteration_;
-};
-
-/// Approximate PCM, fast path: calibrated per-level tables.
-class FastPcmWriteModel final : public WriteModel {
- public:
-  FastPcmWriteModel(const mlc::CellCalibration& calibration,
-                    double ns_per_iteration)
-      : calibration_(calibration),
-        config_(calibration.config()),
-        ns_per_iteration_(ns_per_iteration) {
-    const int levels = config_.levels;
-    stay_prob_.resize(static_cast<size_t>(levels));
-    avg_pv_.resize(static_cast<size_t>(levels));
-    for (int l = 0; l < levels; ++l) {
-      stay_prob_[static_cast<size_t>(l)] =
-          1.0 - calibration.ErrorProbForLevel(l);
-      avg_pv_[static_cast<size_t>(l)] = calibration.AvgPvForLevel(l);
-    }
-  }
-
-  WordWriteOutcome Write(uint32_t intended, Rng& rng) override {
-    const int cells = config_.CellsPerWord();
-    const mlc::WordLevels levels = mlc::EncodeWord(intended, config_);
-
-    double pv_sum = 0.0;
-    double no_error = 1.0;
-    for (int c = 0; c < cells; ++c) {
-      const size_t level = levels[static_cast<size_t>(c)];
-      pv_sum += avg_pv_[level];
-      no_error *= stay_prob_[level];
-    }
-
-    WordWriteOutcome outcome;
-    outcome.cost = pv_sum / cells * ns_per_iteration_;
-    outcome.pv_iterations = pv_sum;
-    outcome.stored = intended;
-    const double word_error = 1.0 - no_error;
-    if (word_error <= 0.0 || rng.UniformDouble() >= word_error) {
-      return outcome;
-    }
-    outcome.stored = SampleCorruptedWord(levels, no_error, rng);
-    return outcome;
-  }
-
-  double ReadCost() const override { return config_.read_latency_ns; }
-  std::string_view CostUnit() const override { return "ns"; }
-  bool IsPrecise() const override { return false; }
-
- private:
-  // Samples the stored word conditioned on at least one cell erring.
-  uint32_t SampleCorruptedWord(const mlc::WordLevels& levels,
-                               double no_error_all, Rng& rng) {
-    const int cells = config_.CellsPerWord();
-    mlc::WordLevels read_levels = levels;
-    bool erred = false;
-    double no_error_suffix = no_error_all;
-    for (int c = 0; c < cells; ++c) {
-      const int level = levels[static_cast<size_t>(c)];
-      const double stay = stay_prob_[static_cast<size_t>(level)];
-      double err_prob = 1.0 - stay;
-      if (!erred) {
-        const double at_least_one = 1.0 - no_error_suffix;
-        err_prob = at_least_one > 0.0 ? err_prob / at_least_one : 1.0;
-        if (stay > 0.0) no_error_suffix /= stay;
-      }
-      if (rng.UniformDouble() < err_prob) {
-        read_levels[static_cast<size_t>(c)] =
-            static_cast<uint8_t>(SampleWrongLevel(level, rng));
-        erred = true;
-      }
-    }
-    if (!erred) {
-      // Numerical corner: force an error on a random cell.
-      const int c = static_cast<int>(rng.UniformInt(cells));
-      read_levels[static_cast<size_t>(c)] = static_cast<uint8_t>(
-          SampleWrongLevel(levels[static_cast<size_t>(c)], rng));
-    }
-    return mlc::DecodeWord(read_levels, config_);
-  }
-
-  // Samples a read level != written, from the calibrated transitions.
-  int SampleWrongLevel(int written, Rng& rng) {
-    for (int attempt = 0; attempt < 64; ++attempt) {
-      const int read = calibration_.SampleReadLevel(written, rng);
-      if (read != written) return read;
-    }
-    // Error mass is overwhelmingly on adjacent levels; drift is upward.
-    return written + 1 < config_.levels ? written + 1 : written - 1;
-  }
-
-  const mlc::CellCalibration& calibration_;
-  mlc::MlcConfig config_;
-  double ns_per_iteration_;
-  std::vector<double> stay_prob_;
-  std::vector<double> avg_pv_;
-};
+BackendContext MakeBackendContext(
+    const ApproxMemory::Options& options,
+    std::shared_ptr<mlc::CalibrationCache> calibration) {
+  BackendContext context;
+  context.mlc = options.mlc;
+  context.mode = options.mode;
+  context.calibration = std::move(calibration);
+  context.calibration_trials = options.calibration_trials;
+  context.calibration_seed = options.seed ^ 0xca11b7a7e5eedULL;
+  return context;
+}
 
 }  // namespace
 
@@ -174,34 +31,11 @@ ApproxMemory::ApproxMemory(const Options& options)
                              /*seed=*/options.seed ^ 0xca11b7a7e5eedULL)),
       rng_(options.seed),
       health_(options.health) {
-  APPROXMEM_CHECK_OK(options.mlc.WithT(options.mlc.precise_t_width)
-                         .Validate());
-  const double precise_avg_pv =
-      calibration_->ForT(options.mlc.precise_t_width).AvgPv();
-  precise_model_ =
-      std::make_unique<PrecisePcmWriteModel>(options.mlc, precise_avg_pv);
-  precise_spintronic_model_ =
-      std::make_unique<PreciseSpintronicWriteModel>(SpintronicConfig{});
-}
-
-WriteModel* ApproxMemory::PcmModelForT(double t) {
-  for (auto& [existing_t, model] : pcm_models_) {
-    if (existing_t == t) return model.get();
-  }
-  const mlc::CellCalibration& calib = calibration_->ForT(t);
-  const double precise_pv =
-      calibration_->ForT(options_.mlc.precise_t_width).AvgPv();
-  const double ns_per_iteration =
-      options_.mlc.precise_write_latency_ns / precise_pv;
-  std::unique_ptr<WriteModel> model;
-  if (options_.mode == SimulationMode::kExact) {
-    model = std::make_unique<ExactPcmWriteModel>(options_.mlc.WithT(t),
-                                                 ns_per_iteration);
-  } else {
-    model = std::make_unique<FastPcmWriteModel>(calib, ns_per_iteration);
-  }
-  pcm_models_.emplace_back(t, std::move(model));
-  return pcm_models_.back().second.get();
+  StatusOr<std::unique_ptr<MemoryBackend>> backend =
+      CreateMemoryBackend(options.backend,
+                          MakeBackendContext(options, calibration_));
+  APPROXMEM_CHECK_OK(backend.status());
+  backend_ = std::move(*backend);
 }
 
 ApproxArrayU32 ApproxMemory::AllocateArray(size_t n, WriteModel* model,
@@ -253,43 +87,22 @@ ApproxArrayU32 ApproxMemory::AllocateArray(size_t n, WriteModel* model,
   }
 }
 
+ApproxArrayU32 ApproxMemory::Allocate(const AllocSpec& spec) {
+  StatusOr<WriteModel*> model = backend_->ModelFor(spec);
+  APPROXMEM_CHECK_OK(model.status());
+  // The modeled rate only matters to the canary threshold; skipping it when
+  // monitoring is off also skips any calibration it would trigger.
+  const double model_word_error_rate =
+      health_.enabled() ? backend_->ModelWordErrorRate(spec) : 0.0;
+  return AllocateArray(spec.n, *model, model_word_error_rate);
+}
+
 ApproxArrayU32 ApproxMemory::NewPreciseArray(size_t n) {
-  // Precise memory's modeled error rate is zero; any canary mismatch is
-  // substrate misbehaviour and counts fully against the error floor.
-  return AllocateArray(n, precise_model_.get(),
-                       /*model_word_error_rate=*/0.0);
+  return Allocate(AllocSpec::Precise(n));
 }
 
-ApproxArrayU32 ApproxMemory::NewApproxArray(size_t n, double t) {
-  APPROXMEM_CHECK_OK(options_.mlc.WithT(t).Validate());
-  WriteModel* model = PcmModelForT(t);
-  double model_word_error_rate = 0.0;
-  if (health_.enabled()) {
-    model_word_error_rate = calibration_->ForT(t).WordErrorRate(
-        options_.mlc.CellsPerWord());
-  }
-  return AllocateArray(n, model, model_word_error_rate);
-}
-
-ApproxArrayU32 ApproxMemory::NewSpintronicArray(
-    size_t n, const SpintronicConfig& config) {
-  APPROXMEM_CHECK_OK(config.Validate());
-  spintronic_models_.push_back(std::make_unique<SpintronicWriteModel>(config));
-  const uint64_t base = next_base_address_;
-  next_base_address_ += ((n * 4 + 4095) / 4096 + 1) * 4096;
-  return ApproxArrayU32(n, spintronic_models_.back().get(), rng_.Split(),
-                        options_.trace, base,
-                        options_.sequential_write_discount,
-                        options_.fault_hook);
-}
-
-ApproxArrayU32 ApproxMemory::NewPreciseSpintronicArray(size_t n) {
-  const uint64_t base = next_base_address_;
-  next_base_address_ += ((n * 4 + 4095) / 4096 + 1) * 4096;
-  return ApproxArrayU32(n, precise_spintronic_model_.get(), rng_.Split(),
-                        options_.trace, base,
-                        options_.sequential_write_discount,
-                        options_.fault_hook);
+ApproxArrayU32 ApproxMemory::NewApproxArray(size_t n, double knob) {
+  return Allocate(AllocSpec::Approx(knob, n));
 }
 
 }  // namespace approxmem::approx

@@ -1,21 +1,23 @@
 // Hybrid precise/approximate memory: the allocation facade.
 //
 // ApproxMemory plays the role of the paper's hybrid memory system (Fig. 3):
-// it hands out precise arrays and approximate arrays (PCM at a chosen T, or
-// spintronic at a chosen energy/error point) that share one experiment seed
-// and one calibration cache. It is the only way to construct arrays, so all
-// accounting flows through one place.
+// it hands out precise and approximate arrays that share one experiment
+// seed and one calibration cache. It is the only way to construct arrays,
+// so all accounting flows through one place — but it no longer knows any
+// device names: the memory technology is a pluggable MemoryBackend chosen
+// by Options::backend (see memory_backend.h), and ApproxMemory itself is
+// only allocation + RNG streams + health monitoring.
 #ifndef APPROXMEM_APPROX_APPROX_MEMORY_H_
 #define APPROXMEM_APPROX_APPROX_MEMORY_H_
 
 #include <cstdint>
 #include <memory>
-#include <vector>
+#include <string>
 
 #include "approx/approx_array.h"
 #include "approx/fault_hook.h"
 #include "approx/health_monitor.h"
-#include "approx/spintronic.h"
+#include "approx/memory_backend.h"
 #include "approx/write_model.h"
 #include "common/random.h"
 #include "mem/trace.h"
@@ -24,18 +26,15 @@
 
 namespace approxmem::approx {
 
-/// Simulation fidelity of approximate PCM writes.
-enum class SimulationMode {
-  /// Samples errors and #P from Monte-Carlo-calibrated tables (default).
-  kFast,
-  /// Runs the full program-and-verify loop per cell (slow, reference).
-  kExact,
-};
-
-/// Factory and owner of write models, calibrations, and the RNG tree.
+/// Factory and owner of the backend, calibrations, and the RNG tree.
 class ApproxMemory {
  public:
   struct Options {
+    /// Registry name of the memory technology serving every allocation;
+    /// see memory_backend.h for the built-ins. Must be registered
+    /// (checked at construction; validate early with IsRegisteredBackend
+    /// for a recoverable error).
+    std::string backend = std::string(kPcmBackendName);
     mlc::MlcConfig mlc;
     SimulationMode mode = SimulationMode::kFast;
     uint64_t calibration_trials = 200000;
@@ -57,29 +56,39 @@ class ApproxMemory {
     /// Section 5 discussion conjectures that modeling PCM's cheaper
     /// sequential writes raises the approx-refine gain (the refine stage is
     /// mostly sequential); 1.0 keeps the paper's uniform-latency model.
+    /// Applied by the array layer, uniformly across backends.
     double sequential_write_discount = 1.0;
     /// Online health monitoring: allocation-time canary probes and region
     /// quarantine (see health_monitor.h). Disabled by default so that
     /// unmonitored experiments keep their exact RNG stream assignment.
+    /// Applied by the allocation path, uniformly across backends.
     HealthOptions health;
   };
 
   explicit ApproxMemory(const Options& options);
 
-  /// Allocates an array in precise PCM (no errors, 1 us writes).
+  /// Allocates an array per `spec` on the configured backend. The spec
+  /// must pass the backend's Validate (CHECK-enforced; callers wanting a
+  /// recoverable error validate first via backend().Validate(spec)).
+  ApproxArrayU32 Allocate(const AllocSpec& spec);
+
+  /// Allocates an array in the backend's precise domain.
   ApproxArrayU32 NewPreciseArray(size_t n);
 
-  /// Allocates an array in approximate PCM with target-range half-width `t`.
-  ApproxArrayU32 NewApproxArray(size_t n, double t);
+  /// Allocates an array in the backend's approximate domain at `knob`
+  /// (target-range half-width T for PCM backends, per-bit error
+  /// probability for spintronic).
+  ApproxArrayU32 NewApproxArray(size_t n, double knob);
 
-  /// Allocates an array in approximate spintronic memory (Appendix A).
-  ApproxArrayU32 NewSpintronicArray(size_t n, const SpintronicConfig& config);
+  /// The technology backend serving this memory's allocations.
+  MemoryBackend& backend() { return *backend_; }
+  const MemoryBackend& backend() const { return *backend_; }
 
-  /// Allocates a *precise* spintronic array (unit write energy, no errors),
-  /// the Appendix-A baseline.
-  ApproxArrayU32 NewPreciseSpintronicArray(size_t n);
+  /// Approximate-to-precise write-cost ratio at `knob` — the paper's p(t)
+  /// on PCM backends, the energy ratio on spintronic.
+  double WriteCostRatio(double knob) { return backend_->WriteCostRatio(knob); }
 
-  /// Calibration access for the cost model and benches.
+  /// Calibration access for the cost model and benches (PCM substrate).
   mlc::CalibrationCache& calibration() { return *calibration_; }
 
   /// p(t) = avg #P at t / avg #P at the precise T (Section 2.2).
@@ -93,8 +102,6 @@ class ApproxMemory {
   const HealthMonitor& health() const { return health_; }
 
  private:
-  WriteModel* PcmModelForT(double t);
-
   /// Hands out an array over the next healthy address region. With
   /// monitoring disabled this is plain bump allocation; with it enabled,
   /// candidate regions are canary-probed against `model_word_error_rate`
@@ -105,13 +112,10 @@ class ApproxMemory {
 
   Options options_;
   std::shared_ptr<mlc::CalibrationCache> calibration_;
+  std::unique_ptr<MemoryBackend> backend_;
   Rng rng_;
   HealthMonitor health_;
   uint64_t next_base_address_ = 0;
-  std::unique_ptr<WriteModel> precise_model_;
-  std::unique_ptr<WriteModel> precise_spintronic_model_;
-  std::vector<std::pair<double, std::unique_ptr<WriteModel>>> pcm_models_;
-  std::vector<std::unique_ptr<WriteModel>> spintronic_models_;
 };
 
 }  // namespace approxmem::approx

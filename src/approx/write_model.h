@@ -42,6 +42,23 @@ class WriteModel {
 
   /// True if writes never corrupt (precise domains).
   virtual bool IsPrecise() const = 0;
+
+  /// True when costs depend on the byte address — e.g. a model routed
+  /// through the banked-PCM simulator, where a write may stall behind a
+  /// full bank queue and a read may hit a cache level. Arrays consult this
+  /// once at construction: address-sensitive models get the *At overloads
+  /// per access; flat models keep the cached-cost fast path.
+  virtual bool AddressSensitive() const { return false; }
+
+  /// Address-aware write; only called when AddressSensitive(). The default
+  /// ignores the address.
+  virtual WordWriteOutcome WriteAt(uint64_t /*address*/, uint32_t intended,
+                                   Rng& rng) {
+    return Write(intended, rng);
+  }
+
+  /// Address-aware read cost; only called when AddressSensitive().
+  virtual double ReadCostAt(uint64_t /*address*/) { return ReadCost(); }
 };
 
 }  // namespace approxmem::approx

@@ -9,6 +9,7 @@ namespace {
 
 approx::ApproxMemory::Options ToMemoryOptions(const EngineOptions& options) {
   approx::ApproxMemory::Options memory_options;
+  memory_options.backend = options.backend;
   memory_options.mlc = options.mlc;
   memory_options.mode = options.mode;
   memory_options.calibration_trials = options.calibration_trials;
@@ -76,25 +77,14 @@ StatusOr<ApproxOnlyResult> ApproxSortEngine::SortOnlyImpl(
 
 StatusOr<ApproxOnlyResult> ApproxSortEngine::SortApproxOnly(
     const std::vector<uint32_t>& keys, const sort::AlgorithmId& algorithm,
-    double t, std::vector<uint32_t>* output) {
-  const Status valid = options_.mlc.WithT(t).Validate();
+    double knob, std::vector<uint32_t>* output) {
+  const Status valid = memory_.backend().Validate(
+      approx::AllocSpec::Approx(knob, keys.size()));
   if (!valid.ok()) return valid;
   return SortOnlyImpl(
       keys, algorithm,
-      [this, t](size_t n) { return memory_.NewApproxArray(n, t); },
+      [this, knob](size_t n) { return memory_.NewApproxArray(n, knob); },
       [this](size_t n) { return memory_.NewPreciseArray(n); }, output);
-}
-
-StatusOr<ApproxOnlyResult> ApproxSortEngine::SortSpintronicOnly(
-    const std::vector<uint32_t>& keys, const sort::AlgorithmId& algorithm,
-    const approx::SpintronicConfig& config, std::vector<uint32_t>* output) {
-  const Status valid = config.Validate();
-  if (!valid.ok()) return valid;
-  return SortOnlyImpl(
-      keys, algorithm,
-      [this, config](size_t n) { return memory_.NewSpintronicArray(n, config); },
-      [this](size_t n) { return memory_.NewPreciseSpintronicArray(n); },
-      output);
 }
 
 StatusOr<RefineOutcome> ApproxSortEngine::RefineImpl(
@@ -130,38 +120,25 @@ StatusOr<RefineOutcome> ApproxSortEngine::RefineImpl(
 
 StatusOr<RefineOutcome> ApproxSortEngine::SortApproxRefine(
     const std::vector<uint32_t>& keys, const sort::AlgorithmId& algorithm,
-    double t, std::vector<uint32_t>* final_keys,
+    double knob, std::vector<uint32_t>* final_keys,
     std::vector<uint32_t>* final_ids) {
-  const Status valid = options_.mlc.WithT(t).Validate();
+  const Status valid = memory_.backend().Validate(
+      approx::AllocSpec::Approx(knob, keys.size()));
   if (!valid.ok()) return valid;
+  // The cost model's p(t) generalizes to the backend's approx-to-precise
+  // write-cost ratio (the per-write energy ratio under the energy model).
   return RefineImpl(
       keys, algorithm,
-      [this, t](size_t n) { return memory_.NewApproxArray(n, t); },
+      [this, knob](size_t n) { return memory_.NewApproxArray(n, knob); },
       [this](size_t n) { return memory_.NewPreciseArray(n); },
-      memory_.PvRatio(t), final_keys, final_ids);
-}
-
-StatusOr<RefineOutcome> ApproxSortEngine::SortSpintronicRefine(
-    const std::vector<uint32_t>& keys, const sort::AlgorithmId& algorithm,
-    const approx::SpintronicConfig& config,
-    std::vector<uint32_t>* final_keys, std::vector<uint32_t>* final_ids) {
-  const Status valid = config.Validate();
-  if (!valid.ok()) return valid;
-  // Under the energy model, the analogue of p(t) is the per-write energy
-  // ratio of approximate to precise writes.
-  const double energy_ratio =
-      config.ApproxWriteEnergy() / config.precise_write_energy;
-  return RefineImpl(
-      keys, algorithm,
-      [this, config](size_t n) { return memory_.NewSpintronicArray(n, config); },
-      [this](size_t n) { return memory_.NewPreciseSpintronicArray(n); },
-      energy_ratio, final_keys, final_ids);
+      memory_.WriteCostRatio(knob), final_keys, final_ids);
 }
 
 bool ApproxSortEngine::RecommendApproxRefine(
-    const sort::AlgorithmId& algorithm, size_t n, double t,
+    const sort::AlgorithmId& algorithm, size_t n, double knob,
     size_t expected_rem) {
-  return refine::ShouldUseApproxRefine(algorithm, n, memory_.PvRatio(t),
+  return refine::ShouldUseApproxRefine(algorithm, n,
+                                       memory_.WriteCostRatio(knob),
                                        expected_rem);
 }
 

@@ -1,12 +1,14 @@
 // ApproxSortEngine: the library's public facade.
 //
-// One engine instance owns the simulated hybrid memory (calibrations, write
-// models, RNG tree) and exposes the paper's three experiment families:
+// One engine instance owns the simulated hybrid memory (backend, write
+// models, calibrations, RNG tree) and exposes the paper's experiment
+// families on whichever technology EngineOptions::backend selects:
 //   * SortApproxOnly    — Section 3: sort in approximate memory only and
-//                         measure sortedness vs. write-latency savings.
+//                         measure sortedness vs. write-cost savings.
 //   * SortApproxRefine  — Sections 4-5: the approx-refine mechanism with a
 //                         precise-baseline comparison (write reduction).
-//   * Spintronic variants of both — Appendix A (energy instead of latency).
+// The Appendix A spintronic experiments are the same calls with
+// backend = "spintronic" and the knob set to a per-bit error probability.
 //
 // Quickstart:
 //   core::ApproxSortEngine engine({});
@@ -18,10 +20,10 @@
 #define APPROXMEM_CORE_ENGINE_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "approx/approx_memory.h"
-#include "approx/spintronic.h"
 #include "common/status.h"
 #include "refine/approx_refine.h"
 #include "sort/sort_common.h"
@@ -31,6 +33,9 @@ namespace approxmem::core {
 
 /// Engine-wide configuration; defaults reproduce the paper's Tables 1-2.
 struct EngineOptions {
+  /// Registry name of the memory technology (see approx/memory_backend.h);
+  /// every allocation the engine makes goes through this backend.
+  std::string backend = std::string(approx::kPcmBackendName);
   mlc::MlcConfig mlc;
   approx::SimulationMode mode = approx::SimulationMode::kFast;
   uint64_t calibration_trials = 200000;
@@ -80,41 +85,35 @@ class ApproxSortEngine {
  public:
   explicit ApproxSortEngine(const EngineOptions& options);
 
-  /// Section 3 study: sorts `keys` in approximate PCM at half-width `t`
-  /// (payload untouched, as in the paper) and measures the sortedness of
-  /// the output and the write cost against a precise-run baseline.
-  /// `output`, when non-null, receives the (possibly unsorted) result.
+  /// Section 3 study: sorts `keys` in approximate memory at the backend
+  /// knob `knob` (target-range half-width T on PCM backends, per-bit error
+  /// probability on spintronic; payload untouched, as in the paper) and
+  /// measures the sortedness of the output and the write cost against a
+  /// precise-run baseline. `output`, when non-null, receives the (possibly
+  /// unsorted) result.
   StatusOr<ApproxOnlyResult> SortApproxOnly(
       const std::vector<uint32_t>& keys, const sort::AlgorithmId& algorithm,
-      double t, std::vector<uint32_t>* output = nullptr);
+      double knob, std::vector<uint32_t>* output = nullptr);
 
-  /// Appendix A variant of SortApproxOnly on spintronic memory.
-  StatusOr<ApproxOnlyResult> SortSpintronicOnly(
-      const std::vector<uint32_t>& keys, const sort::AlgorithmId& algorithm,
-      const approx::SpintronicConfig& config,
-      std::vector<uint32_t>* output = nullptr);
-
-  /// Sections 4-5: approx-refine on PCM at half-width `t`, compared with
-  /// the precise-only baseline. Outputs exactly sorted <Key, ID> pairs.
+  /// Sections 4-5: approx-refine at `knob`, compared with the precise-only
+  /// baseline on the same backend. Outputs exactly sorted <Key, ID> pairs.
   StatusOr<RefineOutcome> SortApproxRefine(
       const std::vector<uint32_t>& keys, const sort::AlgorithmId& algorithm,
-      double t, std::vector<uint32_t>* final_keys = nullptr,
+      double knob, std::vector<uint32_t>* final_keys = nullptr,
       std::vector<uint32_t>* final_ids = nullptr);
 
-  /// Appendix A: approx-refine on spintronic memory (energy accounting).
-  StatusOr<RefineOutcome> SortSpintronicRefine(
-      const std::vector<uint32_t>& keys, const sort::AlgorithmId& algorithm,
-      const approx::SpintronicConfig& config,
-      std::vector<uint32_t>* final_keys = nullptr,
-      std::vector<uint32_t>* final_ids = nullptr);
-
-  /// p(t) — the calibrated write-latency ratio (Section 2.2).
+  /// p(t) — the calibrated PCM write-latency ratio (Section 2.2).
   double PvRatio(double t) { return memory_.PvRatio(t); }
 
+  /// Backend-generic approximate-to-precise write-cost ratio at `knob`
+  /// (equals PvRatio on the PCM backends, the energy ratio on spintronic).
+  double WriteCostRatio(double knob) { return memory_.WriteCostRatio(knob); }
+
   /// Decision helper: should approx-refine be used for this workload?
-  /// Uses Equation 4 with the calibrated p(t) and an expected Rem~.
+  /// Uses Equation 4 with the backend's write-cost ratio and an expected
+  /// Rem~.
   bool RecommendApproxRefine(const sort::AlgorithmId& algorithm, size_t n,
-                             double t, size_t expected_rem);
+                             double knob, size_t expected_rem);
 
   approx::ApproxMemory& memory() { return memory_; }
   const EngineOptions& options() const { return options_; }

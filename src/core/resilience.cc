@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <cmath>
 #include <cstdio>
 #include <utility>
 
@@ -59,10 +60,10 @@ StatusOr<ResilienceReport> SortResilient(
     const sort::AlgorithmId& algorithm, double t,
     const ResilienceOptions& options, std::vector<uint32_t>* final_keys,
     std::vector<uint32_t>* final_ids) {
-  const Status valid = engine.options().mlc.WithT(t).Validate();
-  if (!valid.ok()) return valid;
-
   approx::ApproxMemory& memory = engine.memory();
+  const Status valid =
+      memory.backend().Validate(approx::AllocSpec::Approx(t, keys.size()));
+  if (!valid.ok()) return valid;
   const refine::ArrayAlloc precise_alloc = [&memory](size_t n) {
     return memory.NewPreciseArray(n);
   };
@@ -88,7 +89,10 @@ StatusOr<ResilienceReport> SortResilient(
   // Each full attempt after the first draws its pivot seed from a split of
   // the ladder RNG — deterministic, replayable, independent streams.
   Rng ladder_rng(engine.options().seed ^ 0x7e511e47ULL);
-  const double precise_t = engine.options().mlc.precise_t_width;
+  const double precise_t = memory.backend().precise_knob();
+  const double min_knob = std::isnan(options.min_t)
+                              ? memory.backend().min_knob()
+                              : options.min_t;
 
   bool succeeded = false;
   std::vector<uint32_t> out_keys;
@@ -181,7 +185,7 @@ StatusOr<ResilienceReport> SortResilient(
     if (escalations < options.max_escalations) {
       ++escalations;
       current_t =
-          std::max(options.min_t, current_t * options.escalation_factor);
+          std::max(min_knob, current_t * options.escalation_factor);
       last = full_attempt(AttemptPolicy::kGuardBandEscalation, current_t,
                           ladder_rng.Split().Next64(),
                           /*precise_domain=*/false);

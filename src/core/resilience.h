@@ -30,6 +30,7 @@
 #define APPROXMEM_CORE_RESILIENCE_H_
 
 #include <cstdint>
+#include <limits>
 #include <string_view>
 #include <vector>
 
@@ -59,11 +60,15 @@ std::string_view AttemptPolicyName(AttemptPolicy policy);
 struct ResilienceOptions {
   /// Refine-only re-runs per full attempt (rung 1).
   int max_refine_retries = 1;
-  /// Guard-band escalations (rung 2); each multiplies t by
+  /// Guard-band escalations (rung 2); each multiplies the knob by
   /// escalation_factor, floored at min_t.
   int max_escalations = 2;
   double escalation_factor = 0.5;
-  double min_t = 0.025;
+  /// Floor of the escalation ladder, in the backend's knob unit. NaN (the
+  /// default) means "the backend's own floor" (MemoryBackend::min_knob):
+  /// the precise half-width 0.025 on the PCM backends, the most
+  /// conservative paper operating point 1e-7 on spintronic.
+  double min_t = std::numeric_limits<double>::quiet_NaN();
   /// Whether rung 3 (fully precise re-run) is available.
   bool allow_precise_fallback = true;
   /// Print a one-line diagnostic to stderr for every failed attempt.

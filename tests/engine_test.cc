@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include "approx/spintronic.h"
 #include "core/workload.h"
 
 namespace approxmem::core {
@@ -13,6 +14,12 @@ EngineOptions FastOptions() {
   EngineOptions options;
   options.calibration_trials = 20000;
   options.seed = 31;
+  return options;
+}
+
+EngineOptions SpintronicOptions() {
+  EngineOptions options = FastOptions();
+  options.backend = std::string(approx::kSpintronicBackendName);
   return options;
 }
 
@@ -117,22 +124,24 @@ TEST(EngineTest, PvRatioMatchesPaperAnchors) {
 }
 
 TEST(EngineTest, SpintronicOnlyLowErrorPointStaysSorted) {
-  ApproxSortEngine engine(FastOptions());
+  ApproxSortEngine engine(SpintronicOptions());
   const auto keys = MakeKeys(WorkloadKind::kUniform, 20000, 8);
   const auto configs = approx::PaperSpintronicConfigs();
-  const auto result = engine.SortSpintronicOnly(
-      keys, sort::AlgorithmId{sort::SortKind::kQuicksort, 0}, configs[0]);
+  const auto result = engine.SortApproxOnly(
+      keys, sort::AlgorithmId{sort::SortKind::kQuicksort, 0},
+      configs[0].bit_error_prob);
   ASSERT_TRUE(result.ok());
   EXPECT_LT(result->sortedness.rem_ratio, 0.01);
   EXPECT_NEAR(result->write_reduction, 0.05, 0.01);  // 5% energy saving.
 }
 
 TEST(EngineTest, SpintronicRefineVerifiedAcrossOperatingPoints) {
-  ApproxSortEngine engine(FastOptions());
+  ApproxSortEngine engine(SpintronicOptions());
   const auto keys = MakeKeys(WorkloadKind::kUniform, 20000, 9);
   for (const auto& config : approx::PaperSpintronicConfigs()) {
-    const auto outcome = engine.SortSpintronicRefine(
-        keys, sort::AlgorithmId{sort::SortKind::kMsdRadix, 6}, config);
+    const auto outcome = engine.SortApproxRefine(
+        keys, sort::AlgorithmId{sort::SortKind::kMsdRadix, 6},
+        config.bit_error_prob);
     ASSERT_TRUE(outcome.ok());
     EXPECT_TRUE(outcome->refine.verified())
         << approx::SpintronicLabel(config);
@@ -188,11 +197,11 @@ TEST(EngineTest, ExactAndFastPvRatiosAgree) {
 }
 
 TEST(EngineTest, SpintronicEnergyBreakdownSumsToTotal) {
-  ApproxSortEngine engine(FastOptions());
+  ApproxSortEngine engine(SpintronicOptions());
   const auto keys = MakeKeys(WorkloadKind::kUniform, 10000, 12);
-  const auto outcome = engine.SortSpintronicRefine(
+  const auto outcome = engine.SortApproxRefine(
       keys, sort::AlgorithmId{sort::SortKind::kLsdRadix, 6},
-      approx::PaperSpintronicConfigs()[2]);
+      approx::PaperSpintronicConfigs()[2].bit_error_prob);
   ASSERT_TRUE(outcome.ok());
   EXPECT_NEAR(outcome->refine.TotalWriteCost(),
               outcome->refine.ApproxStageWriteCost() +

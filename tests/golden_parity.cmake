@@ -1,0 +1,26 @@
+# Runs one figure bench and byte-compares its CSV artifact against the
+# committed golden capture. Invoked by the golden_* ctest entries added in
+# tests/CMakeLists.txt:
+#
+#   cmake -DBENCH=<binary> -DARGS="--n=2000 ..." -DOUT_DIR=<dir>
+#         -DCSV=<file.csv> -DGOLDEN=<golden.csv> -P golden_parity.cmake
+#
+# The goldens were captured from the pre-backend-refactor tree; any change
+# to RNG stream assignment, calibration, cost accounting, or sweep ordering
+# shows up here as a byte diff.
+separate_arguments(bench_args NATIVE_COMMAND "${ARGS}")
+file(REMOVE_RECURSE "${OUT_DIR}")
+execute_process(
+  COMMAND "${BENCH}" ${bench_args} "--csv_dir=${OUT_DIR}"
+  RESULT_VARIABLE run_rc
+  OUTPUT_QUIET)
+if(NOT run_rc EQUAL 0)
+  message(FATAL_ERROR "${BENCH} exited with ${run_rc}")
+endif()
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files "${OUT_DIR}/${CSV}" "${GOLDEN}"
+  RESULT_VARIABLE diff_rc)
+if(NOT diff_rc EQUAL 0)
+  message(FATAL_ERROR
+      "golden parity broken: ${OUT_DIR}/${CSV} differs from ${GOLDEN}")
+endif()

@@ -1,0 +1,210 @@
+// Tests for the pluggable memory-technology backend layer: registry
+// behaviour, per-backend end-to-end smoke sorts, and the facade-level
+// features (sequential-write discount, fault hooks) that must behave
+// uniformly across every backend because they live above the WriteModel.
+#include "approx/memory_backend.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "approx/approx_memory.h"
+#include "approx/fault_hook.h"
+#include "core/engine.h"
+#include "core/resilience.h"
+#include "core/workload.h"
+
+namespace approxmem::approx {
+namespace {
+
+TEST(BackendRegistryTest, BuiltInsAreRegistered) {
+  const std::vector<std::string> names = RegisteredBackendNames();
+  for (const std::string_view expected :
+       {kPcmBackendName, kBankedPcmBackendName, kSpintronicBackendName,
+        kDramPreciseBackendName}) {
+    EXPECT_TRUE(IsRegisteredBackend(expected)) << expected;
+    EXPECT_NE(std::find(names.begin(), names.end(), std::string(expected)),
+              names.end())
+        << expected;
+  }
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+  EXPECT_FALSE(IsRegisteredBackend("no-such-technology"));
+}
+
+TEST(BackendRegistryTest, UnknownNameIsACleanStatus) {
+  const auto backend = CreateMemoryBackend("memristive", BackendContext{});
+  ASSERT_FALSE(backend.ok());
+  EXPECT_NE(backend.status().ToString().find("memristive"), std::string::npos);
+  // The diagnostic lists what IS registered, so the fix is self-evident.
+  EXPECT_NE(backend.status().ToString().find(std::string(kPcmBackendName)),
+            std::string::npos);
+}
+
+TEST(BackendRegistryTest, DuplicateAndEmptyRegistrationsAreRejected) {
+  EXPECT_FALSE(
+      RegisterMemoryBackend(kPcmBackendName, internal::MakePcmBackend));
+  EXPECT_FALSE(RegisterMemoryBackend("", internal::MakePcmBackend));
+  EXPECT_FALSE(RegisterMemoryBackend("null-factory", nullptr));
+}
+
+TEST(BackendRegistryTest, PluginRegistrationIsCreatable) {
+  // A plug-in backend registers under a new name and is immediately
+  // constructible through the registry, exactly like the built-ins.
+  static const bool registered = RegisterMemoryBackend(
+      "test-plugin-dram", internal::MakeDramPreciseBackend);
+  EXPECT_TRUE(registered);
+  const auto backend =
+      CreateMemoryBackend("test-plugin-dram", BackendContext{});
+  ASSERT_TRUE(backend.ok());
+  EXPECT_EQ((*backend)->name(), kDramPreciseBackendName);
+}
+
+TEST(BackendContractTest, KnobConstantsAreCoherent) {
+  BackendContext context;
+  context.calibration_trials = 2000;
+  for (const std::string& name : RegisteredBackendNames()) {
+    auto backend = CreateMemoryBackend(name, context);
+    ASSERT_TRUE(backend.ok()) << name;
+    MemoryBackend& b = **backend;
+    EXPECT_FALSE(b.name().empty());
+    EXPECT_FALSE(b.cost_unit().empty());
+    // The ladder floor and the default operating point must be servable.
+    EXPECT_TRUE(b.Validate(AllocSpec::Approx(b.min_knob(), 100)).ok())
+        << name;
+    EXPECT_TRUE(
+        b.Validate(AllocSpec::Approx(b.default_approx_knob(), 100)).ok())
+        << name;
+    EXPECT_TRUE(b.Validate(AllocSpec::Precise(100)).ok()) << name;
+    // Approximation must not be costlier than precision at the default knob.
+    EXPECT_LE(b.WriteCostRatio(b.default_approx_knob()), 1.0) << name;
+    EXPECT_GT(b.WriteCostRatio(b.default_approx_knob()), 0.0) << name;
+  }
+}
+
+// Every registered backend must drive the full approx-refine pipeline to a
+// verified, exactly sorted output with a nonzero cost ledger — the backend
+// interface is only useful if a backend is a drop-in for the whole engine.
+TEST(BackendSmokeTest, EveryBackendSortsExactlyThroughRefine) {
+  const auto keys = core::MakeKeys(core::WorkloadKind::kUniform, 4000, 77);
+  std::vector<uint32_t> golden = keys;
+  std::sort(golden.begin(), golden.end());
+  for (const std::string& name : RegisteredBackendNames()) {
+    core::EngineOptions options;
+    options.backend = name;
+    options.seed = 7;
+    options.calibration_trials = 5000;
+    core::ApproxSortEngine engine(options);
+    const double knob = engine.memory().backend().default_approx_knob();
+    std::vector<uint32_t> out_keys;
+    const auto outcome = engine.SortApproxRefine(
+        keys, sort::AlgorithmId{sort::SortKind::kLsdRadix, 3}, knob,
+        &out_keys);
+    ASSERT_TRUE(outcome.ok()) << name;
+    EXPECT_TRUE(outcome->refine.verified()) << name;
+    EXPECT_EQ(out_keys, golden) << name;
+    EXPECT_GT(outcome->refine.TotalWriteCost(), 0.0) << name;
+    EXPECT_GT(outcome->baseline.TotalWriteCost(), 0.0) << name;
+  }
+}
+
+// The resilient ladder must work on every backend too: with min_t left at
+// its NaN sentinel the escalation floor comes from the backend itself.
+TEST(BackendSmokeTest, EveryBackendSortsThroughTheResilientLadder) {
+  const auto keys = core::MakeKeys(core::WorkloadKind::kUniform, 2000, 78);
+  for (const std::string& name : RegisteredBackendNames()) {
+    core::EngineOptions options;
+    options.backend = name;
+    options.seed = 8;
+    options.calibration_trials = 5000;
+    options.health.enabled = true;
+    core::ApproxSortEngine engine(options);
+    const double knob = engine.memory().backend().default_approx_knob();
+    const auto report = core::SortResilient(
+        engine, keys, sort::AlgorithmId{sort::SortKind::kQuicksort, 0}, knob);
+    ASSERT_TRUE(report.ok()) << name;
+    EXPECT_TRUE(report->verified) << name;
+    EXPECT_GE(report->attempts.size(), 1u) << name;
+  }
+}
+
+// --- Facade-uniformity pinning tests (sequential discount, fault hook) ---
+//
+// These features are implemented once, in ApproxArrayU32/ApproxMemory,
+// *above* the WriteModel — so they must behave identically whichever
+// backend serves the allocation.
+
+double SequentialStoreCost(const std::string& backend, double discount,
+                           size_t n) {
+  ApproxMemory::Options options;
+  options.backend = backend;
+  options.seed = 99;
+  options.calibration_trials = 2000;
+  options.sequential_write_discount = discount;
+  ApproxMemory memory(options);
+  ApproxArrayU32 array =
+      memory.NewApproxArray(n, memory.backend().default_approx_knob());
+  for (size_t i = 0; i < n; ++i) array.Set(i, static_cast<uint32_t>(i));
+  EXPECT_EQ(array.stats().sequential_writes, n - 1) << backend;
+  return array.stats().write_cost;
+}
+
+TEST(BackendUniformityTest, SequentialWriteDiscountAppliesOnEveryBackend) {
+  for (const std::string& name : RegisteredBackendNames()) {
+    const size_t n = 512;
+    const double full = SequentialStoreCost(name, 1.0, n);
+    const double half = SequentialStoreCost(name, 0.5, n);
+    // Identical seeds -> identical per-write base costs; only the discount
+    // differs. The first write is never sequential, so the discounted run
+    // costs more than half the undiscounted one but strictly less than it.
+    EXPECT_LT(half, full) << name;
+    EXPECT_GE(half, 0.5 * full) << name;
+  }
+}
+
+// Forces every approximate store to a sentinel and counts calls, proving
+// the hook sits below the model on all backends (including precise-only
+// ones, where the "approximate" domain is served by a precise model).
+class SentinelHook : public MemoryFaultHook {
+ public:
+  uint32_t OnWrite(uint64_t, bool, uint32_t, uint32_t) override {
+    ++writes_;
+    return 0xDEADBEEFu;
+  }
+  uint32_t OnRead(uint64_t, bool, uint32_t value) override {
+    ++reads_;
+    return value;
+  }
+  uint64_t writes() const { return writes_; }
+  uint64_t reads() const { return reads_; }
+
+ private:
+  uint64_t writes_ = 0;
+  uint64_t reads_ = 0;
+};
+
+TEST(BackendUniformityTest, FaultHookObservesEveryAccessOnEveryBackend) {
+  for (const std::string& name : RegisteredBackendNames()) {
+    SentinelHook hook;
+    ApproxMemory::Options options;
+    options.backend = name;
+    options.seed = 100;
+    options.calibration_trials = 2000;
+    options.fault_hook = &hook;
+    ApproxMemory memory(options);
+    const size_t n = 64;
+    ApproxArrayU32 array =
+        memory.NewApproxArray(n, memory.backend().default_approx_knob());
+    for (size_t i = 0; i < n; ++i) array.Set(i, static_cast<uint32_t>(i));
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(array.Get(i), 0xDEADBEEFu) << name << " @" << i;
+    }
+    EXPECT_EQ(hook.writes(), n) << name;
+    EXPECT_EQ(hook.reads(), n) << name;
+  }
+}
+
+}  // namespace
+}  // namespace approxmem::approx

@@ -93,10 +93,11 @@ TEST(SpintronicWriteModelTest, PreciseBaselineUnitEnergyNoErrors) {
 
 TEST(SpintronicArrayTest, HighErrorPointCorruptsSomeWrites) {
   ApproxMemory::Options options;
+  options.backend = std::string(kSpintronicBackendName);
   options.calibration_trials = 2000;  // PCM calibration unused here.
   ApproxMemory memory(options);
   SpintronicConfig config = PaperSpintronicConfigs()[3];  // 1e-4 per bit.
-  ApproxArrayU32 array = memory.NewSpintronicArray(100000, config);
+  ApproxArrayU32 array = memory.NewApproxArray(100000, config.bit_error_prob);
   Rng rng(5);
   for (size_t i = 0; i < array.size(); ++i) array.Set(i, rng.NextU32());
   // Per-word error ~ 1-(1-1e-4)^32 ~ 0.32%.

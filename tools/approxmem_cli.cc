@@ -3,19 +3,26 @@
 //
 //   approxmem_cli --cmd=calibrate [--save=FILE]
 //   approxmem_cli --cmd=study   --algo=quicksort --t=0.055 --n=100000
-//   approxmem_cli --cmd=refine  --algo=lsd3 --t=0.055 --n=100000
+//   approxmem_cli --cmd=sort    --algo=lsd3 --t=0.055 --n=100000
+//   approxmem_cli --cmd=sort    --algo=lsd3 --backend=spintronic
 //   approxmem_cli --cmd=sweep   --algo=msd3 --n=100000
 //   approxmem_cli --cmd=recommend --algo=lsd3 --n=16000000 --t=0.055
 //                 --rem=80000
 //
-// Common flags: --n, --t, --seed, --workload=uniform|skewed|nearly_sorted|
-// reversed|all_equal, --exact (full Monte-Carlo write path).
+// Common flags: --n, --t, --seed, --backend=<registered backend name>,
+// --workload=uniform|skewed|nearly_sorted|reversed|all_equal, --exact
+// (full Monte-Carlo write path). --t is interpreted by the selected
+// backend (target-range half-width on MLC PCM, per-bit write-error
+// probability on spintronic) and defaults to the backend's sweet spot.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <limits>
 #include <memory>
 #include <string>
 #include <vector>
+
+#include "approx/memory_backend.h"
 
 #include "common/flags.h"
 #include "common/thread_pool.h"
@@ -32,26 +39,40 @@ namespace approxmem {
 namespace {
 
 constexpr char kUsage[] =
-    "usage: approxmem_cli --cmd=calibrate|study|refine|sweep|recommend\n"
+    "usage: approxmem_cli --cmd=calibrate|study|sort|refine|sweep|recommend\n"
     "  calibrate [--save=FILE]         cell-model table (avg #P, p(t), err)\n"
-    "  study     --algo=A --t=T        Section 3: sort in approx memory\n"
-    "  refine    --algo=A --t=T        Sections 4-5: approx-refine + WR\n"
+    "  study     --algo=A --t=K        Section 3: sort in approx memory\n"
+    "  sort      --algo=A --t=K        Sections 4-5: approx-refine to an\n"
+    "            exactly sorted, verified output + WR (alias: refine)\n"
     "  sweep     --algo=A              WR across the T grid\n"
-    "  recommend --algo=A --t=T --rem=R  Eq. 4 decision for size --n\n"
-    "  resilient --algo=A --t=T        approx-refine behind the verified-\n"
+    "  recommend --algo=A --t=K --rem=R  Eq. 4 decision for size --n\n"
+    "  resilient --algo=A --t=K        approx-refine behind the verified-\n"
     "            retry ladder (core/resilience.h): [--inject=0] fault storm,\n"
     "            [--monitor=1] canary quarantine, [--retries=1]\n"
-    "            [--escalations=2] [--escalation_factor=0.5] [--min_t=0.025]\n"
-    "            [--log=0]; exits 1 if the final output is unverified\n"
+    "            [--escalations=2] [--escalation_factor=0.5]\n"
+    "            [--min_t=<backend floor>] [--log=0]; exits 1 if the final\n"
+    "            output is unverified\n"
     "  fuzz      [--seconds=60] [--cases=0] [--threads=1] [--n_max=512]\n"
     "            [--inject=1] [--resilient=0]  randomized differential-\n"
     "            oracle runs; --resilient=1 drives SortResilient with\n"
     "            monitoring on instead (see TESTING.md; prints a minimized\n"
     "            repro and exits 1 on the first invariant violation)\n"
-    "common: --n=N --seed=S --workload=uniform|skewed|nearly_sorted|\n"
-    "        reversed|all_equal --exact\n"
+    "common: --n=N --seed=S --backend=mlc-pcm|mlc-pcm-banked|spintronic|\n"
+    "        dram-precise (any registered backend; --t is the backend's\n"
+    "        knob — half-width T on PCM, per-bit error prob on spintronic;\n"
+    "        default: the backend's sweet spot)\n"
+    "        --workload=uniform|skewed|nearly_sorted|reversed|all_equal\n"
+    "        --exact\n"
     "algorithms: quicksort mergesort lsd3..lsd6 msd3..msd6 hlsd3..6 "
     "hmsd3..6\n";
+
+// Knob values span PCM half-widths (~0.05) and spintronic bit-error
+// probabilities (1e-7..1e-4); %.4g renders both readably.
+std::string FmtKnob(double knob) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.4g", knob);
+  return buffer;
+}
 
 StatusOr<sort::AlgorithmId> ParseAlgorithm(const std::string& name) {
   using sort::AlgorithmId;
@@ -105,8 +126,8 @@ int Study(core::ApproxSortEngine& engine, const sort::AlgorithmId& algorithm,
     std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
     return 1;
   }
-  std::printf("%s on %zu keys at T=%.3f (approximate memory only):\n",
-              algorithm.Name().c_str(), keys.size(), t);
+  std::printf("%s on %zu keys at knob=%s (approximate memory only):\n",
+              algorithm.Name().c_str(), keys.size(), FmtKnob(t).c_str());
   std::printf("  Rem ratio        %.4f%%\n",
               result->sortedness.rem_ratio * 100.0);
   std::printf("  error rate       %.4f%%\n",
@@ -125,8 +146,8 @@ int Refine(core::ApproxSortEngine& engine, const sort::AlgorithmId& algorithm,
     std::fprintf(stderr, "%s\n", outcome.status().ToString().c_str());
     return 1;
   }
-  std::printf("%s on %zu keys at T=%.3f (approx-refine):\n",
-              algorithm.Name().c_str(), keys.size(), t);
+  std::printf("%s on %zu keys at knob=%s (approx-refine):\n",
+              algorithm.Name().c_str(), keys.size(), FmtKnob(t).c_str());
   std::printf("  verified sorted   %s\n",
               outcome->refine.verified() ? "yes" : "NO");
   std::printf("  Rem~              %zu\n", outcome->refine.rem_estimate);
@@ -164,7 +185,9 @@ int Resilient(const Flags& flags, const sort::AlgorithmId& algorithm,
   resilience.max_refine_retries = static_cast<int>(flags.GetInt("retries", 1));
   resilience.max_escalations = static_cast<int>(flags.GetInt("escalations", 2));
   resilience.escalation_factor = flags.GetDouble("escalation_factor", 0.5);
-  resilience.min_t = flags.GetDouble("min_t", 0.025);
+  // NaN lets the ladder bottom out at the backend's own precision floor.
+  resilience.min_t =
+      flags.GetDouble("min_t", std::numeric_limits<double>::quiet_NaN());
   resilience.log_diagnostics = flags.GetBool("log", false);
 
   const auto report = core::SortResilient(engine, keys, algorithm, t,
@@ -174,8 +197,8 @@ int Resilient(const Flags& flags, const sort::AlgorithmId& algorithm,
     return 1;
   }
 
-  std::printf("%s on %zu keys at T=%.3f (resilient approx-refine):\n",
-              algorithm.Name().c_str(), keys.size(), t);
+  std::printf("%s on %zu keys at knob=%s (resilient approx-refine):\n",
+              algorithm.Name().c_str(), keys.size(), FmtKnob(t).c_str());
   TablePrinter table("attempt ladder");
   table.SetHeader({"#", "policy", "T", "status", "verified", "Rem~",
                    "write_cost"});
@@ -183,7 +206,7 @@ int Resilient(const Flags& flags, const sort::AlgorithmId& algorithm,
     const core::AttemptRecord& a = report->attempts[i];
     table.AddRow({TablePrinter::FmtInt(static_cast<long long>(i + 1)),
                   std::string(core::AttemptPolicyName(a.policy)),
-                  TablePrinter::Fmt(a.t, 3),
+                  FmtKnob(a.t),
                   a.status.ok() ? "ok" : a.status.ToString(),
                   a.verified ? "yes" : (a.status.ok()
                                             ? a.verification.ToString()
@@ -193,9 +216,9 @@ int Resilient(const Flags& flags, const sort::AlgorithmId& algorithm,
                   TablePrinter::Fmt(a.cost.write_cost / 1e6, 3)});
   }
   table.Print();
-  std::printf("  final policy      %s (T=%.3f)\n",
+  std::printf("  final policy      %s (knob=%s)\n",
               core::AttemptPolicyName(report->final_policy).data(),
-              report->final_t);
+              FmtKnob(report->final_t).c_str());
   std::printf("  cumulative cost   %.3f ms write latency "
               "(canaries %.3f ms)\n",
               report->cumulative.write_cost / 1e6,
@@ -240,7 +263,8 @@ int Sweep(core::ApproxSortEngine& engine, const sort::AlgorithmId& algorithm,
       return 1;
     }
     table.AddRow(
-        {TablePrinter::Fmt(t, 3), TablePrinter::Fmt(engine.PvRatio(t), 3),
+        {TablePrinter::Fmt(t, 3),
+         TablePrinter::Fmt(engine.WriteCostRatio(t), 3),
          TablePrinter::FmtInt(
              static_cast<long long>(outcome->refine.rem_estimate)),
          TablePrinter::FmtPercent(outcome->write_reduction, 2),
@@ -253,11 +277,11 @@ int Sweep(core::ApproxSortEngine& engine, const sort::AlgorithmId& algorithm,
 int Recommend(core::ApproxSortEngine& engine,
               const sort::AlgorithmId& algorithm, size_t n, double t,
               size_t rem) {
-  const double p = engine.PvRatio(t);
+  const double p = engine.WriteCostRatio(t);
   const double wr = refine::PredictWriteReduction(algorithm, n, p, rem);
   const bool use = refine::ShouldUseApproxRefine(algorithm, n, p, rem);
-  std::printf("%s, n=%zu, T=%.3f (p=%.3f), expected Rem~=%zu:\n",
-              algorithm.Name().c_str(), n, t, p, rem);
+  std::printf("%s, n=%zu, knob=%s (cost ratio %.3f), expected Rem~=%zu:\n",
+              algorithm.Name().c_str(), n, FmtKnob(t).c_str(), p, rem);
   std::printf("  predicted write reduction %.2f%% -> use %s\n", wr * 100.0,
               use ? "approx-refine" : "precise-only sorting");
   return 0;
@@ -439,6 +463,17 @@ int Main(int argc, char** argv) {
   }
 
   core::EngineOptions options;
+  options.backend = flags->GetString("backend", options.backend);
+  if (!approx::IsRegisteredBackend(options.backend)) {
+    std::string registered;
+    for (const std::string& name : approx::RegisteredBackendNames()) {
+      if (!registered.empty()) registered += ", ";
+      registered += name;
+    }
+    std::fprintf(stderr, "unknown --backend=%s (registered: %s)\n%s",
+                 options.backend.c_str(), registered.c_str(), kUsage);
+    return 2;
+  }
   options.seed = static_cast<uint64_t>(flags->GetInt("seed", 42));
   options.calibration_trials =
       static_cast<uint64_t>(flags->GetInt("calibration_trials", 200000));
@@ -456,7 +491,11 @@ int Main(int argc, char** argv) {
     return 2;
   }
   const size_t n = static_cast<size_t>(flags->GetInt("n", 100000));
-  const double t = flags->GetDouble("t", 0.055);
+  // Without --t, run at the backend's sweet spot (0.055 on MLC PCM, the
+  // 33%-saving operating point on spintronic, exact on dram-precise).
+  const double t =
+      flags->Has("t") ? flags->GetDouble("t", 0.055)
+                      : engine.memory().backend().default_approx_knob();
 
   if (cmd == "recommend") {
     const size_t rem =
@@ -473,7 +512,9 @@ int Main(int argc, char** argv) {
   const auto keys = core::MakeKeys(*workload, n, options.seed);
 
   if (cmd == "study") return Study(engine, *algorithm, keys, t);
-  if (cmd == "refine") return Refine(engine, *algorithm, keys, t);
+  if (cmd == "refine" || cmd == "sort") {
+    return Refine(engine, *algorithm, keys, t);
+  }
   if (cmd == "sweep") return Sweep(engine, *algorithm, keys);
   if (cmd == "resilient") {
     return Resilient(*flags, *algorithm, keys, t, options);
