@@ -24,6 +24,9 @@ uint64_t SplitMix64(uint64_t z) {
 struct Runtime {
   explicit Runtime(const BenchEnv& env)
       : calibration_path(env.calibration_cache), pool(env.threads) {
+    if (env.sort_threads != 1) {
+      sort_pool = std::make_unique<ThreadPool>(env.sort_threads);
+    }
     core::EngineOptions defaults;
     calibration = std::make_shared<mlc::CalibrationCache>(
         defaults.mlc.WithT(defaults.mlc.precise_t_width),
@@ -53,6 +56,10 @@ struct Runtime {
   std::string calibration_path;
   ThreadPool pool;
   std::shared_ptr<mlc::CalibrationCache> calibration;
+  /// Shared intra-sort pool (created only when --sort_threads != 1). Sweep
+  /// workers calling into it run inline (nested ParallelFor), so the two
+  /// pools never oversubscribe.
+  std::unique_ptr<ThreadPool> sort_pool;
 };
 
 Runtime& GetRuntime(const BenchEnv& env) {
@@ -68,6 +75,9 @@ core::EngineOptions CellOptions(const BenchEnv& env, uint64_t seed) {
   options.calibration_trials = static_cast<uint64_t>(
       env.flags.GetInt("calibration_trials", 200000));
   options.shared_calibration = runtime.calibration;
+  options.sort_threads = env.sort_threads;
+  options.sort_pool = runtime.sort_pool.get();
+  options.lsd_sqrt_arena = env.lsd_sqrt_arena;
   return options;
 }
 
@@ -110,9 +120,10 @@ std::string CsvPath(const BenchEnv& env, const std::string& file) {
 }
 
 void PrintRunHeader(const char* what, const BenchEnv& env) {
-  std::printf("# %s | n=%zu seed=%llu threads=%d backend=%s%s\n", what,
-              env.n, static_cast<unsigned long long>(env.seed),
-              SweepThreads(env), env.backend.c_str(),
+  std::printf("# %s | n=%zu seed=%llu threads=%d sort_threads=%d "
+              "backend=%s%s\n",
+              what, env.n, static_cast<unsigned long long>(env.seed),
+              SweepThreads(env), env.sort_threads, env.backend.c_str(),
               env.full ? " (paper scale)" : "");
   std::printf(
       "# Shapes should match the paper; absolute values depend on the "

@@ -9,6 +9,12 @@
 //   --threads=<k>    sweep/calibration concurrency (default: hardware;
 //                    --threads=1 runs fully serially). For a fixed seed the
 //                    CSV artifacts are byte-identical for every k.
+//   --sort_threads=<k>  intra-sort concurrency for the striped radix
+//                    passes (default 1 = serial; <= 0 means hardware).
+//                    CSV artifacts are byte-identical for every k. Inside
+//                    sweep worker threads the striped passes run inline, so
+//                    --threads and --sort_threads never oversubscribe.
+//   --lsd_sqrt_arena    use the Radsort-style O(sqrt n) LSD scratch arena.
 //   --calibration_cache=<path>  load cached per-T calibrations from <path>
 //                    before the run and save the (possibly grown) cache
 //                    back afterwards, so repeated figure runs skip the
@@ -43,7 +49,9 @@ struct BenchEnv {
   size_t n = kDefaultN;
   uint64_t seed = 42;
   bool full = false;
-  int threads = 0;  // 0 = hardware concurrency.
+  int threads = 0;       // 0 = hardware concurrency.
+  int sort_threads = 1;  // Intra-sort workers; <= 0 = hardware concurrency.
+  bool lsd_sqrt_arena = false;
   std::string csv_dir = "bench_artifacts";
   std::string calibration_cache;  // Empty = no persistence.
   std::string backend = std::string(approx::kPcmBackendName);
@@ -69,6 +77,8 @@ inline BenchEnv ParseBenchEnv(
       "n", static_cast<int64_t>(Flags::EnvSize("APPROX_BENCH_N", base))));
   env.seed = static_cast<uint64_t>(flags->GetInt("seed", 42));
   env.threads = static_cast<int>(flags->GetInt("threads", 0));
+  env.sort_threads = static_cast<int>(flags->GetInt("sort_threads", 1));
+  env.lsd_sqrt_arena = flags->GetBool("lsd_sqrt_arena", false);
   env.csv_dir = flags->GetString("csv_dir", "bench_artifacts");
   env.calibration_cache = flags->GetString("calibration_cache", "");
   env.backend = flags->GetString("backend", std::string(default_backend));

@@ -6,13 +6,19 @@
 // After the google-benchmark suite, the binary times serial vs parallel
 // Monte-Carlo calibration and a serial vs parallel (T x algorithm) sweep
 // and writes bench_artifacts/parallel_speedup.json, so the speedup
-// trajectory of the parallel runner can be tracked across PRs.
+// trajectory of the parallel runner can be tracked across PRs. It also
+// times the striped intra-sort radix hot path at 1/2/4/8 workers plus the
+// batched-vs-scalar write kernels and writes
+// bench_artifacts/perf_snapshot.json — the snapshot committed at the repo
+// root as BENCH_6.json and diffed by tools/bench_compare in CI.
 #include <benchmark/benchmark.h>
 #include <sys/stat.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <memory>
+#include <vector>
 
 #include "approx/approx_memory.h"
 #include "common/random.h"
@@ -70,6 +76,35 @@ void BM_InstrumentedQuicksort(benchmark::State& state) {
                           static_cast<int64_t>(n));
 }
 BENCHMARK(BM_InstrumentedQuicksort)->Arg(1 << 12)->Arg(1 << 16);
+
+void BM_StripedLsdRadix(benchmark::State& state) {
+  // Intra-sort scaling of the striped LSD hot path; Arg is the worker
+  // count (1 = serial). Output is identical at every setting, so the curve
+  // is pure wall-clock.
+  const int threads = static_cast<int>(state.range(0));
+  const size_t n = 1 << 18;
+  ThreadPool pool(threads);
+  approx::ApproxMemory::Options options;
+  options.calibration_trials = 50000;
+  approx::ApproxMemory memory(options);
+  const auto keys = core::MakeKeys(core::WorkloadKind::kUniform, n, 9);
+  for (auto _ : state) {
+    approx::ApproxArrayU32 array = memory.NewApproxArray(n, 0.055);
+    array.Store(keys);
+    sort::SortSpec spec;
+    spec.keys = &array;
+    spec.alloc_key_buffer = [&](size_t words) {
+      return memory.NewApproxArray(words, 0.055);
+    };
+    spec.tuning.pool = threads > 1 ? &pool : nullptr;
+    Rng rng(4);
+    benchmark::DoNotOptimize(
+        sort::RunSort(spec, {sort::SortKind::kLsdRadix, 6}, rng));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_StripedLsdRadix)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 
 void BM_LisRem(benchmark::State& state) {
   const size_t n = static_cast<size_t>(state.range(0));
@@ -172,6 +207,108 @@ void WriteParallelSpeedupArtifact() {
       sweep_serial / sweep_parallel);
 }
 
+// --- perf_snapshot.json ----------------------------------------------------
+
+// One instrumented 6-bit striped LSD sort; median of three runs.
+double TimeStripedSort(int threads, bool sqrt_arena, size_t n) {
+  ThreadPool pool(threads);
+  approx::ApproxMemory::Options options;
+  options.calibration_trials = 50000;
+  approx::ApproxMemory memory(options);
+  const auto keys = core::MakeKeys(core::WorkloadKind::kUniform, n, 9);
+  std::vector<double> samples;
+  for (int run = 0; run < 3; ++run) {
+    approx::ApproxArrayU32 array = memory.NewApproxArray(n, 0.055);
+    array.Store(keys);
+    sort::SortSpec spec;
+    spec.keys = &array;
+    spec.alloc_key_buffer = [&](size_t words) {
+      return memory.NewApproxArray(words, 0.055);
+    };
+    spec.tuning.pool = threads > 1 ? &pool : nullptr;
+    spec.tuning.lsd_sqrt_arena = sqrt_arena;
+    Rng rng(4);
+    const auto start = std::chrono::steady_clock::now();
+    benchmark::DoNotOptimize(
+        sort::RunSort(spec, {sort::SortKind::kLsdRadix, 6}, rng));
+    samples.push_back(SecondsSince(start));
+  }
+  std::sort(samples.begin(), samples.end());
+  return samples[1];
+}
+
+// Throughput of n approximate word writes: the scalar per-word Set path
+// vs. the SetRange span that runs the batched codec/sampler kernels.
+double TimeApproxWrites(bool batched, size_t n) {
+  approx::ApproxMemory::Options options;
+  options.calibration_trials = 50000;
+  approx::ApproxMemory memory(options);
+  const auto keys = core::MakeKeys(core::WorkloadKind::kUniform, n, 11);
+  std::vector<double> samples;
+  for (int run = 0; run < 3; ++run) {
+    approx::ApproxArrayU32 array = memory.NewApproxArray(n, 0.055);
+    const auto start = std::chrono::steady_clock::now();
+    if (batched) {
+      array.SetRange(0, keys.data(), n);
+    } else {
+      for (size_t i = 0; i < n; ++i) array.Set(i, keys[i]);
+    }
+    samples.push_back(SecondsSince(start));
+  }
+  std::sort(samples.begin(), samples.end());
+  return samples[1];
+}
+
+void WritePerfSnapshotArtifact() {
+  constexpr size_t kSortN = 1 << 20;
+  constexpr size_t kWriteN = 1 << 22;
+  const double serial = TimeStripedSort(1, /*sqrt_arena=*/false, kSortN);
+  const double two = TimeStripedSort(2, /*sqrt_arena=*/false, kSortN);
+  const double four = TimeStripedSort(4, /*sqrt_arena=*/false, kSortN);
+  const double eight = TimeStripedSort(8, /*sqrt_arena=*/false, kSortN);
+  const double sqrt_serial =
+      TimeStripedSort(1, /*sqrt_arena=*/true, kSortN);
+  const double scalar_writes = TimeApproxWrites(/*batched=*/false, kWriteN);
+  const double batched_writes = TimeApproxWrites(/*batched=*/true, kWriteN);
+
+  ::mkdir("bench_artifacts", 0755);
+  std::FILE* f = std::fopen("bench_artifacts/perf_snapshot.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write bench_artifacts/perf_snapshot.json\n");
+    return;
+  }
+  std::fprintf(
+      f,
+      "{\n"
+      "  \"snapshot\": \"striped radix + batched kernels\",\n"
+      "  \"hardware_threads\": %d,\n"
+      "  \"sort\": {\n"
+      "    \"algorithm\": \"6-bit LSD\",\n"
+      "    \"n\": %zu,\n"
+      "    \"serial_seconds\": %.6f,\n"
+      "    \"sqrt_arena_serial_seconds\": %.6f,\n"
+      "    \"speedup\": {\"2\": %.3f, \"4\": %.3f, \"8\": %.3f}\n"
+      "  },\n"
+      "  \"kernels\": {\n"
+      "    \"n\": %zu,\n"
+      "    \"scalar_set_mwords_per_sec\": %.2f,\n"
+      "    \"batched_set_range_mwords_per_sec\": %.2f,\n"
+      "    \"batched_over_scalar\": %.3f\n"
+      "  }\n"
+      "}\n",
+      ThreadPool::HardwareThreads(), kSortN, serial, sqrt_serial,
+      serial / two, serial / four, serial / eight, kWriteN,
+      static_cast<double>(kWriteN) / scalar_writes / 1e6,
+      static_cast<double>(kWriteN) / batched_writes / 1e6,
+      scalar_writes / batched_writes);
+  std::fclose(f);
+  std::printf(
+      "perf_snapshot: sort speedup 2t %.2fx, 4t %.2fx, 8t %.2fx; batched "
+      "writes %.2fx scalar -> bench_artifacts/perf_snapshot.json\n",
+      serial / two, serial / four, serial / eight,
+      scalar_writes / batched_writes);
+}
+
 }  // namespace
 }  // namespace approxmem
 
@@ -181,5 +318,6 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   approxmem::WriteParallelSpeedupArtifact();
+  approxmem::WritePerfSnapshotArtifact();
   return 0;
 }

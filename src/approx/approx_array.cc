@@ -1,5 +1,7 @@
 #include "approx/approx_array.h"
 
+#include <algorithm>
+
 namespace approxmem::approx {
 
 ApproxArrayU32::ApproxArrayU32(size_t n, WriteModel* model, Rng rng,
@@ -65,6 +67,48 @@ ApproxArrayU32& ApproxArrayU32::operator=(ApproxArrayU32&& other) noexcept {
     other.stats_sink_ = nullptr;
   }
   return *this;
+}
+
+void ApproxArrayU32::SetRangeImpl(size_t start, const uint32_t* values,
+                                  size_t count, Rng& rng, MemoryStats& stats,
+                                  size_t& last_written) {
+  APPROXMEM_CHECK(start + count <= actual_.size());
+  if (address_sensitive_) {
+    // Banked/trace-driven models need the address per word; no batch path.
+    for (size_t k = 0; k < count; ++k) {
+      SetImpl(start + k, values[k], rng, stats, last_written);
+    }
+    return;
+  }
+  constexpr size_t kChunkWords = 64;
+  WordWriteOutcome outcomes[kChunkWords];
+  for (size_t done = 0; done < count; done += kChunkWords) {
+    const size_t chunk = std::min(count - done, kChunkWords);
+    model_->WriteBatch(values + done, chunk, rng, outcomes);
+    for (size_t k = 0; k < chunk; ++k) {
+      ApplyWrite(start + done + k, values[done + k], outcomes[k], stats,
+                 last_written);
+    }
+  }
+}
+
+std::vector<ApproxArrayU32::Shard> ApproxArrayU32::MakeShards(size_t count) {
+  std::vector<Shard> shards;
+  shards.reserve(count);
+  for (size_t s = 0; s < count; ++s) {
+    shards.push_back(Shard(this, rng_.Split()));
+  }
+  return shards;
+}
+
+void ApproxArrayU32::MergeShards(std::vector<Shard>& shards) {
+  for (Shard& shard : shards) {
+    APPROXMEM_CHECK(shard.array_ == this);
+    stats_ += shard.stats_;
+    shard.stats_ = MemoryStats{};
+  }
+  // Shard cursors are gone; the next direct write starts a fresh run.
+  last_written_ = static_cast<size_t>(-1);
 }
 
 void ApproxArrayU32::FlushStats() {

@@ -49,47 +49,79 @@ class ApproxArrayU32 {
 
   /// Reads element `i` (one simulated memory read). A fault hook may flip
   /// the observed value transiently (the stored value is untouched).
-  uint32_t Get(size_t i) {
-    APPROXMEM_CHECK(i < actual_.size());
-    ++stats_.word_reads;
-    stats_.read_cost += address_sensitive_
-                            ? model_->ReadCostAt(base_address_ + i * 4u)
-                            : read_cost_;
-    if (trace_ != nullptr) trace_->AppendRead(base_address_ + i * 4u);
-    uint32_t value = actual_[i];
-    if (fault_hook_ != nullptr) {
-      value = fault_hook_->OnRead(base_address_ + i * 4u, precise_, value);
-    }
-    return value;
-  }
+  uint32_t Get(size_t i) { return GetImpl(i, stats_); }
 
   /// Writes element `i` (one simulated memory write, possibly corrupted).
   void Set(size_t i, uint32_t value) {
-    APPROXMEM_CHECK(i < actual_.size());
-    const WordWriteOutcome outcome =
-        address_sensitive_
-            ? model_->WriteAt(base_address_ + i * 4u, value, rng_)
-            : model_->Write(value, rng_);
-    uint32_t stored = outcome.stored;
-    if (fault_hook_ != nullptr) {
-      stored = fault_hook_->OnWrite(base_address_ + i * 4u, precise_, value,
-                                    stored);
-    }
-    actual_[i] = stored;
-    intended_[i] = value;
-    ++stats_.word_writes;
-    stats_.pv_iterations += outcome.pv_iterations;
-    if (last_written_ != static_cast<size_t>(-1) &&
-        i == last_written_ + 1) {
-      stats_.write_cost += outcome.cost * seq_discount_;
-      ++stats_.sequential_writes;
-    } else {
-      stats_.write_cost += outcome.cost;
-    }
-    last_written_ = i;
-    if (stored != value) ++stats_.corrupted_writes;
-    if (trace_ != nullptr) trace_->AppendWrite(base_address_ + i * 4u);
+    SetImpl(i, value, rng_, stats_, last_written_);
   }
+
+  /// Writes values[0, count) to elements [start, start + count): one
+  /// simulated write per element, driven through the model's WriteBatch
+  /// kernel (bit-identical to the equivalent Set loop, including the
+  /// sequential-write discount and the RNG draw sequence).
+  void SetRange(size_t start, const uint32_t* values, size_t count) {
+    SetRangeImpl(start, values, count, rng_, stats_, last_written_);
+  }
+
+  /// Reads elements [start, start + count) into out[0, count): one
+  /// simulated read each, identical accounting to a Get loop.
+  void GetRange(size_t start, uint32_t* out, size_t count) {
+    for (size_t k = 0; k < count; ++k) out[k] = GetImpl(start + k, stats_);
+  }
+
+  /// A handle for driving a disjoint slice of this array's accesses with
+  /// its own RNG substream, stats ledger, and sequential-write cursor.
+  /// Created in batches by MakeShards (which fixes each shard's substream
+  /// by split order); folded back by MergeShards. Shards of one array may
+  /// run concurrently only when ConcurrentShardSafe() holds and no index is
+  /// touched by two shards; otherwise drive them serially in shard order —
+  /// either way the results depend only on the shard plan, never on the
+  /// thread count.
+  class Shard {
+   public:
+    uint32_t Get(size_t i) { return array_->GetImpl(i, stats_); }
+    void Set(size_t i, uint32_t value) {
+      array_->SetImpl(i, value, rng_, stats_, last_written_);
+    }
+    void SetRange(size_t start, const uint32_t* values, size_t count) {
+      array_->SetRangeImpl(start, values, count, rng_, stats_, last_written_);
+    }
+    void GetRange(size_t start, uint32_t* out, size_t count) {
+      for (size_t k = 0; k < count; ++k) {
+        out[k] = array_->GetImpl(start + k, stats_);
+      }
+    }
+    const MemoryStats& stats() const { return stats_; }
+
+   private:
+    friend class ApproxArrayU32;
+    Shard(ApproxArrayU32* array, Rng rng) : array_(array), rng_(rng) {}
+
+    ApproxArrayU32* array_;
+    Rng rng_;
+    MemoryStats stats_;
+    size_t last_written_ = static_cast<size_t>(-1);
+  };
+
+  /// True when shards of this array may execute on different threads at the
+  /// same time: no fault hook (shared mutable state), no trace buffer
+  /// (ordered append), and a stateless flat-cost write model. When false,
+  /// callers must drive the same shard plan serially, in shard order.
+  bool ConcurrentShardSafe() const {
+    return fault_hook_ == nullptr && trace_ == nullptr && !address_sensitive_;
+  }
+
+  /// Creates `count` shards, splitting one RNG substream per shard off this
+  /// array's stream in shard order (so the plan, not the schedule, fixes
+  /// every stream). Call MergeShards before touching the array directly
+  /// again.
+  std::vector<Shard> MakeShards(size_t count);
+
+  /// Folds the shards' ledgers into this array in shard order and resets
+  /// the sequential-write cursor (the next direct write is never treated as
+  /// sequential).
+  void MergeShards(std::vector<Shard>& shards);
 
   /// Writes `values` into the array front (one Set per element).
   void Store(const std::vector<uint32_t>& values);
@@ -125,6 +157,61 @@ class ApproxArrayU32 {
   bool precise() const { return precise_; }
 
  private:
+  // Shared access paths: the public Get/Set/SetRange/GetRange and every
+  // Shard drive the same implementations, parameterized on whose RNG
+  // stream, stats ledger, and sequential-write cursor they charge.
+  uint32_t GetImpl(size_t i, MemoryStats& stats) {
+    APPROXMEM_CHECK(i < actual_.size());
+    ++stats.word_reads;
+    stats.read_cost += address_sensitive_
+                           ? model_->ReadCostAt(base_address_ + i * 4u)
+                           : read_cost_;
+    if (trace_ != nullptr) trace_->AppendRead(base_address_ + i * 4u);
+    uint32_t value = actual_[i];
+    if (fault_hook_ != nullptr) {
+      value = fault_hook_->OnRead(base_address_ + i * 4u, precise_, value);
+    }
+    return value;
+  }
+
+  void SetImpl(size_t i, uint32_t value, Rng& rng, MemoryStats& stats,
+               size_t& last_written) {
+    APPROXMEM_CHECK(i < actual_.size());
+    const WordWriteOutcome outcome =
+        address_sensitive_
+            ? model_->WriteAt(base_address_ + i * 4u, value, rng)
+            : model_->Write(value, rng);
+    ApplyWrite(i, value, outcome, stats, last_written);
+  }
+
+  // Post-model bookkeeping shared by the scalar and batched write paths:
+  // fault-hook observation, value stores, and stats accrual (in the same
+  // floating-point order either way).
+  void ApplyWrite(size_t i, uint32_t value, const WordWriteOutcome& outcome,
+                  MemoryStats& stats, size_t& last_written) {
+    uint32_t stored = outcome.stored;
+    if (fault_hook_ != nullptr) {
+      stored = fault_hook_->OnWrite(base_address_ + i * 4u, precise_, value,
+                                    stored);
+    }
+    actual_[i] = stored;
+    intended_[i] = value;
+    ++stats.word_writes;
+    stats.pv_iterations += outcome.pv_iterations;
+    if (last_written != static_cast<size_t>(-1) && i == last_written + 1) {
+      stats.write_cost += outcome.cost * seq_discount_;
+      ++stats.sequential_writes;
+    } else {
+      stats.write_cost += outcome.cost;
+    }
+    last_written = i;
+    if (stored != value) ++stats.corrupted_writes;
+    if (trace_ != nullptr) trace_->AppendWrite(base_address_ + i * 4u);
+  }
+
+  void SetRangeImpl(size_t start, const uint32_t* values, size_t count,
+                    Rng& rng, MemoryStats& stats, size_t& last_written);
+
   std::vector<uint32_t> actual_;
   std::vector<uint32_t> intended_;
   WriteModel* model_;

@@ -3,6 +3,7 @@
 // Knob semantics: the AllocSpec knob is the target-range half-width T.
 // Approximate write latency scales with the calibrated avg #P relative to
 // the precise configuration, anchored at the Table 1 precise write latency.
+#include <algorithm>
 #include <memory>
 #include <utility>
 #include <vector>
@@ -75,46 +76,57 @@ class ExactPcmWriteModel final : public WriteModel {
   double ns_per_iteration_;
 };
 
-/// Approximate PCM, fast path: calibrated per-level tables.
+/// Approximate PCM, fast path: calibrated per-level tables, batched.
+///
+/// Write() is literally WriteBatch() over one word, so the scalar and
+/// batched paths cannot drift apart: clean-word costs come from the
+/// sampler's shared table kernel and error uniforms are drawn through the
+/// same block scan, whose draw sequence matches a per-word loop exactly.
 class FastPcmWriteModel final : public WriteModel {
  public:
   FastPcmWriteModel(const mlc::CellCalibration& calibration,
                     double ns_per_iteration)
       : calibration_(calibration),
         config_(calibration.config()),
-        ns_per_iteration_(ns_per_iteration) {
-    const int levels = config_.levels;
-    stay_prob_.resize(static_cast<size_t>(levels));
-    avg_pv_.resize(static_cast<size_t>(levels));
-    for (int l = 0; l < levels; ++l) {
-      stay_prob_[static_cast<size_t>(l)] =
-          1.0 - calibration.ErrorProbForLevel(l);
-      avg_pv_[static_cast<size_t>(l)] = calibration.AvgPvForLevel(l);
-    }
-  }
+        sampler_(calibration),
+        ns_per_iteration_(ns_per_iteration) {}
 
   WordWriteOutcome Write(uint32_t intended, Rng& rng) override {
-    const int cells = config_.CellsPerWord();
-    const mlc::WordLevels levels = mlc::EncodeWord(intended, config_);
-
-    double pv_sum = 0.0;
-    double no_error = 1.0;
-    for (int c = 0; c < cells; ++c) {
-      const size_t level = levels[static_cast<size_t>(c)];
-      pv_sum += avg_pv_[level];
-      no_error *= stay_prob_[level];
-    }
-
     WordWriteOutcome outcome;
-    outcome.cost = pv_sum / cells * ns_per_iteration_;
-    outcome.pv_iterations = pv_sum;
-    outcome.stored = intended;
-    const double word_error = 1.0 - no_error;
-    if (word_error <= 0.0 || rng.UniformDouble() >= word_error) {
-      return outcome;
-    }
-    outcome.stored = SampleCorruptedWord(levels, no_error, rng);
+    WriteBatch(&intended, 1, rng, &outcome);
     return outcome;
+  }
+
+  void WriteBatch(const uint32_t* intended, size_t count, Rng& rng,
+                  WordWriteOutcome* outcomes) override {
+    const int cells = config_.CellsPerWord();
+    constexpr size_t kChunkWords = 64;
+    mlc::BatchErrorSampler::WordStats stats[kChunkWords];
+    double word_error[kChunkWords];
+    for (size_t done = 0; done < count; done += kChunkWords) {
+      const size_t chunk = std::min(count - done, kChunkWords);
+      sampler_.StatsForWords(intended + done, chunk, stats);
+      for (size_t w = 0; w < chunk; ++w) {
+        outcomes[done + w].stored = intended[done + w];
+        outcomes[done + w].cost = stats[w].pv_sum / cells * ns_per_iteration_;
+        outcomes[done + w].pv_iterations = stats[w].pv_sum;
+        word_error[w] = 1.0 - stats[w].no_error;
+      }
+      // One uniform per (erring-capable) word, pulled in blocks; corrupted
+      // words fall back to the live per-cell conditional sampler.
+      size_t cursor = 0;
+      while (cursor < chunk) {
+        const size_t hit = mlc::BatchErrorSampler::FirstCorrupted(
+            word_error + cursor, chunk - cursor, rng);
+        if (hit == chunk - cursor) break;
+        const size_t w = cursor + hit;
+        const mlc::WordLevels levels =
+            mlc::EncodeWord(intended[done + w], config_);
+        outcomes[done + w].stored =
+            SampleCorruptedWord(levels, stats[w].no_error, rng);
+        cursor = w + 1;
+      }
+    }
   }
 
   double ReadCost() const override { return config_.read_latency_ns; }
@@ -131,7 +143,7 @@ class FastPcmWriteModel final : public WriteModel {
     double no_error_suffix = no_error_all;
     for (int c = 0; c < cells; ++c) {
       const int level = levels[static_cast<size_t>(c)];
-      const double stay = stay_prob_[static_cast<size_t>(level)];
+      const double stay = 1.0 - calibration_.ErrorProbForLevel(level);
       double err_prob = 1.0 - stay;
       if (!erred) {
         const double at_least_one = 1.0 - no_error_suffix;
@@ -165,9 +177,8 @@ class FastPcmWriteModel final : public WriteModel {
 
   const mlc::CellCalibration& calibration_;
   mlc::MlcConfig config_;
+  mlc::BatchErrorSampler sampler_;
   double ns_per_iteration_;
-  std::vector<double> stay_prob_;
-  std::vector<double> avg_pv_;
 };
 
 class PcmBackend final : public MemoryBackend {

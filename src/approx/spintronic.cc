@@ -1,5 +1,6 @@
 #include "approx/spintronic.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 
@@ -49,9 +50,16 @@ WordWriteOutcome SpintronicWriteModel::Write(uint32_t intended, Rng& rng) {
       rng.UniformDouble() >= word_error_prob_) {
     return outcome;
   }
+  outcome.stored = SampleCorruptedStored(intended, rng);
+  return outcome;
+}
+
+uint32_t SpintronicWriteModel::SampleCorruptedStored(uint32_t intended,
+                                                     Rng& rng) const {
   // At least one of the 32 bits flips. Sequential conditional Bernoulli:
   // bit i flips with probability p / (1 - (1-p)^(32-i)) while no bit has
   // flipped yet; once one flips, the remaining bits flip with plain p.
+  uint32_t stored = intended;
   const double p = config_.bit_error_prob;
   bool flipped = false;
   double no_flip_suffix = 1.0 - word_error_prob_;  // (1-p)^32.
@@ -65,15 +73,50 @@ WordWriteOutcome SpintronicWriteModel::Write(uint32_t intended, Rng& rng) {
       no_flip_suffix /= (1.0 - p);  // (1-p)^(32-bit-1) for the next round.
     }
     if (rng.UniformDouble() < flip_prob) {
-      outcome.stored ^= (1u << bit);
+      stored ^= (1u << bit);
       flipped = true;
     }
   }
   if (!flipped) {
     // Numerical corner: force one flip so the conditioning holds exactly.
-    outcome.stored ^= (1u << rng.UniformInt(32));
+    stored ^= (1u << rng.UniformInt(32));
   }
-  return outcome;
+  return stored;
+}
+
+void SpintronicWriteModel::WriteBatch(const uint32_t* intended, size_t count,
+                                      Rng& rng, WordWriteOutcome* outcomes) {
+  const double cost = config_.ApproxWriteEnergy();
+  for (size_t w = 0; w < count; ++w) {
+    outcomes[w] = WordWriteOutcome{intended[w], cost, 0.0};
+  }
+  if (word_error_prob_ <= 0.0) return;
+  // Constant per-word error probability: block-draw one uniform per word
+  // and scan for the first hit; rewinding to a pre-block snapshot keeps the
+  // consumed draw sequence identical to the scalar loop.
+  constexpr size_t kBlock = 64;
+  double uniforms[kBlock];
+  size_t w = 0;
+  while (w < count) {
+    const size_t block = std::min(count - w, kBlock);
+    const Rng snapshot = rng;
+    rng.FillUniformDoubles(uniforms, block);
+    size_t hit = block;
+    for (size_t k = 0; k < block; ++k) {
+      if (uniforms[k] < word_error_prob_) {
+        hit = k;
+        break;
+      }
+    }
+    if (hit == block) {
+      w += block;
+      continue;
+    }
+    rng = snapshot;
+    for (size_t r = 0; r <= hit; ++r) rng.UniformDouble();
+    outcomes[w + hit].stored = SampleCorruptedStored(intended[w + hit], rng);
+    w += hit + 1;
+  }
 }
 
 PreciseSpintronicWriteModel::PreciseSpintronicWriteModel(

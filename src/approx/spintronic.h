@@ -48,6 +48,11 @@ class SpintronicWriteModel final : public WriteModel {
   explicit SpintronicWriteModel(const SpintronicConfig& config);
 
   WordWriteOutcome Write(uint32_t intended, Rng& rng) override;
+  /// Batched writes: the per-word error uniforms are drawn in blocks (one
+  /// RNG refill per block, identical draw sequence to the scalar loop);
+  /// corrupted words fall back to the per-bit conditional sampler.
+  void WriteBatch(const uint32_t* intended, size_t count, Rng& rng,
+                  WordWriteOutcome* outcomes) override;
   double ReadCost() const override { return config_.read_energy; }
   std::string_view CostUnit() const override { return "energy"; }
   bool IsPrecise() const override { return false; }
@@ -55,6 +60,10 @@ class SpintronicWriteModel final : public WriteModel {
   const SpintronicConfig& config() const { return config_; }
 
  private:
+  /// Samples the stored value given that at least one of the 32 bits flips
+  /// (the uniform that decided "this word errs" is already consumed).
+  uint32_t SampleCorruptedStored(uint32_t intended, Rng& rng) const;
+
   SpintronicConfig config_;
   double word_error_prob_;  // 1 - (1-p)^32, precomputed.
 };

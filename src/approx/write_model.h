@@ -7,6 +7,7 @@
 #ifndef APPROXMEM_APPROX_WRITE_MODEL_H_
 #define APPROXMEM_APPROX_WRITE_MODEL_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <string_view>
 
@@ -33,6 +34,17 @@ class WriteModel {
 
   /// Performs one word write of `intended`; may corrupt the stored value.
   virtual WordWriteOutcome Write(uint32_t intended, Rng& rng) = 0;
+
+  /// Performs `count` word writes, filling `outcomes[0, count)`. The
+  /// contract is bit-exactness: the outcomes and the final `rng` state are
+  /// identical to calling Write() per word, in order, on the same stream.
+  /// The default does exactly that; hot models override it with batched
+  /// kernels (block uniform draws, table-driven cost sums) that preserve
+  /// the per-word draw sequence.
+  virtual void WriteBatch(const uint32_t* intended, size_t count, Rng& rng,
+                          WordWriteOutcome* outcomes) {
+    for (size_t i = 0; i < count; ++i) outcomes[i] = Write(intended[i], rng);
+  }
 
   /// Cost of one word read in the model's unit.
   virtual double ReadCost() const = 0;

@@ -89,6 +89,10 @@ double Rng::Normal(double mean, double stddev) {
 
 Rng Rng::Split() { return Rng(Next64()); }
 
+void Rng::FillUniformDoubles(double* out, size_t count) {
+  for (size_t i = 0; i < count; ++i) out[i] = UniformDouble();
+}
+
 std::vector<uint32_t> UniformKeys(size_t n, Rng& rng) {
   std::vector<uint32_t> keys(n);
   for (auto& k : keys) k = rng.NextU32();

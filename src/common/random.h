@@ -58,6 +58,11 @@ class Rng {
   /// subsystem its own stream while keeping a single experiment seed.
   Rng Split();
 
+  /// Fills `out[0, count)` with UniformDouble() draws, in order. The stream
+  /// advances exactly `count` draws — batched refills are interchangeable
+  /// with per-draw calls.
+  void FillUniformDoubles(double* out, size_t count);
+
  private:
   uint64_t state_[4];
   double cached_normal_ = 0.0;

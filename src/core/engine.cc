@@ -28,11 +28,26 @@ approx::ApproxMemory::Options ToMemoryOptions(const EngineOptions& options) {
 ApproxSortEngine::ApproxSortEngine(const EngineOptions& options)
     : options_(options), memory_(ToMemoryOptions(options)) {}
 
+sort::SortTuning ApproxSortEngine::SortTuningForRuns() {
+  sort::SortTuning tuning;
+  tuning.lsd_sqrt_arena = options_.lsd_sqrt_arena;
+  if (options_.sort_pool != nullptr) {
+    tuning.pool = options_.sort_pool;
+  } else if (options_.sort_threads != 1) {
+    if (owned_sort_pool_ == nullptr) {
+      owned_sort_pool_ = std::make_unique<ThreadPool>(options_.sort_threads);
+    }
+    tuning.pool = owned_sort_pool_.get();
+  }
+  return tuning;
+}
+
 StatusOr<ApproxOnlyResult> ApproxSortEngine::SortOnlyImpl(
     const std::vector<uint32_t>& keys, const sort::AlgorithmId& algorithm,
     const refine::ArrayAlloc& approx_alloc,
     const refine::ArrayAlloc& precise_alloc, std::vector<uint32_t>* output) {
   ApproxOnlyResult result;
+  const sort::SortTuning tuning = SortTuningForRuns();
 
   // Approximate run. The input already resides in approximate memory in the
   // Section 3 setup, so loading it is not part of the measured cost.
@@ -49,6 +64,7 @@ StatusOr<ApproxOnlyResult> ApproxSortEngine::SortOnlyImpl(
       buffer.SetStatsSink(&scratch_stats);
       return buffer;
     };
+    spec.tuning = tuning;
     Rng rng(options_.seed ^ 0x5047ULL);
     const Status status = sort::RunSort(spec, algorithm, rng);
     if (!status.ok()) return status;
@@ -62,7 +78,8 @@ StatusOr<ApproxOnlyResult> ApproxSortEngine::SortOnlyImpl(
     StatusOr<refine::PreciseBaselineReport> baseline =
         refine::PreciseSortBaseline(keys, algorithm, precise_alloc,
                                     options_.seed ^ 0x5047ULL,
-                                    /*with_ids=*/false);
+                                    /*with_ids=*/false,
+                                    /*sorted_keys=*/nullptr, tuning);
     if (!baseline.ok()) return baseline.status();
     result.precise_stats = baseline->keys + baseline->ids;
   }
@@ -99,6 +116,7 @@ StatusOr<RefineOutcome> ApproxSortEngine::RefineImpl(
   refine_options.approx_alloc = approx_alloc;
   refine_options.precise_alloc = precise_alloc;
   refine_options.sort_seed = options_.seed ^ 0x4e414cULL;
+  refine_options.tuning = SortTuningForRuns();
   StatusOr<refine::RefineReport> report = refine::ApproxRefineSort(
       keys, refine_options, final_keys, final_ids);
   if (!report.ok()) return report.status();
@@ -107,7 +125,9 @@ StatusOr<RefineOutcome> ApproxSortEngine::RefineImpl(
   StatusOr<refine::PreciseBaselineReport> baseline =
       refine::PreciseSortBaseline(keys, algorithm, precise_alloc,
                                   refine_options.sort_seed,
-                                  /*with_ids=*/true);
+                                  /*with_ids=*/true,
+                                  /*sorted_keys=*/nullptr,
+                                  refine_options.tuning);
   if (!baseline.ok()) return baseline.status();
   outcome.baseline = std::move(baseline.value());
 

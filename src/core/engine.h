@@ -20,11 +20,13 @@
 #define APPROXMEM_CORE_ENGINE_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "approx/approx_memory.h"
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "refine/approx_refine.h"
 #include "sort/sort_common.h"
 #include "sortedness/measures.h"
@@ -58,6 +60,16 @@ struct EngineOptions {
   /// region quarantine (see approx/health_monitor.h). Off by default so
   /// unmonitored experiments keep their exact RNG stream assignment.
   approx::HealthOptions health;
+  /// Intra-sort parallelism: worker threads for the striped radix passes
+  /// (1 = serial). Output, write counts, and cost ledgers are identical at
+  /// any setting — only wall-clock changes. <= 0 means hardware
+  /// concurrency.
+  int sort_threads = 1;
+  /// Optional externally owned pool for the intra-sort passes; overrides
+  /// sort_threads when set (the engine then spawns no threads). Not owned.
+  ThreadPool* sort_pool = nullptr;
+  /// Use the Radsort-style O(sqrt n) recycled chunk arena for LSD radix.
+  bool lsd_sqrt_arena = false;
 };
 
 /// Result of sorting in approximate memory only (no precise output).
@@ -118,6 +130,12 @@ class ApproxSortEngine {
   approx::ApproxMemory& memory() { return memory_; }
   const EngineOptions& options() const { return options_; }
 
+  /// The tuning handed to every sort this engine runs: resolves sort_pool /
+  /// sort_threads (lazily spawning an owned pool on first use when
+  /// sort_threads != 1 and no external pool was given) and the LSD arena
+  /// mode.
+  sort::SortTuning SortTuningForRuns();
+
  private:
   StatusOr<ApproxOnlyResult> SortOnlyImpl(
       const std::vector<uint32_t>& keys, const sort::AlgorithmId& algorithm,
@@ -135,6 +153,8 @@ class ApproxSortEngine {
 
   EngineOptions options_;
   approx::ApproxMemory memory_;
+  /// Lazily created when sort_threads != 1 and no sort_pool was provided.
+  std::unique_ptr<ThreadPool> owned_sort_pool_;
 };
 
 }  // namespace approxmem::core

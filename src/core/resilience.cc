@@ -122,6 +122,7 @@ StatusOr<ResilienceReport> SortResilient(
                 return memory.NewApproxArray(n, attempt_t);
               });
     ro.sort_seed = sort_seed;
+    ro.tuning = engine.SortTuningForRuns();
 
     refine::ApproxStageState state;
     Status status = refine::RunApproxStage(keys, ro, &state);

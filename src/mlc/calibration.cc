@@ -9,6 +9,7 @@
 #include "common/check.h"
 #include "common/thread_pool.h"
 #include "mlc/cell.h"
+#include "mlc/word_codec.h"
 
 namespace approxmem::mlc {
 namespace {
@@ -263,6 +264,110 @@ StatusOr<CellCalibration> CellCalibration::Deserialize(std::FILE* in) {
   // Eat the trailing newline so the next record starts clean.
   std::fscanf(in, "\n");
   return calib;
+}
+
+BatchErrorSampler::BatchErrorSampler(const CellCalibration& calibration)
+    : config_(calibration.config()) {
+  const int levels = config_.levels;
+  stay_prob_.resize(static_cast<size_t>(levels));
+  avg_pv_.resize(static_cast<size_t>(levels));
+  for (int l = 0; l < levels; ++l) {
+    stay_prob_[static_cast<size_t>(l)] =
+        1.0 - calibration.ErrorProbForLevel(l);
+    avg_pv_[static_cast<size_t>(l)] = calibration.AvgPvForLevel(l);
+  }
+  fast_layout_ = config_.BitsPerCell() == 2 && config_.CellsPerWord() == 16;
+  if (fast_layout_) {
+    pv_byte_.resize(256);
+    stay_byte_.resize(256);
+    for (int b = 0; b < 256; ++b) {
+      // Accumulate the byte's four 2-bit levels in cell order (MSB-first),
+      // matching the order StatsFor folds bytes in, so the full-word sums
+      // and products are evaluated left to right over all 16 cells.
+      double pv = 0.0;
+      double stay = 1.0;
+      for (int c = 0; c < 4; ++c) {
+        const size_t level = static_cast<size_t>((b >> (6 - 2 * c)) & 0x3);
+        pv += avg_pv_[level];
+        stay *= stay_prob_[level];
+      }
+      pv_byte_[static_cast<size_t>(b)] = pv;
+      stay_byte_[static_cast<size_t>(b)] = stay;
+    }
+  }
+}
+
+BatchErrorSampler::WordStats BatchErrorSampler::StatsFor(
+    uint32_t word) const {
+  WordStats stats;
+  StatsForWords(&word, 1, &stats);
+  return stats;
+}
+
+void BatchErrorSampler::StatsForWords(const uint32_t* words, size_t count,
+                                      WordStats* out) const {
+  if (fast_layout_) {
+    for (size_t w = 0; w < count; ++w) {
+      const uint32_t word = words[w];
+      const size_t b0 = (word >> 24) & 0xffu;
+      const size_t b1 = (word >> 16) & 0xffu;
+      const size_t b2 = (word >> 8) & 0xffu;
+      const size_t b3 = word & 0xffu;
+      out[w].pv_sum = ((pv_byte_[b0] + pv_byte_[b1]) + pv_byte_[b2]) +
+                      pv_byte_[b3];
+      out[w].no_error = ((stay_byte_[b0] * stay_byte_[b1]) * stay_byte_[b2]) *
+                        stay_byte_[b3];
+    }
+    return;
+  }
+  const int cells = config_.CellsPerWord();
+  constexpr size_t kChunkWords = 32;
+  uint8_t levels[kChunkWords * static_cast<size_t>(kMaxCellsPerWord)];
+  for (size_t done = 0; done < count; done += kChunkWords) {
+    const size_t chunk = std::min(count - done, kChunkWords);
+    EncodeWords(words + done, chunk, config_, levels);
+    for (size_t w = 0; w < chunk; ++w) {
+      const uint8_t* cell_levels = levels + w * static_cast<size_t>(cells);
+      double pv = 0.0;
+      double stay = 1.0;
+      for (int c = 0; c < cells; ++c) {
+        const size_t level = cell_levels[c];
+        pv += avg_pv_[level];
+        stay *= stay_prob_[level];
+      }
+      out[done + w].pv_sum = pv;
+      out[done + w].no_error = stay;
+    }
+  }
+}
+
+size_t BatchErrorSampler::FirstCorrupted(const double* word_error,
+                                         size_t count, Rng& rng) {
+  constexpr size_t kBlock = 64;
+  double uniforms[kBlock];
+  size_t drawing[kBlock];
+  size_t scan = 0;
+  while (scan < count) {
+    // Collect the next block of words that actually draw.
+    size_t m = 0;
+    while (scan < count && m < kBlock) {
+      if (word_error[scan] > 0.0) drawing[m++] = scan;
+      ++scan;
+    }
+    if (m == 0) return count;
+    const Rng snapshot = rng;  // Rng is trivially copyable by design.
+    rng.FillUniformDoubles(uniforms, m);
+    for (size_t k = 0; k < m; ++k) {
+      if (uniforms[k] < word_error[drawing[k]]) {
+        // Rewind and replay exactly k+1 draws so the stream sits where the
+        // per-word loop would leave it after this word's uniform.
+        rng = snapshot;
+        for (size_t r = 0; r <= k; ++r) rng.UniformDouble();
+        return drawing[k];
+      }
+    }
+  }
+  return count;
 }
 
 CalibrationCache::CalibrationCache(MlcConfig base_config,

@@ -99,6 +99,58 @@ class CellCalibration {
   std::vector<double> pv_cdf_;
 };
 
+/// Batched fast-path word statistics derived from one CellCalibration: the
+/// per-word expected #P sum and no-error probability that the fast PCM
+/// write model needs for every written word, plus a block-uniform scan for
+/// the first erring word of a batch.
+///
+/// For the paper's 16x2-bit layout the per-cell tables are folded into
+/// 256-entry per-byte partials (4 table lookups per word instead of 16 cell
+/// loops); other layouts fall back to the batched codec plus a per-cell
+/// loop. Both paths accumulate in a fixed order, so batch results are
+/// bit-identical to calling StatsFor word by word.
+class BatchErrorSampler {
+ public:
+  explicit BatchErrorSampler(const CellCalibration& calibration);
+
+  struct WordStats {
+    double pv_sum = 0.0;    // Expected #P summed over the word's cells.
+    double no_error = 1.0;  // Probability every cell reads back correct.
+  };
+
+  /// Stats for one word.
+  WordStats StatsFor(uint32_t word) const;
+
+  /// Stats for `count` words at once (vectorizable table-lookup kernel on
+  /// the 16x2-bit fast layout).
+  void StatsForWords(const uint32_t* words, size_t count,
+                     WordStats* out) const;
+
+  bool fast_layout() const { return fast_layout_; }
+
+  /// Scans `word_error[0, count)` for the first word whose uniform draw
+  /// lands below its error probability. Words with word_error <= 0 draw
+  /// nothing; each drawing word consumes exactly one UniformDouble, pulled
+  /// from the stream in blocks (one RNG refill per block) but replayed so
+  /// the consumed sequence is identical to the per-word loop. Returns the
+  /// erring index with the stream positioned just past that word's draw, or
+  /// `count` with every drawing word's uniform consumed.
+  static size_t FirstCorrupted(const double* word_error, size_t count,
+                               Rng& rng);
+
+ private:
+  MlcConfig config_;
+  bool fast_layout_ = false;
+  // Per-level tables (any layout).
+  std::vector<double> stay_prob_;
+  std::vector<double> avg_pv_;
+  // Per-byte partials for the 16x2-bit layout: sum of avg #P / product of
+  // stay probabilities over the byte's four 2-bit levels, accumulated in
+  // cell order.
+  std::vector<double> pv_byte_;
+  std::vector<double> stay_byte_;
+};
+
 /// Lazily calibrates and caches per-T calibrations for a fixed base config.
 /// Keys are the exact T bit patterns, so sweeps over a T grid reuse entries.
 ///

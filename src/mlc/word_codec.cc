@@ -7,35 +7,76 @@
 namespace approxmem::mlc {
 
 WordLevels EncodeWord(uint32_t word, const MlcConfig& config) {
-  const int bits = config.BitsPerCell();
-  const int cells = config.CellsPerWord();
-  const uint32_t mask = (bits == 32) ? ~0u : ((1u << bits) - 1u);
   WordLevels levels{};
-  for (int c = 0; c < cells; ++c) {
-    const int shift = (cells - 1 - c) * bits;
-    levels[static_cast<size_t>(c)] =
-        static_cast<uint8_t>((word >> shift) & mask);
-  }
+  EncodeWords(&word, 1, config, levels.data());
   return levels;
 }
 
 uint32_t DecodeWord(const WordLevels& levels, const MlcConfig& config) {
+  uint32_t word = 0;
+  DecodeWords(levels.data(), 1, config, &word);
+  return word;
+}
+
+void EncodeWords(const uint32_t* words, size_t count, const MlcConfig& config,
+                 uint8_t* levels_out) {
   const int bits = config.BitsPerCell();
   const int cells = config.CellsPerWord();
-  uint32_t word = 0;
-  for (int c = 0; c < cells; ++c) {
-    word = (word << bits) | levels[static_cast<size_t>(c)];
+  if (bits == 2 && cells == 16) {
+    // The paper's 2-bit MLC layout: flat, fully unrollable 16-lane kernel.
+    for (size_t w = 0; w < count; ++w) {
+      const uint32_t word = words[w];
+      uint8_t* out = levels_out + w * 16;
+      for (int c = 0; c < 16; ++c) {
+        out[c] = static_cast<uint8_t>((word >> (30 - 2 * c)) & 0x3u);
+      }
+    }
+    return;
   }
-  return word;
+  const uint32_t mask = (bits == 32) ? ~0u : ((1u << bits) - 1u);
+  for (size_t w = 0; w < count; ++w) {
+    const uint32_t word = words[w];
+    uint8_t* out = levels_out + w * static_cast<size_t>(cells);
+    for (int c = 0; c < cells; ++c) {
+      out[c] = static_cast<uint8_t>((word >> ((cells - 1 - c) * bits)) & mask);
+    }
+  }
+}
+
+void DecodeWords(const uint8_t* levels, size_t count, const MlcConfig& config,
+                 uint32_t* words_out) {
+  const int bits = config.BitsPerCell();
+  const int cells = config.CellsPerWord();
+  if (bits == 2 && cells == 16) {
+    for (size_t w = 0; w < count; ++w) {
+      const uint8_t* in = levels + w * 16;
+      uint32_t word = 0;
+      for (int c = 0; c < 16; ++c) {
+        word |= static_cast<uint32_t>(in[c] & 0x3u) << (30 - 2 * c);
+      }
+      words_out[w] = word;
+    }
+    return;
+  }
+  for (size_t w = 0; w < count; ++w) {
+    const uint8_t* in = levels + w * static_cast<size_t>(cells);
+    uint32_t word = 0;
+    for (int c = 0; c < cells; ++c) {
+      word = (word << bits) | in[c];
+    }
+    words_out[w] = word;
+  }
 }
 
 uint32_t CellFlipMagnitude(uint32_t word, int cell_index, int new_level,
                            const MlcConfig& config) {
   APPROXMEM_CHECK(cell_index >= 0 && cell_index < config.CellsPerWord());
   APPROXMEM_CHECK(new_level >= 0 && new_level < config.levels);
-  WordLevels levels = EncodeWord(word, config);
+  WordLevels levels{};
+  EncodeWords(&word, 1, config, levels.data());
   levels[static_cast<size_t>(cell_index)] = static_cast<uint8_t>(new_level);
-  const uint32_t flipped = DecodeWord(levels, config);
+  uint32_t flipped = 0;
+  DecodeWords(levels.data(), 1, config, &flipped);
   return flipped > word ? flipped - word : word - flipped;
 }
 

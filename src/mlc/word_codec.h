@@ -8,6 +8,7 @@
 #define APPROXMEM_MLC_WORD_CODEC_H_
 
 #include <array>
+#include <cstddef>
 #include <cstdint>
 
 #include "mlc/mlc_config.h"
@@ -26,6 +27,20 @@ WordLevels EncodeWord(uint32_t word, const MlcConfig& config);
 
 /// Reassembles a 32-bit word from per-cell levels (inverse of EncodeWord).
 uint32_t DecodeWord(const WordLevels& levels, const MlcConfig& config);
+
+/// Batched codec over spans: encodes `count` words into
+/// `levels_out[0, count * config.CellsPerWord())`, word-major, each word
+/// laid out exactly as EncodeWord would produce it (most significant cell
+/// first). The per-word scalar loop is replaced by flat shift/mask kernels
+/// the compiler can vectorize, with a fast path for the paper's 16x2-bit
+/// MLC layout.
+void EncodeWords(const uint32_t* words, size_t count, const MlcConfig& config,
+                 uint8_t* levels_out);
+
+/// Inverse of EncodeWords: decodes `count` words from the word-major level
+/// span (bit-identical to per-word DecodeWord).
+void DecodeWords(const uint8_t* levels, size_t count, const MlcConfig& config,
+                 uint32_t* words_out);
 
 /// Returns the absolute value change caused by replacing the level of
 /// `cell_index` with `new_level` in `word`. Used by tests to reason about

@@ -177,6 +177,7 @@ Status RunApproxStage(const std::vector<uint32_t>& keys,
                                      &report.sort_approx);
     spec.alloc_id_buffer = WithSink(options.precise_alloc,
                                     &report.sort_precise);
+    spec.tuning = options.tuning;
     sort_status = sort::RunSort(spec, options.algorithm, state->sort_rng);
   }
   // Accumulate before propagating any error: an aborted sort's traffic must
@@ -291,6 +292,7 @@ Status RunRefineStage(ApproxStageState& state, const RefineOptions& options,
                                      &report->refine_precise);
     spec.alloc_id_buffer = WithSink(options.precise_alloc,
                                     &report->refine_precise);
+    spec.tuning = options.tuning;
     const Status status = sort::RunSort(spec, options.algorithm, sort_rng);
     if (!status.ok()) {
       // Close the ledger before propagating: the aborted attempt's costs
@@ -401,7 +403,7 @@ StatusOr<RefineReport> ApproxRefineSort(const std::vector<uint32_t>& keys,
 StatusOr<PreciseBaselineReport> PreciseSortBaseline(
     const std::vector<uint32_t>& keys, const sort::AlgorithmId& algorithm,
     const ArrayAlloc& precise_alloc, uint64_t sort_seed, bool with_ids,
-    std::vector<uint32_t>* sorted_keys) {
+    std::vector<uint32_t>* sorted_keys, const sort::SortTuning& tuning) {
   if (!precise_alloc) {
     return Status::InvalidArgument("precise_alloc must be set");
   }
@@ -426,6 +428,7 @@ StatusOr<PreciseBaselineReport> PreciseSortBaseline(
     spec.ids = with_ids ? &id_array : nullptr;
     spec.alloc_key_buffer = WithSink(precise_alloc, &key_scratch);
     spec.alloc_id_buffer = WithSink(precise_alloc, &id_scratch);
+    spec.tuning = tuning;
     Rng rng(sort_seed);
     const Status status = sort::RunSort(spec, algorithm, rng);
     if (!status.ok()) return status;

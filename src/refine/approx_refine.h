@@ -56,6 +56,9 @@ struct RefineOptions {
   /// When true, compute the exact Rem / sortedness of the approx-stage
   /// output (costs an LIS pass; off for large sweeps if undesired).
   bool measure_approx_sortedness = true;
+  /// Intra-sort execution tuning (worker pool, LSD arena mode), applied to
+  /// every sort the pipeline runs. Never changes results — see SortTuning.
+  sort::SortTuning tuning;
 };
 
 /// How the final <Key, ID> output violated the exactly-sorted contract.
@@ -220,7 +223,8 @@ struct PreciseBaselineReport {
 StatusOr<PreciseBaselineReport> PreciseSortBaseline(
     const std::vector<uint32_t>& keys, const sort::AlgorithmId& algorithm,
     const ArrayAlloc& precise_alloc, uint64_t sort_seed, bool with_ids = true,
-    std::vector<uint32_t>* sorted_keys = nullptr);
+    std::vector<uint32_t>* sorted_keys = nullptr,
+    const sort::SortTuning& tuning = {});
 
 /// Write reduction of approx-refine relative to the precise baseline
 /// (Equation 2): 1 - TMWL(approx-refine) / TMWL(precise).

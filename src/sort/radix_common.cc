@@ -1,8 +1,30 @@
 #include "sort/radix_common.h"
 
+#include <algorithm>
+
 #include "common/check.h"
+#include "common/thread_pool.h"
 
 namespace approxmem::sort {
+
+StripePlan StripePlan::ForN(size_t n) {
+  StripePlan plan;
+  plan.n = n;
+  plan.count =
+      std::clamp<size_t>(n / kMinStripeElements, 1, kMaxStripes);
+  return plan;
+}
+
+size_t LsdArenaCapacity(size_t n) { return n; }
+
+void RunStripes(ThreadPool* pool, bool concurrent_ok, size_t count,
+                const std::function<void(size_t)>& fn) {
+  if (pool != nullptr && concurrent_ok && count > 1) {
+    pool->ParallelFor(0, count, fn);
+  } else {
+    for (size_t s = 0; s < count; ++s) fn(s);
+  }
+}
 
 RadixPlan RadixPlan::ForBits(int bits) {
   APPROXMEM_CHECK(bits >= 1 && bits <= 16);

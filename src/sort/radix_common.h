@@ -4,11 +4,16 @@
 #define APPROXMEM_SORT_RADIX_COMMON_H_
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "approx/approx_array.h"
 #include "common/status.h"
 #include "sort/sort_common.h"
+
+namespace approxmem {
+class ThreadPool;
+}
 
 namespace approxmem::sort {
 
@@ -25,6 +30,38 @@ struct RadixPlan {
   /// Right-shift amount of the most significant digit.
   int TopShift() const { return bits * (passes - 1); }
 };
+
+/// Fixed decomposition of [0, n) into contiguous stripes for the parallel
+/// radix passes. The stripe count is a function of n alone — never of the
+/// thread count — so per-stripe RNG substreams, digit histograms, and
+/// scatter windows are identical no matter how stripes are scheduled.
+struct StripePlan {
+  size_t n = 0;
+  size_t count = 1;
+
+  /// Stripes hold at least this many elements (tiny inputs stay serial);
+  /// the count is capped so per-stripe state stays small.
+  static constexpr size_t kMinStripeElements = 2048;
+  static constexpr size_t kMaxStripes = 64;
+
+  static StripePlan ForN(size_t n);
+  size_t Begin(size_t stripe) const { return stripe * n / count; }
+  size_t End(size_t stripe) const { return (stripe + 1) * n / count; }
+};
+
+/// Arena words needed by one LSD scatter pass over `n` elements: the
+/// per-(bucket, stripe) windows tile [0, n) exactly, so both the key and
+/// the id arena need exactly n words. (The legacy chunked free-list layout
+/// rounded up to `buckets` extra chunks, and allocated the same slack a
+/// second time for the id arena.)
+size_t LsdArenaCapacity(size_t n);
+
+/// Runs fn(stripe) for stripes [0, count): concurrently on `pool` when
+/// `concurrent_ok` and a multi-thread pool is given, serially in stripe
+/// order otherwise. Callers decompose the work so both schedules give
+/// bit-identical results.
+void RunStripes(ThreadPool* pool, bool concurrent_ok, size_t count,
+                const std::function<void(size_t)>& fn);
 
 /// Queue-bucket storage backed by instrumented scratch arrays.
 ///

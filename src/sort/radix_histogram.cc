@@ -1,8 +1,11 @@
 #include "sort/radix_histogram.h"
 
+#include <algorithm>
 #include <utility>
 #include <vector>
 
+#include "common/check.h"
+#include "common/thread_pool.h"
 #include "sort/quicksort.h"
 #include "sort/radix_common.h"
 
@@ -91,23 +94,123 @@ Status LsdHistogramSort(SortSpec& spec, const HistogramRadixOptions& options) {
   if (n < 2) return Status::Ok();
 
   const RadixPlan plan = RadixPlan::ForBits(options.bits);
+  const StripePlan stripes = StripePlan::ForN(n);
+  const size_t num_stripes = stripes.count;
+  const uint32_t buckets = plan.buckets;
+  const bool with_ids = spec.ids != nullptr;
+
   approx::ApproxArrayU32 scratch_keys = spec.alloc_key_buffer(n);
   approx::ApproxArrayU32 scratch_ids_storage =
-      spec.ids != nullptr ? spec.alloc_id_buffer(n)
-                          : approx::ApproxArrayU32(0, nullptr, Rng(0));
+      with_ids ? spec.alloc_id_buffer(n)
+               : approx::ApproxArrayU32(0, nullptr, Rng(0));
   Buffers primary{spec.keys, spec.ids};
-  Buffers scratch{&scratch_keys,
-                  spec.ids != nullptr ? &scratch_ids_storage : nullptr};
+  Buffers scratch{&scratch_keys, with_ids ? &scratch_ids_storage : nullptr};
+
+  ThreadPool* pool = options.pool;
+  const bool concurrent =
+      pool != nullptr && pool->thread_count() > 1 && num_stripes > 1 &&
+      spec.keys->ConcurrentShardSafe() && scratch_keys.ConcurrentShardSafe() &&
+      (!with_ids || (spec.ids->ConcurrentShardSafe() &&
+                     scratch_ids_storage.ConcurrentShardSafe()));
+
+  // DRAM-side stash, histograms, and windows (histogram bookkeeping, not
+  // simulated accesses).
+  std::vector<uint32_t> stash_keys(n);
+  std::vector<uint32_t> stash_ids(with_ids ? n : 0);
+  std::vector<size_t> hist(num_stripes * buckets);
+  std::vector<size_t> window(num_stripes * buckets);
 
   Buffers src = primary;
   Buffers dst = scratch;
   for (int pass = 0; pass < plan.passes; ++pass) {
     const int shift = plan.bits * pass;
-    const std::vector<size_t> counts = CountDigits(src, 0, n, shift, plan);
-    Scatter(src, dst, 0, n, shift, plan, counts, nullptr);
+    std::fill(hist.begin(), hist.end(), 0);
+
+    auto src_key_shards = src.keys->MakeShards(num_stripes);
+    auto dst_key_shards = dst.keys->MakeShards(num_stripes);
+    auto src_id_shards = with_ids
+                             ? src.ids->MakeShards(num_stripes)
+                             : std::vector<approx::ApproxArrayU32::Shard>{};
+    auto dst_id_shards = with_ids
+                             ? dst.ids->MakeShards(num_stripes)
+                             : std::vector<approx::ApproxArrayU32::Shard>{};
+
+    // Count + stash: one read per array element; the digit used below is
+    // fixed by this read, so the scatter cannot diverge from the counts.
+    RunStripes(pool, concurrent, num_stripes, [&](size_t s) {
+      size_t* h = hist.data() + s * buckets;
+      for (size_t i = stripes.Begin(s), end = stripes.End(s); i < end; ++i) {
+        const uint32_t key = src_key_shards[s].Get(i);
+        stash_keys[i] = key;
+        if (with_ids) stash_ids[i] = src_id_shards[s].Get(i);
+        ++h[(key >> shift) & plan.mask];
+      }
+    });
+
+    // Bucket-major prefix sum into disjoint per-(bucket, stripe) windows.
+    size_t total = 0;
+    for (uint32_t b = 0; b < buckets; ++b) {
+      for (size_t s = 0; s < num_stripes; ++s) {
+        window[b * num_stripes + s] = total;
+        total += hist[s * buckets + b];
+      }
+    }
+    APPROXMEM_CHECK(total == n);
+
+    // Scatter straight to the final slot: exactly one write per element.
+    RunStripes(pool, concurrent, num_stripes, [&](size_t s) {
+      std::vector<size_t> cursors(buckets);
+      for (uint32_t b = 0; b < buckets; ++b) {
+        cursors[b] = window[b * num_stripes + s];
+      }
+      for (size_t i = stripes.Begin(s), end = stripes.End(s); i < end; ++i) {
+        const uint32_t digit = (stash_keys[i] >> shift) & plan.mask;
+        const size_t pos = cursors[digit]++;
+        dst_key_shards[s].Set(pos, stash_keys[i]);
+        if (with_ids) dst_id_shards[s].Set(pos, stash_ids[i]);
+      }
+    });
+
+    src.keys->MergeShards(src_key_shards);
+    dst.keys->MergeShards(dst_key_shards);
+    if (with_ids) {
+      src.ids->MergeShards(src_id_shards);
+      dst.ids->MergeShards(dst_id_shards);
+    }
     std::swap(src, dst);
   }
-  if (src.keys != primary.keys) CopyRange(src, primary, 0, n);
+
+  if (src.keys != primary.keys) {
+    // Odd pass count: parity copy back, contiguous blocks per stripe.
+    auto src_key_shards = src.keys->MakeShards(num_stripes);
+    auto dst_key_shards = primary.keys->MakeShards(num_stripes);
+    auto src_id_shards = with_ids
+                             ? src.ids->MakeShards(num_stripes)
+                             : std::vector<approx::ApproxArrayU32::Shard>{};
+    auto dst_id_shards = with_ids
+                             ? primary.ids->MakeShards(num_stripes)
+                             : std::vector<approx::ApproxArrayU32::Shard>{};
+    RunStripes(pool, concurrent, num_stripes, [&](size_t s) {
+      constexpr size_t kBlock = 64;
+      uint32_t buf[kBlock];
+      for (size_t i = stripes.Begin(s), end = stripes.End(s); i < end;) {
+        const size_t m = std::min(kBlock, end - i);
+        src_key_shards[s].GetRange(i, buf, m);
+        dst_key_shards[s].SetRange(i, buf, m);
+        if (with_ids) {
+          src_id_shards[s].GetRange(i, buf, m);
+          dst_id_shards[s].SetRange(i, buf, m);
+        }
+        i += m;
+      }
+    });
+    src.keys->MergeShards(src_key_shards);
+    primary.keys->MergeShards(dst_key_shards);
+    if (with_ids) {
+      src.ids->MergeShards(src_id_shards);
+      primary.ids->MergeShards(dst_id_shards);
+    }
+  }
   return Status::Ok();
 }
 

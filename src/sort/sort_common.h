@@ -17,10 +17,26 @@
 #include "common/random.h"
 #include "common/status.h"
 
+namespace approxmem {
+class ThreadPool;
+}
+
 namespace approxmem::sort {
 
 /// Allocates a scratch array of `n` words in some precision domain.
 using ArrayAlloc = std::function<approx::ApproxArrayU32(size_t)>;
+
+/// Execution tuning shared by every algorithm that supports it. Tuning
+/// never changes *what* is computed: the striped radix passes fix their
+/// work decomposition by input size alone, so output, write counts, and
+/// cost ledgers are identical at any thread count.
+struct SortTuning {
+  /// Worker pool for the intra-sort parallel passes (null means serial).
+  ThreadPool* pool = nullptr;
+  /// Use the Radsort-style O(sqrt n) recycled chunk arena for LSD radix
+  /// (identical simulated access counts; smaller scratch footprint).
+  bool lsd_sqrt_arena = false;
+};
 
 /// The arrays an algorithm sorts plus where its scratch may live.
 ///
@@ -34,6 +50,7 @@ struct SortSpec {
   approx::ApproxArrayU32* ids = nullptr;
   ArrayAlloc alloc_key_buffer;
   ArrayAlloc alloc_id_buffer;
+  SortTuning tuning;
 };
 
 /// Families of sorting algorithms studied by the paper.

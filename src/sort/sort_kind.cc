@@ -92,6 +92,10 @@ Status RunSort(SortSpec& spec, const AlgorithmId& algorithm, Rng& rng) {
     case SortKind::kLsdRadix: {
       LsdRadixOptions options;
       options.bits = algorithm.radix_bits;
+      options.pool = spec.tuning.pool;
+      if (spec.tuning.lsd_sqrt_arena) {
+        options.arena_mode = LsdArenaMode::kSqrtChunks;
+      }
       return LsdRadixSort(spec, options);
     }
     case SortKind::kMsdRadix: {
@@ -102,6 +106,7 @@ Status RunSort(SortSpec& spec, const AlgorithmId& algorithm, Rng& rng) {
     case SortKind::kLsdHistogram: {
       HistogramRadixOptions options;
       options.bits = algorithm.radix_bits;
+      options.pool = spec.tuning.pool;
       return LsdHistogramSort(spec, options);
     }
     case SortKind::kMsdHistogram: {

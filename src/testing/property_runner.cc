@@ -63,6 +63,13 @@ OracleCase MakeRandomCase(const RunnerOptions& options, uint64_t index) {
       options.t_labels[rng.UniformInt(options.t_labels.size())];
   oracle_case.algorithm = algorithms[rng.UniformInt(algorithms.size())];
   oracle_case.shape = shapes[rng.UniformInt(shapes.size())];
+  if (!options.sort_thread_pool.empty()) {
+    oracle_case.sort_threads = options.sort_thread_pool[rng.UniformInt(
+        options.sort_thread_pool.size())];
+  }
+  if (options.randomize_lsd_sqrt_arena) {
+    oracle_case.lsd_sqrt_arena = rng.UniformInt(2) == 1;
+  }
   return oracle_case;
 }
 

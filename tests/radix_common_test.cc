@@ -48,6 +48,41 @@ TEST(RadixPlanTest, DigitsReassembleKey) {
   }
 }
 
+TEST(StripePlanTest, TilesTheIndexSpaceExactly) {
+  for (const size_t n : {0u, 1u, 100u, 2047u, 2048u, 4096u, 8193u,
+                         1000000u}) {
+    const StripePlan plan = StripePlan::ForN(n);
+    ASSERT_GE(plan.count, 1u) << "n=" << n;
+    ASSERT_LE(plan.count, StripePlan::kMaxStripes) << "n=" << n;
+    EXPECT_EQ(plan.Begin(0), 0u) << "n=" << n;
+    EXPECT_EQ(plan.End(plan.count - 1), n) << "n=" << n;
+    size_t covered = 0;
+    for (size_t s = 0; s < plan.count; ++s) {
+      EXPECT_EQ(plan.Begin(s), covered) << "n=" << n << " stripe " << s;
+      ASSERT_LE(plan.Begin(s), plan.End(s));
+      covered = plan.End(s);
+    }
+    EXPECT_EQ(covered, n);
+  }
+}
+
+TEST(StripePlanTest, SmallInputsStaySerial) {
+  // Below the minimum stripe size there is exactly one stripe, so tiny
+  // sorts never pay any sharding overhead.
+  EXPECT_EQ(StripePlan::ForN(1).count, 1u);
+  EXPECT_EQ(StripePlan::ForN(StripePlan::kMinStripeElements - 1).count, 1u);
+  EXPECT_EQ(StripePlan::ForN(4 * StripePlan::kMinStripeElements).count, 4u);
+}
+
+TEST(LsdArenaCapacityTest, ArenaIsExactlyN) {
+  // The scatter windows tile [0, n) exactly; the pre-stripe implementation
+  // rounded every bucket up to a chunk multiple, overallocating the arena
+  // (doubly so with IDs). Pin the exact sizing.
+  for (const size_t n : {0u, 1u, 63u, 64u, 1000u, 4096u, 123456u}) {
+    EXPECT_EQ(LsdArenaCapacity(n), n);
+  }
+}
+
 class BucketQueuesTest : public ::testing::Test {
  protected:
   BucketQueuesTest() : memory_(MakeOptions()) {}

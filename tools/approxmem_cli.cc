@@ -62,7 +62,10 @@ constexpr char kUsage[] =
     "        knob — half-width T on PCM, per-bit error prob on spintronic;\n"
     "        default: the backend's sweet spot)\n"
     "        --workload=uniform|skewed|nearly_sorted|reversed|all_equal\n"
-    "        --exact\n"
+    "        --exact --sort_threads=K (intra-sort workers for the striped\n"
+    "        radix passes; 1 = serial, <=0 = hardware; results identical\n"
+    "        at every K) --lsd_sqrt_arena (Radsort-style O(sqrt n) LSD\n"
+    "        scratch)\n"
     "algorithms: quicksort mergesort lsd3..lsd6 msd3..msd6 hlsd3..6 "
     "hmsd3..6\n";
 
@@ -307,6 +310,8 @@ testing::OracleReport RunResilientFuzzCase(
   engine_options.seed = oracle_case.seed;
   engine_options.shared_calibration = cache;
   engine_options.health.enabled = true;
+  engine_options.sort_threads = oracle_case.sort_threads;
+  engine_options.lsd_sqrt_arena = oracle_case.lsd_sqrt_arena;
   std::unique_ptr<testing::FaultInjector> injector;
   if (inject) {
     injector = std::make_unique<testing::FaultInjector>(
@@ -480,6 +485,8 @@ int Main(int argc, char** argv) {
   if (flags->GetBool("exact", false)) {
     options.mode = approx::SimulationMode::kExact;
   }
+  options.sort_threads = static_cast<int>(flags->GetInt("sort_threads", 1));
+  options.lsd_sqrt_arena = flags->GetBool("lsd_sqrt_arena", false);
   core::ApproxSortEngine engine(options);
 
   if (cmd == "calibrate") return Calibrate(engine, *flags);
