@@ -1,0 +1,198 @@
+// Service-layer throughput: drives the multi-tenant SortService with a
+// deterministic bursty trace at one shard and at four shards, and reports
+// jobs/sec, p50/p99 submit-to-terminal latency, and each tenant's
+// cumulative Equation 2 write reduction. The shard-scaling ratio (4-shard
+// jobs/sec over 1-shard) is the machine-comparable metric bench_compare
+// gates on — absolute jobs/sec depends on the host. On a single-core host
+// the ratio sits near 1.0 and is advisory only.
+//
+// Extra flags: --jobs=48 (total trace jobs), --calibration_trials=20000.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_lib.h"
+#include "common/table_printer.h"
+#include "common/thread_pool.h"
+#include "service/sort_service.h"
+
+namespace approxmem {
+namespace {
+
+constexpr struct {
+  const char* name;
+  const char* backend;
+} kTenants[] = {
+    {"tenant-pcm", "mlc-pcm"},
+    {"tenant-banked", "mlc-pcm-banked"},
+    {"tenant-spin", "spintronic"},
+};
+
+struct ServiceRun {
+  double wall_seconds = 0.0;
+  double jobs_per_sec = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  service::ServiceStats stats;
+  std::vector<double> tenant_wr;  // Parallel to kTenants.
+};
+
+double Percentile(std::vector<double> values, double q) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const size_t index = static_cast<size_t>(
+      q * static_cast<double>(values.size() - 1) + 0.5);
+  return values[std::min(index, values.size() - 1)];
+}
+
+ServiceRun RunAtShards(const bench::BenchEnv& env, int shards, size_t jobs,
+                       uint64_t trials,
+                       const std::shared_ptr<mlc::CalibrationCache>& cache) {
+  service::ServiceOptions options;
+  options.shards = shards;
+  options.threads = env.threads;
+  options.seed = env.seed;
+  options.calibration_trials = trials;
+  options.shared_calibration = cache;
+  // Throughput measurement: a queue large enough that admission control
+  // never sheds, so both shard counts run the identical job set.
+  options.admission.queue_capacity = jobs + 1;
+  service::SortService sort_service(options);
+  std::vector<std::string> tenant_names;
+  for (const auto& profile : kTenants) {
+    service::TenantSpec tenant;
+    tenant.name = profile.name;
+    tenant.backend = profile.backend;
+    tenant.seed = env.seed;
+    const Status status = sort_service.RegisterTenant(tenant);
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      std::exit(1);
+    }
+    tenant_names.push_back(tenant.name);
+  }
+
+  service::TraceGenOptions gen;
+  gen.seed = env.seed;
+  gen.tenants = tenant_names;
+  gen.max_burst_jobs = 8;
+  gen.bursts = (jobs + gen.max_burst_jobs - 1) / gen.max_burst_jobs;
+  gen.min_n = env.n / 4 > 16 ? env.n / 4 : 16;
+  gen.max_n = env.n;
+  const service::RequestTrace trace = service::MakeRandomTrace(gen);
+
+  ServiceRun run;
+  const auto start = std::chrono::steady_clock::now();
+  run.stats = sort_service.Run(trace);
+  run.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  run.jobs_per_sec =
+      run.wall_seconds > 0.0
+          ? static_cast<double>(run.stats.jobs_completed) / run.wall_seconds
+          : 0.0;
+
+  std::vector<double> latencies;
+  for (const service::JobRecord& record : sort_service.jobs()) {
+    if (record.state == service::JobState::kCompleted) {
+      latencies.push_back(record.latency_seconds * 1e3);
+    }
+  }
+  run.p50_ms = Percentile(latencies, 0.50);
+  run.p99_ms = Percentile(latencies, 0.99);
+  for (const std::string& name : tenant_names) {
+    run.tenant_wr.push_back(
+        sort_service.tenant_ledger(name).CumulativeWriteReduction());
+  }
+  if (run.stats.jobs_failed > 0 || run.stats.jobs_shed > 0) {
+    std::fprintf(stderr,
+                 "service bench: %zu failed / %zu shed jobs at %d shards — "
+                 "throughput numbers would be dishonest\n",
+                 run.stats.jobs_failed, run.stats.jobs_shed, shards);
+    std::exit(1);
+  }
+  return run;
+}
+
+int Main(int argc, char** argv) {
+  const bench::BenchEnv env = bench::ParseBenchEnv(argc, argv, 512);
+  bench::PrintRunHeader("Service throughput: sharded multi-tenant sorting",
+                        env);
+  const size_t jobs = static_cast<size_t>(env.flags.GetInt("jobs", 48));
+  const uint64_t trials =
+      static_cast<uint64_t>(env.flags.GetInt("calibration_trials", 20000));
+  auto cache = std::make_shared<mlc::CalibrationCache>(
+      mlc::MlcConfig{}, trials, env.seed ^ 0xca11b7a7e5eedULL);
+
+  const ServiceRun one = RunAtShards(env, 1, jobs, trials, cache);
+  const ServiceRun four = RunAtShards(env, 4, jobs, trials, cache);
+  const double scaling =
+      one.jobs_per_sec > 0.0 ? four.jobs_per_sec / one.jobs_per_sec : 0.0;
+
+  TablePrinter table("service throughput (same trace at 1 vs 4 shards)");
+  table.SetHeader({"shards", "jobs/sec", "p50_ms", "p99_ms", "batches",
+                   "backlog_hw"});
+  for (const auto& [shards, run] :
+       {std::pair<int, const ServiceRun&>{1, one}, {4, four}}) {
+    table.AddRow({TablePrinter::FmtInt(shards),
+                  TablePrinter::Fmt(run.jobs_per_sec, 1),
+                  TablePrinter::Fmt(run.p50_ms, 3),
+                  TablePrinter::Fmt(run.p99_ms, 3),
+                  TablePrinter::FmtInt(
+                      static_cast<long long>(run.stats.batches)),
+                  TablePrinter::FmtInt(static_cast<long long>(
+                      run.stats.backlog_high_water))});
+  }
+  table.Print();
+
+  TablePrinter tenants("cumulative Eq. 2 write reduction per tenant");
+  tenants.SetHeader({"tenant", "backend", "cum_WR"});
+  for (size_t i = 0; i < std::size(kTenants); ++i) {
+    tenants.AddRow({kTenants[i].name, kTenants[i].backend,
+                    TablePrinter::FmtPercent(four.tenant_wr[i], 2)});
+  }
+  tenants.Print();
+
+  const int hardware = ThreadPool::HardwareThreads();
+  std::printf("\nshard scaling: %.2fx jobs/sec at 4 shards vs 1 (%s)\n",
+              scaling,
+              hardware > 1 ? "gated by tools/bench_compare"
+                           : "advisory: single-core host");
+
+  const std::string path = bench::CsvPath(env, "service_snapshot.json");
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return 1;
+  }
+  std::fprintf(
+      f,
+      "{\n"
+      "  \"snapshot\": \"multi-tenant sort service\",\n"
+      "  \"hardware_threads\": %d,\n"
+      "  \"service\": {\n"
+      "    \"jobs\": %zu,\n"
+      "    \"n_max\": %zu,\n"
+      "    \"jobs_per_sec\": {\"1\": %.1f, \"4\": %.1f},\n"
+      "    \"shard_scaling_4s\": %.3f,\n"
+      "    \"p50_latency_ms\": %.3f,\n"
+      "    \"p99_latency_ms\": %.3f,\n"
+      "    \"tenant_write_reduction\": {\"%s\": %.4f, \"%s\": %.4f, "
+      "\"%s\": %.4f}\n"
+      "  }\n"
+      "}\n",
+      hardware, jobs, env.n, one.jobs_per_sec, four.jobs_per_sec, scaling,
+      four.p50_ms, four.p99_ms, kTenants[0].name, four.tenant_wr[0],
+      kTenants[1].name, four.tenant_wr[1], kTenants[2].name,
+      four.tenant_wr[2]);
+  std::fclose(f);
+  std::printf("service snapshot -> %s\n", path.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace approxmem
+
+int main(int argc, char** argv) { return approxmem::Main(argc, argv); }

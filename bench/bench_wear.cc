@@ -3,13 +3,153 @@
 // iterations, so besides latency they also save wear. This bench reports
 // total P&V iterations per element for a full approx-refine sort vs the
 // precise baseline — the endurance co-benefit the latency numbers imply.
+//
+// --soak_seconds=S additionally runs a sustained-traffic soak: the
+// multi-tenant sort service absorbs random bursty traces for S seconds on
+// a substrate with one persistently hot region (canary error rate ~90%),
+// then reports wear-leveling effectiveness (per-shard placement imbalance
+// across PCM banks) and quarantine churn. Exits 1 when rotation failed to
+// keep placement balanced — the CI soak gate.
+#include <chrono>
 #include <cstdio>
+#include <memory>
 
 #include "bench/bench_lib.h"
 #include "common/table_printer.h"
+#include "service/sort_service.h"
+#include "testing/fault_injection.h"
 
 namespace approxmem {
 namespace {
+
+// Placement balance: max-over-mean bytes placed across the banks that ever
+// held an allocation. Unlike WearImbalance this ignores quarantine
+// penalties, so a deliberately poisoned bank (which rotation must starve)
+// does not dominate the metric.
+double ByteImbalance(const service::WearPlacement& wear) {
+  uint64_t max_bytes = 0;
+  uint64_t total = 0;
+  int used = 0;
+  for (const service::BankWear& bank : wear.banks()) {
+    if (bank.allocations == 0) continue;
+    ++used;
+    total += bank.bytes_placed;
+    if (bank.bytes_placed > max_bytes) max_bytes = bank.bytes_placed;
+  }
+  if (used == 0 || total == 0) return 1.0;
+  return static_cast<double>(max_bytes) /
+         (static_cast<double>(total) / used);
+}
+
+int RunSoak(const bench::BenchEnv& env, double seconds) {
+  const uint64_t trials =
+      static_cast<uint64_t>(env.flags.GetInt("calibration_trials", 20000));
+  service::ServiceOptions options;
+  options.shards = 4;
+  options.threads = env.threads;
+  options.seed = env.seed;
+  options.calibration_trials = trials;
+  options.admission.queue_capacity = 128;
+  // Every shard substrate carries one hot region at the bottom of bank
+  // lane 0: the health monitor must keep quarantining it mid-flight while
+  // the wear policy steers traffic around it for the whole soak.
+  options.fault_hook_factory =
+      [&env](int shard) -> std::unique_ptr<approx::MemoryFaultHook> {
+    testing::FaultPlan plan;
+    plan.seed = env.seed ^ (0xbadULL + static_cast<uint64_t>(shard));
+    testing::ErrorRateOverride hot;
+    hot.region = testing::AddressRegion{0, uint64_t{64} << 20};
+    hot.probability = 0.9;
+    plan.rate_overrides.push_back(hot);
+    return std::make_unique<testing::FaultInjector>(plan);
+  };
+  service::SortService sort_service(options);
+  constexpr struct {
+    const char* name;
+    const char* backend;
+  } kTenants[] = {{"tenant-pcm", "mlc-pcm"},
+                  {"tenant-banked", "mlc-pcm-banked"},
+                  {"tenant-spin", "spintronic"}};
+  for (const auto& profile : kTenants) {
+    service::TenantSpec tenant;
+    tenant.name = profile.name;
+    tenant.backend = profile.backend;
+    tenant.seed = env.seed;
+    const Status status = sort_service.RegisterTenant(tenant);
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      return 1;
+    }
+  }
+
+  std::printf("\nsoak: %.0fs of sustained bursty traffic, 4 shards, "
+              "hot region poisoned at 90%% error rate\n",
+              seconds);
+  const auto start = std::chrono::steady_clock::now();
+  const auto deadline = start + std::chrono::duration<double>(seconds);
+  uint64_t round = 0;
+  while (std::chrono::steady_clock::now() < deadline) {
+    service::TraceGenOptions gen;
+    gen.seed = env.seed + ++round;
+    gen.tenants = {"tenant-pcm", "tenant-banked", "tenant-spin"};
+    gen.bursts = 4;
+    gen.max_burst_jobs = 8;
+    gen.min_n = 64;
+    gen.max_n = env.n < 512 ? env.n : 512;
+    sort_service.Run(service::MakeRandomTrace(gen));
+  }
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  const service::ServiceStats& stats = sort_service.stats();
+
+  TablePrinter table("soak: per-shard wear leveling and quarantine churn");
+  table.SetHeader({"shard", "byte_imbalance", "wear_imbalance",
+                   "quarantine_events", "alloc_retries"});
+  bool balanced = true;
+  uint64_t quarantines = 0;
+  for (int s = 0; s < options.shards; ++s) {
+    const service::WearPlacement& wear = *sort_service.shard_wear(s);
+    const approx::HealthStats health = sort_service.shard_health(s);
+    const double imbalance = ByteImbalance(wear);
+    if (imbalance > 2.0) balanced = false;
+    quarantines += wear.quarantine_events();
+    table.AddRow({TablePrinter::FmtInt(s), TablePrinter::Fmt(imbalance, 3),
+                  TablePrinter::Fmt(wear.WearImbalance(), 3),
+                  TablePrinter::FmtInt(static_cast<long long>(
+                      wear.quarantine_events())),
+                  TablePrinter::FmtInt(static_cast<long long>(
+                      health.allocation_retries))});
+  }
+  table.Print();
+  std::printf("  traffic           %zu jobs in %zu rounds (%.1f jobs/sec), "
+              "%zu failed, %zu shed\n",
+              stats.jobs_completed, static_cast<size_t>(round),
+              elapsed > 0.0 ? static_cast<double>(stats.jobs_completed) /
+                                  elapsed
+                            : 0.0,
+              stats.jobs_failed, stats.jobs_shed);
+  std::printf("  quarantine churn  %llu events (%.1f per minute)\n",
+              static_cast<unsigned long long>(quarantines),
+              elapsed > 0.0 ? static_cast<double>(quarantines) / elapsed *
+                                  60.0
+                            : 0.0);
+  if (quarantines == 0) {
+    std::fprintf(stderr,
+                 "soak: the poisoned region was never quarantined — the "
+                 "health monitor is not seeing the storm\n");
+    return 1;
+  }
+  if (!balanced) {
+    std::fprintf(stderr,
+                 "soak: placement imbalance above 2.0x — bank rotation is "
+                 "not leveling wear\n");
+    return 1;
+  }
+  std::printf("soak: PASS — placement stayed balanced under quarantine "
+              "churn\n");
+  return 0;
+}
 
 int Main(int argc, char** argv) {
   const bench::BenchEnv env = bench::ParseBenchEnv(argc, argv, 100000);
@@ -50,6 +190,8 @@ int Main(int argc, char** argv) {
       "\nWear tracks latency: at the sweet spot the approximate stage's "
       "cells see ~p(t) of the precise pulse count, extending device "
       "lifetime alongside the write-latency win.\n");
+  const double soak_seconds = env.flags.GetDouble("soak_seconds", 0.0);
+  if (soak_seconds > 0.0) return RunSoak(env, soak_seconds);
   return 0;
 }
 

@@ -38,6 +38,16 @@ ApproxMemory::ApproxMemory(const Options& options)
   backend_ = std::move(*backend);
 }
 
+void ApproxMemory::BeginJobStream(uint64_t stream_key) {
+  // SplitMix64-style diffusion of the key so adjacent job ids land on
+  // well-separated generator seeds.
+  uint64_t mixed = stream_key + 0x9e3779b97f4a7c15ULL;
+  mixed = (mixed ^ (mixed >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  mixed = (mixed ^ (mixed >> 27)) * 0x94d049bb133111ebULL;
+  mixed ^= mixed >> 31;
+  rng_ = Rng(options_.seed ^ mixed);
+}
+
 ApproxArrayU32 ApproxMemory::AllocateArray(size_t n, WriteModel* model,
                                            double model_word_error_rate) {
   const uint64_t span = ((n * 4 + 4095) / 4096 + 1) * 4096;
@@ -46,10 +56,44 @@ ApproxArrayU32 ApproxMemory::AllocateArray(size_t n, WriteModel* model,
                           options_.sequential_write_discount,
                           options_.fault_hook);
   };
-  if (!health_.enabled()) {
+  const auto place = [&]() {
+    if (options_.placement != nullptr) {
+      return options_.placement->PlaceSpan(span);
+    }
     const uint64_t base = next_base_address_;
     next_base_address_ += span;
-    return make_array(base);
+    return base;
+  };
+  if (!health_.enabled()) {
+    return make_array(place());
+  }
+  if (options_.placement != nullptr) {
+    // Placement-policy path: the policy owns every cursor, so a quarantined
+    // candidate is reported to it (OnQuarantine) and the retry simply asks
+    // for a fresh placement — the policy routes it to another bank/region.
+    const uint32_t words = health_.options().canary_words;
+    for (int attempt = 0;; ++attempt) {
+      const uint64_t base = options_.placement->PlaceSpan(span);
+      health_.RecordRegionProbed();
+      const uint64_t tail_base = base + span - uint64_t{words} * 4u;
+      ApproxArrayU32 head(words, model, rng_.Split(), /*trace=*/nullptr, base,
+                          options_.sequential_write_discount,
+                          options_.fault_hook);
+      ApproxArrayU32 tail(words, model, rng_.Split(), /*trace=*/nullptr,
+                          tail_base, options_.sequential_write_discount,
+                          options_.fault_hook);
+      const uint64_t errors =
+          health_.ProbeSite(head) + health_.ProbeSite(tail);
+      const double observed =
+          words > 0 ? static_cast<double>(errors) / (2.0 * words) : 0.0;
+      if (health_.WithinThreshold(observed, model_word_error_rate) ||
+          attempt >= health_.options().max_alloc_retries) {
+        return make_array(base);
+      }
+      health_.RecordQuarantine(base, span);
+      health_.RecordRetry();
+      options_.placement->OnQuarantine(base, span);
+    }
   }
   // Canary-probe candidate regions; skip quarantined ones with a stride
   // that doubles per consecutive failure so large degraded regions are

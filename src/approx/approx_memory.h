@@ -26,6 +26,29 @@
 
 namespace approxmem::approx {
 
+/// Chooses where in the flat simulated address space each allocation lands.
+///
+/// By default ApproxMemory bump-allocates monotonically; a service that
+/// shares one substrate between many jobs can install a policy that places
+/// allocations deliberately — e.g. rotating hot allocations across PCM
+/// banks by accumulated wear (src/service/wear_placement.h). The policy is
+/// consulted once per allocation attempt and owns all of its cursors, so it
+/// must always make progress: two PlaceSpan calls never return overlapping
+/// live regions.
+class PlacementPolicy {
+ public:
+  virtual ~PlacementPolicy() = default;
+
+  /// Returns the base address for a `span`-byte allocation and advances the
+  /// policy's own cursor(s). `span` is already page-rounded by the caller.
+  virtual uint64_t PlaceSpan(uint64_t span) = 0;
+
+  /// Notifies the policy that the health monitor quarantined
+  /// [base, base + span): the region must never be handed out again, and
+  /// the next PlaceSpan must route the retried allocation elsewhere.
+  virtual void OnQuarantine(uint64_t base, uint64_t span) = 0;
+};
+
 /// Factory and owner of the backend, calibrations, and the RNG tree.
 class ApproxMemory {
  public:
@@ -63,6 +86,11 @@ class ApproxMemory {
     /// unmonitored experiments keep their exact RNG stream assignment.
     /// Applied by the allocation path, uniformly across backends.
     HealthOptions health;
+    /// Optional allocation-placement policy (see PlacementPolicy above).
+    /// Null preserves the historical monotonic bump allocator exactly —
+    /// including its quarantine-skip stride — so every existing experiment
+    /// stays byte-identical. Not owned; must outlive the memory.
+    PlacementPolicy* placement = nullptr;
   };
 
   explicit ApproxMemory(const Options& options);
@@ -79,6 +107,15 @@ class ApproxMemory {
   /// (target-range half-width T for PCM backends, per-bit error
   /// probability for spintronic).
   ApproxArrayU32 NewApproxArray(size_t n, double knob);
+
+  /// Rebases the allocation RNG tree onto a substream derived from
+  /// (Options::seed, stream_key): every subsequent allocation splits its
+  /// array stream from the rebased generator. A multi-job service calls
+  /// this once per job with a key that identifies the job alone, so a job's
+  /// simulated error draws depend only on (seed, key) — never on how many
+  /// allocations earlier jobs on the same substrate consumed. Single-run
+  /// experiments never call this and keep their historical streams.
+  void BeginJobStream(uint64_t stream_key);
 
   /// The technology backend serving this memory's allocations.
   MemoryBackend& backend() { return *backend_; }

@@ -20,6 +20,7 @@ approx::ApproxMemory::Options ToMemoryOptions(const EngineOptions& options) {
   memory_options.trace = options.trace;
   memory_options.fault_hook = options.fault_hook;
   memory_options.health = options.health;
+  memory_options.placement = options.placement;
   return memory_options;
 }
 

@@ -60,6 +60,9 @@ struct EngineOptions {
   /// region quarantine (see approx/health_monitor.h). Off by default so
   /// unmonitored experiments keep their exact RNG stream assignment.
   approx::HealthOptions health;
+  /// Optional allocation-placement policy (wear-aware bank rotation in the
+  /// service layer); null keeps the bump allocator. Not owned.
+  approx::PlacementPolicy* placement = nullptr;
   /// Intra-sort parallelism: worker threads for the striped radix passes
   /// (1 = serial). Output, write counts, and cost ledgers are identical at
   /// any setting — only wall-clock changes. <= 0 means hardware

@@ -1,0 +1,134 @@
+#include "service/service_trace.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/random.h"
+
+namespace approxmem::service {
+
+std::string SortRequest::Name() const {
+  std::string name = tenant;
+  name += ' ';
+  name += algorithm.Name();
+  name += '/';
+  name += core::WorkloadName(workload);
+  name += " n=" + std::to_string(n);
+  name += " seed=" + std::to_string(seed);
+  return name;
+}
+
+size_t RequestTrace::TotalJobs() const {
+  size_t total = 0;
+  for (const auto& burst : bursts) total += burst.size();
+  return total;
+}
+
+RequestTrace MakeRandomTrace(const TraceGenOptions& options) {
+  APPROXMEM_CHECK(!options.tenants.empty());
+  APPROXMEM_CHECK(options.min_n >= 1 && options.min_n <= options.max_n);
+  const std::vector<sort::AlgorithmId> algorithms =
+      options.algorithms.empty() ? sort::StudyAlgorithms()
+                                 : options.algorithms;
+  const std::vector<core::WorkloadKind> workloads =
+      options.workloads.empty()
+          ? std::vector<core::WorkloadKind>{
+                core::WorkloadKind::kUniform, core::WorkloadKind::kSkewed,
+                core::WorkloadKind::kNearlySorted,
+                core::WorkloadKind::kReversed, core::WorkloadKind::kAllEqual}
+          : options.workloads;
+
+  Rng rng(options.seed ^ 0x7ace5eedULL);
+  RequestTrace trace;
+  trace.bursts.resize(options.bursts);
+  uint64_t job_seed = options.seed;
+  for (auto& burst : trace.bursts) {
+    const size_t jobs = 1 + rng.UniformInt(options.max_burst_jobs);
+    burst.resize(jobs);
+    for (SortRequest& request : burst) {
+      request.tenant = options.tenants[rng.UniformInt(options.tenants.size())];
+      request.algorithm = algorithms[rng.UniformInt(algorithms.size())];
+      request.workload = workloads[rng.UniformInt(workloads.size())];
+      request.n = options.min_n +
+                  rng.UniformInt(options.max_n - options.min_n + 1);
+      request.seed = ++job_seed;
+    }
+  }
+  return trace;
+}
+
+namespace {
+
+/// Candidate shrink variants, smallest-reduction first so the greedy loop
+/// converges on a local minimum rather than overshooting.
+std::vector<RequestTrace> ShrinkVariants(const RequestTrace& trace) {
+  std::vector<RequestTrace> variants;
+  // Drop one whole burst.
+  for (size_t b = 0; b < trace.bursts.size(); ++b) {
+    if (trace.bursts.size() <= 1 && trace.bursts[b].size() <= 1) continue;
+    RequestTrace variant = trace;
+    variant.bursts.erase(variant.bursts.begin() +
+                         static_cast<ptrdiff_t>(b));
+    if (variant.TotalJobs() > 0) variants.push_back(std::move(variant));
+  }
+  // Drop one job.
+  for (size_t b = 0; b < trace.bursts.size(); ++b) {
+    for (size_t j = 0; j < trace.bursts[b].size(); ++j) {
+      if (trace.TotalJobs() <= 1) continue;
+      RequestTrace variant = trace;
+      auto& burst = variant.bursts[b];
+      burst.erase(burst.begin() + static_cast<ptrdiff_t>(j));
+      if (burst.empty()) {
+        variant.bursts.erase(variant.bursts.begin() +
+                             static_cast<ptrdiff_t>(b));
+      }
+      if (variant.TotalJobs() > 0) variants.push_back(std::move(variant));
+    }
+  }
+  // Halve one job's n.
+  for (size_t b = 0; b < trace.bursts.size(); ++b) {
+    for (size_t j = 0; j < trace.bursts[b].size(); ++j) {
+      if (trace.bursts[b][j].n <= 4) continue;
+      RequestTrace variant = trace;
+      variant.bursts[b][j].n /= 2;
+      variants.push_back(std::move(variant));
+    }
+  }
+  return variants;
+}
+
+}  // namespace
+
+RequestTrace ShrinkTrace(const RequestTrace& trace,
+                         const std::function<bool(const RequestTrace&)>&
+                             still_fails,
+                         size_t max_steps) {
+  RequestTrace current = trace;
+  size_t steps = 0;
+  bool progressed = true;
+  while (progressed && steps < max_steps) {
+    progressed = false;
+    for (RequestTrace& variant : ShrinkVariants(current)) {
+      if (++steps > max_steps) break;
+      if (still_fails(variant)) {
+        current = std::move(variant);
+        progressed = true;
+        break;
+      }
+    }
+  }
+  return current;
+}
+
+std::string TraceToString(const RequestTrace& trace) {
+  std::string out;
+  for (size_t b = 0; b < trace.bursts.size(); ++b) {
+    out += "burst " + std::to_string(b) + ":\n";
+    for (const SortRequest& request : trace.bursts[b]) {
+      out += "  " + request.Name() + "\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace approxmem::service

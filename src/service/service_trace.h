@@ -1,0 +1,77 @@
+// Scripted request traces for the sort service: generation and shrinking.
+//
+// A RequestTrace is the service's whole input — an ordered sequence of
+// arrival bursts, each a list of SortRequests. Traces are pure functions
+// of a TraceGenOptions seed, so any service failure replays from (options,
+// seed) alone, and ShrinkTrace greedily minimizes a failing trace the same
+// way the property runner shrinks oracle cases (see TESTING.md).
+#ifndef APPROXMEM_SERVICE_SERVICE_TRACE_H_
+#define APPROXMEM_SERVICE_SERVICE_TRACE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/workload.h"
+#include "sort/sort_common.h"
+
+namespace approxmem::service {
+
+/// One sort job as a client would phrase it. The service generates the
+/// input keys itself from (workload, n, seed) — the trace driver ships no
+/// payload bytes, matching the scripted no-network setup.
+struct SortRequest {
+  std::string tenant;
+  sort::AlgorithmId algorithm{sort::SortKind::kLsdRadix, 3};
+  core::WorkloadKind workload = core::WorkloadKind::kUniform;
+  size_t n = 1024;
+  /// Seeds the key generator for this job.
+  uint64_t seed = 1;
+
+  /// "tenant-a lsd3/uniform n=1024 seed=1" — paste-able repro label.
+  std::string Name() const;
+};
+
+/// Bursty arrival script: burst k's requests all arrive before any job of
+/// burst k+1. The service admits and runs batches between bursts.
+struct RequestTrace {
+  std::vector<std::vector<SortRequest>> bursts;
+
+  size_t TotalJobs() const;
+};
+
+struct TraceGenOptions {
+  uint64_t seed = 1;
+  /// Tenant names requests are drawn over; must be non-empty and match the
+  /// tenants registered with the service.
+  std::vector<std::string> tenants;
+  size_t bursts = 4;
+  /// Burst sizes are drawn uniformly from [1, max_burst_jobs] — the bursty
+  /// arrival pattern admission control has to absorb.
+  size_t max_burst_jobs = 8;
+  size_t min_n = 16;
+  size_t max_n = 512;
+  /// Algorithm pool; empty draws from sort::StudyAlgorithms().
+  std::vector<sort::AlgorithmId> algorithms;
+  /// Workload pool; empty draws from all five WorkloadKinds.
+  std::vector<core::WorkloadKind> workloads;
+};
+
+/// The deterministic random trace at `options.seed`.
+RequestTrace MakeRandomTrace(const TraceGenOptions& options);
+
+/// Greedy shrink: repeatedly tries smaller variants — dropping a burst,
+/// dropping a single job, halving a job's n — and keeps any variant for
+/// which `still_fails` returns true, until a local minimum or `max_steps`.
+RequestTrace ShrinkTrace(const RequestTrace& trace,
+                         const std::function<bool(const RequestTrace&)>&
+                             still_fails,
+                         size_t max_steps = 64);
+
+/// Multi-line human-readable form of `trace` for failure reports.
+std::string TraceToString(const RequestTrace& trace);
+
+}  // namespace approxmem::service
+
+#endif  // APPROXMEM_SERVICE_SERVICE_TRACE_H_

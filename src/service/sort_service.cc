@@ -1,0 +1,438 @@
+#include "service/sort_service.h"
+
+#include <chrono>
+#include <cmath>
+#include <utility>
+
+#include "common/check.h"
+#include "core/workload.h"
+#include "testing/differential_oracle.h"
+
+namespace approxmem::service {
+namespace {
+
+double NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+uint64_t MixSeed(uint64_t service_seed, int shard,
+                 const TenantSpec& tenant) {
+  uint64_t h = testing::Fnv1a64(tenant.name.data(), tenant.name.size());
+  h = testing::Fnv1a64(&tenant.seed, sizeof(tenant.seed), h);
+  const uint64_t s = static_cast<uint64_t>(shard);
+  h = testing::Fnv1a64(&s, sizeof(s), h);
+  return service_seed ^ h;
+}
+
+uint64_t DigestU64(uint64_t h, uint64_t value) {
+  return testing::Fnv1a64(&value, sizeof(value), h);
+}
+
+uint64_t DigestDouble(uint64_t h, double value) {
+  return testing::Fnv1a64(&value, sizeof(value), h);
+}
+
+uint64_t VectorDigest(const std::vector<uint32_t>& values) {
+  if (values.empty()) return 0;
+  return testing::Fnv1a64(values.data(), values.size() * sizeof(uint32_t));
+}
+
+}  // namespace
+
+std::string_view JobStateName(JobState state) {
+  switch (state) {
+    case JobState::kQueued:
+      return "QUEUED";
+    case JobState::kDeferred:
+      return "DEFERRED";
+    case JobState::kCompleted:
+      return "COMPLETED";
+    case JobState::kFailed:
+      return "FAILED";
+    case JobState::kShed:
+      return "SHED";
+  }
+  return "UNKNOWN";
+}
+
+uint64_t TenantLedger::Digest() const {
+  uint64_t h = testing::Fnv1a64(nullptr, 0);
+  h = DigestU64(h, jobs_completed);
+  h = DigestU64(h, jobs_failed);
+  h = DigestU64(h, jobs_shed);
+  h = DigestU64(h, deferral_events);
+  h = DigestU64(h, cost.word_reads);
+  h = DigestU64(h, cost.word_writes);
+  h = DigestU64(h, cost.corrupted_writes);
+  h = DigestU64(h, cost.sequential_writes);
+  h = DigestU64(h, cost.degraded_regions);
+  h = DigestDouble(h, cost.write_cost);
+  h = DigestDouble(h, cost.read_cost);
+  h = DigestDouble(h, cost.pv_iterations);
+  h = DigestDouble(h, baseline_write_cost);
+  return h;
+}
+
+/// One shard substrate: the engines, wear ledger, and fault hook a single
+/// shard owns exclusively. Only the shard's serial run loop (and the
+/// driver thread, between batches) ever touches it.
+struct SortService::Shard {
+  int index = 0;
+  std::unique_ptr<WearPlacement> wear;
+  std::unique_ptr<approx::MemoryFaultHook> fault_hook;
+  std::map<std::string, std::unique_ptr<core::ApproxSortEngine>> engines;
+  /// Tickets assigned for the current batch, in execution order.
+  std::vector<uint64_t> run_list;
+  /// Set when a job in the shard's previous batch climbed the resilience
+  /// ladder or finished unverified; halves the shard's next admissions.
+  bool cooling = false;
+};
+
+SortService::SortService(const ServiceOptions& options)
+    : options_(options),
+      calibration_(options.shared_calibration
+                       ? options.shared_calibration
+                       : std::make_shared<mlc::CalibrationCache>(
+                             mlc::MlcConfig{}, options.calibration_trials,
+                             options.seed ^ 0xca11b7a7e5eedULL)),
+      pool_(std::make_unique<ThreadPool>(options.threads)) {
+  APPROXMEM_CHECK(options_.shards > 0);
+  APPROXMEM_CHECK(options_.admission.queue_capacity > 0);
+  APPROXMEM_CHECK(options_.admission.shard_batch_quota > 0);
+  shards_.reserve(static_cast<size_t>(options_.shards));
+  for (int s = 0; s < options_.shards; ++s) {
+    auto shard = std::make_unique<Shard>();
+    shard->index = s;
+    if (options_.wear_leveling) {
+      shard->wear = std::make_unique<WearPlacement>(options_.wear);
+    }
+    if (options_.fault_hook_factory) {
+      shard->fault_hook = options_.fault_hook_factory(s);
+    }
+    shards_.push_back(std::move(shard));
+  }
+}
+
+SortService::~SortService() = default;
+
+Status SortService::RegisterTenant(const TenantSpec& tenant) {
+  if (tenant.name.empty()) {
+    return Status::InvalidArgument("tenant name must be non-empty");
+  }
+  if (tenants_.count(tenant.name) != 0) {
+    return Status::InvalidArgument("tenant already registered: " +
+                                   tenant.name);
+  }
+  if (!approx::IsRegisteredBackend(tenant.backend)) {
+    return Status::InvalidArgument("unknown backend for tenant " +
+                                   tenant.name + ": " + tenant.backend);
+  }
+  if (!std::isnan(tenant.knob)) {
+    // Validate the knob against a throwaway backend instance now, so a bad
+    // profile is a recoverable registration error instead of a crash in
+    // the middle of a batch.
+    approx::BackendContext context;
+    context.calibration = calibration_;
+    context.calibration_trials = options_.calibration_trials;
+    StatusOr<std::unique_ptr<approx::MemoryBackend>> backend =
+        approx::CreateMemoryBackend(tenant.backend, context);
+    if (!backend.ok()) return backend.status();
+    const Status valid =
+        (*backend)->Validate(approx::AllocSpec::Approx(tenant.knob, 1));
+    if (!valid.ok()) return valid;
+  }
+  tenants_.emplace(tenant.name, tenant);
+  return Status::Ok();
+}
+
+StatusOr<uint64_t> SortService::Submit(const SortRequest& request) {
+  if (tenants_.count(request.tenant) == 0) {
+    return Status::InvalidArgument("unknown tenant: " + request.tenant);
+  }
+  if (request.n == 0) {
+    return Status::InvalidArgument("empty sort request");
+  }
+  const uint64_t ticket = records_.size();
+  JobRecord record;
+  record.ticket = ticket;
+  record.request = request;
+  ++stats_.jobs_submitted;
+  submit_time_.push_back(NowSeconds());
+  if (backlog_.size() >= options_.admission.queue_capacity) {
+    record.state = JobState::kShed;
+    record.status = Status::Unavailable(
+        "backlog full (" +
+        std::to_string(options_.admission.queue_capacity) +
+        " queued); shed at submission");
+    ++stats_.jobs_shed;
+    records_.push_back(std::move(record));
+    return ticket;
+  }
+  records_.push_back(std::move(record));
+  backlog_.push_back(ticket);
+  if (backlog_.size() > stats_.backlog_high_water) {
+    stats_.backlog_high_water = backlog_.size();
+  }
+  return ticket;
+}
+
+size_t SortService::RunBatch() {
+  if (backlog_.empty()) return 0;
+  ++stats_.batches;
+
+  // Admission: walk the backlog FIFO and place each job on the least-
+  // loaded shard that still has quota. Every input here — queue order,
+  // quotas, cooldown flags — is deterministic shared-shard state, so the
+  // per-shard run lists are identical at any thread count.
+  std::vector<int> quota(shards_.size());
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    shards_[s]->run_list.clear();
+    if (shards_[s]->cooling) {
+      quota[s] = options_.admission.cooldown_admit;
+      ++stats_.cooldown_batches;
+    } else {
+      quota[s] = options_.admission.shard_batch_quota;
+    }
+  }
+  std::deque<uint64_t> deferred;
+  while (!backlog_.empty()) {
+    const uint64_t ticket = backlog_.front();
+    backlog_.pop_front();
+    JobRecord& record = records_[ticket];
+    int best = -1;
+    for (size_t s = 0; s < shards_.size(); ++s) {
+      if (static_cast<int>(shards_[s]->run_list.size()) >= quota[s]) continue;
+      if (best < 0 || shards_[s]->run_list.size() <
+                          shards_[static_cast<size_t>(best)]->run_list.size()) {
+        best = static_cast<int>(s);
+      }
+    }
+    if (best >= 0) {
+      record.shard = best;
+      record.batch = static_cast<int>(stats_.batches) - 1;
+      shards_[static_cast<size_t>(best)]->run_list.push_back(ticket);
+      continue;
+    }
+    ++record.deferrals;
+    ++stats_.deferral_events;
+    if (record.deferrals > options_.admission.max_deferrals) {
+      record.state = JobState::kShed;
+      record.status = Status::Unavailable(
+          "shed by admission control after " +
+          std::to_string(record.deferrals) + " deferrals");
+      record.latency_seconds = NowSeconds() - submit_time_[ticket];
+      ++stats_.jobs_shed;
+    } else {
+      record.state = JobState::kDeferred;
+      deferred.push_back(ticket);
+    }
+  }
+  backlog_ = std::move(deferred);
+
+  size_t executed = 0;
+  for (const auto& shard : shards_) executed += shard->run_list.size();
+  if (executed > 0) {
+    pool_->ParallelFor(0, shards_.size(),
+                       [this](size_t s) { ExecuteShard(*shards_[s]); });
+  }
+
+  // Merge-on-report: terminal-state counters and cross-engine quarantine
+  // totals are folded in on the driver thread, after the batch barrier.
+  for (const auto& shard : shards_) {
+    for (const uint64_t ticket : shard->run_list) {
+      const JobRecord& record = records_[ticket];
+      if (record.state == JobState::kCompleted) {
+        ++stats_.jobs_completed;
+      } else {
+        ++stats_.jobs_failed;
+      }
+    }
+  }
+  uint64_t quarantined = 0;
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    quarantined += shard_health(static_cast<int>(s)).regions_quarantined;
+  }
+  stats_.quarantined_regions = quarantined;
+  return executed;
+}
+
+void SortService::RunUntilIdle() {
+  while (!backlog_.empty()) RunBatch();
+}
+
+ServiceStats SortService::Run(const RequestTrace& trace) {
+  for (const auto& burst : trace.bursts) {
+    for (const SortRequest& request : burst) {
+      const StatusOr<uint64_t> ticket = Submit(request);
+      APPROXMEM_CHECK_OK(ticket.status());
+    }
+    RunBatch();
+  }
+  RunUntilIdle();
+  return stats_;
+}
+
+core::ApproxSortEngine& SortService::EngineFor(Shard& shard,
+                                               const TenantSpec& tenant) {
+  auto it = shard.engines.find(tenant.name);
+  if (it != shard.engines.end()) return *it->second;
+  core::EngineOptions engine_options;
+  engine_options.backend = tenant.backend;
+  engine_options.seed = MixSeed(options_.seed, shard.index, tenant);
+  engine_options.calibration_trials = options_.calibration_trials;
+  engine_options.shared_calibration = calibration_;
+  engine_options.health.enabled = options_.health_monitor;
+  engine_options.placement = shard.wear.get();
+  engine_options.fault_hook = shard.fault_hook.get();
+  // Jobs already run shard-parallel; intra-sort stays serial so a fully
+  // loaded service never oversubscribes the host.
+  engine_options.sort_threads = 1;
+  auto engine = std::make_unique<core::ApproxSortEngine>(engine_options);
+  core::ApproxSortEngine& ref = *engine;
+  shard.engines.emplace(tenant.name, std::move(engine));
+  return ref;
+}
+
+void SortService::ExecuteShard(Shard& shard) {
+  bool escalated = false;
+  for (const uint64_t ticket : shard.run_list) {
+    RunJob(shard, ticket);
+    const JobRecord& record = records_[ticket];
+    if (record.state != JobState::kCompleted || record.attempts > 1) {
+      escalated = true;
+    }
+  }
+  // A shard that admitted nothing this batch has rested; its cooldown ends.
+  shard.cooling = escalated;
+}
+
+void SortService::RunJob(Shard& shard, uint64_t ticket) {
+  JobRecord& record = records_[ticket];
+  const TenantSpec& tenant = tenants_.at(record.request.tenant);
+  core::ApproxSortEngine& engine = EngineFor(shard, tenant);
+  approx::ApproxMemory& memory = engine.memory();
+  if (shard.wear) shard.wear->BeginJob();
+  // Key every allocation stream of this job by its ticket alone: the job's
+  // simulated error draws no longer depend on how many allocations earlier
+  // jobs on this substrate consumed.
+  memory.BeginJobStream(ticket);
+  const double knob = std::isnan(tenant.knob)
+                          ? memory.backend().default_approx_knob()
+                          : tenant.knob;
+  const std::vector<uint32_t> keys = core::MakeKeys(
+      record.request.workload, record.request.n, record.request.seed);
+
+  std::vector<uint32_t> final_keys;
+  std::vector<uint32_t> final_ids;
+  if (tenant.resilient) {
+    const StatusOr<core::ResilienceReport> report = core::SortResilient(
+        engine, keys, record.request.algorithm, knob, tenant.resilience,
+        &final_keys, &final_ids);
+    if (!report.ok()) {
+      record.state = JobState::kFailed;
+      record.status = report.status();
+    } else {
+      record.attempts = report->attempts.size();
+      record.verified = report->verified;
+      record.cost = report->cumulative;
+      record.baseline_write_cost = report->baseline.TotalWriteCost();
+      record.write_reduction = report->write_reduction;
+      record.state =
+          report->verified ? JobState::kCompleted : JobState::kFailed;
+      record.status = report->verified
+                          ? Status::Ok()
+                          : Status::Unavailable(
+                                "resilience ladder exhausted unverified");
+    }
+  } else {
+    const StatusOr<core::RefineOutcome> outcome = engine.SortApproxRefine(
+        keys, record.request.algorithm, knob, &final_keys, &final_ids);
+    if (!outcome.ok()) {
+      record.state = JobState::kFailed;
+      record.status = outcome.status();
+    } else {
+      record.attempts = 1;
+      record.verified = outcome->refine.verified();
+      record.cost = outcome->refine.TotalStats();
+      record.baseline_write_cost = outcome->baseline.TotalWriteCost();
+      record.write_reduction = outcome->write_reduction;
+      record.state = record.verified ? JobState::kCompleted
+                                     : JobState::kFailed;
+      record.status =
+          record.verified
+              ? Status::Ok()
+              : Status::Unavailable("refine output unverified: " +
+                                    outcome->refine.verification.ToString());
+    }
+  }
+  record.keys_digest = VectorDigest(final_keys);
+  record.ids_digest = VectorDigest(final_ids);
+  if (shard.wear) shard.wear->ChargeJobCost(record.cost.pv_iterations);
+  record.latency_seconds = NowSeconds() - submit_time_[ticket];
+}
+
+const JobRecord& SortService::job(uint64_t ticket) const {
+  APPROXMEM_CHECK(ticket < records_.size());
+  return records_[ticket];
+}
+
+TenantLedger SortService::tenant_ledger(const std::string& tenant) const {
+  TenantLedger ledger;
+  for (const JobRecord& record : records_) {
+    if (record.request.tenant != tenant) continue;
+    ledger.deferral_events += static_cast<uint64_t>(record.deferrals);
+    switch (record.state) {
+      case JobState::kCompleted:
+        ++ledger.jobs_completed;
+        ledger.cost += record.cost;
+        ledger.baseline_write_cost += record.baseline_write_cost;
+        break;
+      case JobState::kFailed:
+        ++ledger.jobs_failed;
+        ledger.cost += record.cost;
+        ledger.baseline_write_cost += record.baseline_write_cost;
+        break;
+      case JobState::kShed:
+        ++ledger.jobs_shed;
+        break;
+      case JobState::kQueued:
+      case JobState::kDeferred:
+        break;
+    }
+  }
+  return ledger;
+}
+
+std::vector<std::string> SortService::tenant_names() const {
+  std::vector<std::string> names;
+  names.reserve(tenants_.size());
+  for (const auto& [name, spec] : tenants_) names.push_back(name);
+  return names;
+}
+
+const WearPlacement* SortService::shard_wear(int shard) const {
+  APPROXMEM_CHECK(shard >= 0 &&
+                  shard < static_cast<int>(shards_.size()));
+  return shards_[static_cast<size_t>(shard)]->wear.get();
+}
+
+approx::HealthStats SortService::shard_health(int shard) const {
+  APPROXMEM_CHECK(shard >= 0 &&
+                  shard < static_cast<int>(shards_.size()));
+  approx::HealthStats total;
+  for (const auto& [name, engine] : shards_[static_cast<size_t>(shard)]
+                                        ->engines) {
+    const approx::HealthStats& stats = engine->memory().health().stats();
+    total.canary_writes += stats.canary_writes;
+    total.canary_errors += stats.canary_errors;
+    total.regions_probed += stats.regions_probed;
+    total.regions_quarantined += stats.regions_quarantined;
+    total.allocation_retries += stats.allocation_retries;
+    total.canary_costs += stats.canary_costs;
+  }
+  return total;
+}
+
+}  // namespace approxmem::service

@@ -1,0 +1,270 @@
+// Multi-tenant approximate-sort service: a sharded pool of engines behind
+// a bounded request queue.
+//
+// The paper's write-cost savings only matter at scale if many sort jobs
+// can share one approximate-memory substrate. SortService is that sharing
+// layer: tenants register a (backend, knob, resilience) profile through
+// the PR-5 MemoryBackend registry, submit SortRequests in arrival bursts,
+// and the service batches the backlog onto a sharded pool of
+// ApproxSortEngines driven by the deterministic ThreadPool.
+//
+// Determinism contract. Scheduling is batch-synchronous: RunBatch admits
+// jobs from the FIFO backlog onto per-shard run lists using only
+// deterministic state (queue occupancy, per-shard admission quotas,
+// cooldown flags), then executes all shards in parallel with a barrier at
+// the end of the batch. Each shard runs its list serially, each shard owns
+// its substrate (engines, wear ledger, fault hook) exclusively, and every
+// job rebases the shard memory's RNG tree onto a substream keyed by its
+// ticket alone (ApproxMemory::BeginJobStream). Consequently, for a fixed
+// trace and shard count, every job's output digest, cost ledger, and the
+// per-tenant cumulative ledgers are byte-identical at ANY thread count —
+// threads only decide which shards share a core, never what a shard
+// computes. The service_concurrency_test pins this against a serial
+// replay at threads one through eight.
+//
+// Admission control. The backlog is bounded (queue_capacity): submissions
+// beyond it are shed immediately with an honest Unavailable status.
+// Each batch, a shard admits at most shard_batch_quota jobs — or
+// cooldown_admit jobs while it is cooling down because its previous job
+// climbed the PR-3 resilience ladder (retry/escalation/fallback) or
+// finished unverified. Jobs that find no shard quota are deferred to the
+// next batch; after max_deferrals deferrals they are shed, again with an
+// honest status. Deferred jobs therefore always terminate: completed,
+// failed, or shed — never silently dropped.
+//
+// Wear-aware placement. Each shard substrate routes every allocation of
+// every tenant engine through one WearPlacement policy, rotating hot
+// allocations across PCM bank lanes by accumulated P&V wear and steering
+// around regions the health monitor quarantined (see wear_placement.h).
+//
+// Threading contract: Submit/RunBatch/RunUntilIdle and all accessors must
+// be called from one driver thread; the service parallelizes internally.
+#ifndef APPROXMEM_SERVICE_SORT_SERVICE_H_
+#define APPROXMEM_SERVICE_SORT_SERVICE_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <limits>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "approx/fault_hook.h"
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "core/engine.h"
+#include "core/resilience.h"
+#include "mlc/calibration.h"
+#include "service/service_trace.h"
+#include "service/wear_placement.h"
+
+namespace approxmem::service {
+
+/// One tenant's service profile: which memory technology its jobs run on,
+/// at what knob, and how hard the resilience ladder may climb for it.
+struct TenantSpec {
+  std::string name;
+  /// Registry name of the tenant's memory technology.
+  std::string backend = std::string(approx::kPcmBackendName);
+  /// Approximation knob; NaN means the backend's sweet spot.
+  double knob = std::numeric_limits<double>::quiet_NaN();
+  /// Folded into every engine seed serving this tenant.
+  uint64_t seed = 1;
+  /// Run jobs under the verified-retry ladder (core/resilience.h). When
+  /// false, jobs run plain approx-refine and fail on the first unverified
+  /// output.
+  bool resilient = true;
+  core::ResilienceOptions resilience;
+};
+
+enum class JobState : uint8_t {
+  /// In the backlog, not yet admitted to a shard.
+  kQueued,
+  /// Still in the backlog after at least one failed admission attempt.
+  kDeferred,
+  /// Ran and produced a verified, exactly sorted output.
+  kCompleted,
+  /// Ran but errored or finished unverified (status says which).
+  kFailed,
+  /// Never ran: rejected by admission control (status says why).
+  kShed,
+};
+
+std::string_view JobStateName(JobState state);
+
+/// Everything the service knows about one submitted job.
+struct JobRecord {
+  uint64_t ticket = 0;
+  SortRequest request;
+  JobState state = JobState::kQueued;
+  /// Shard that ran the job; -1 until admitted.
+  int shard = -1;
+  /// Batch index the job executed in; -1 until admitted.
+  int batch = -1;
+  int deferrals = 0;
+  Status status;
+  bool verified = false;
+  /// Resilience-ladder attempts the job consumed (1 = first try verified).
+  size_t attempts = 0;
+  /// FNV-1a digests of the final keys / final IDs (0 until completed).
+  uint64_t keys_digest = 0;
+  uint64_t ids_digest = 0;
+  /// The job's honest cumulative cost: every attempt plus canary traffic.
+  approx::MemoryStats cost;
+  /// Precise-baseline write cost (Equation 2's denominator).
+  double baseline_write_cost = 0.0;
+  /// Equation 2 over the job's cumulative cost.
+  double write_reduction = 0.0;
+  /// Wall-clock submit-to-terminal latency. Reporting only — never feeds
+  /// a digest or a scheduling decision.
+  double latency_seconds = 0.0;
+};
+
+/// Per-tenant cumulative accounting, merged from job records on report.
+struct TenantLedger {
+  uint64_t jobs_completed = 0;
+  uint64_t jobs_failed = 0;
+  uint64_t jobs_shed = 0;
+  uint64_t deferral_events = 0;
+  /// Sum of completed/failed jobs' cumulative ledgers (Eq. 2 numerator).
+  approx::MemoryStats cost;
+  /// Sum of the matching precise baselines (Eq. 2 denominator).
+  double baseline_write_cost = 0.0;
+
+  /// Cumulative Equation 2 across the tenant's whole traffic.
+  double CumulativeWriteReduction() const {
+    return baseline_write_cost > 0.0
+               ? 1.0 - cost.write_cost / baseline_write_cost
+               : 0.0;
+  }
+
+  /// FNV-1a digest of every counter — equal digests mean the ledger
+  /// replayed identically (e.g. across thread counts).
+  uint64_t Digest() const;
+};
+
+struct AdmissionOptions {
+  /// Upper bound on jobs queued (backlog) awaiting admission; submissions
+  /// beyond it are shed at once. The property suite asserts the backlog
+  /// high-water mark never exceeds this.
+  size_t queue_capacity = 64;
+  /// Jobs one shard may admit per batch.
+  int shard_batch_quota = 4;
+  /// Admission quota of a shard that is cooling down after its previous
+  /// job climbed the resilience ladder or finished unverified. 0 defers
+  /// everything away from the shard for one batch.
+  int cooldown_admit = 1;
+  /// Deferrals a job survives before admission control sheds it.
+  int max_deferrals = 3;
+};
+
+struct ServiceOptions {
+  int shards = 4;
+  /// Threads driving the shard pool; <= 0 means hardware concurrency. Any
+  /// value yields identical results; only wall-clock changes.
+  int threads = 0;
+  uint64_t seed = 42;
+  uint64_t calibration_trials = 20000;
+  AdmissionOptions admission;
+  /// Online health monitoring (canary probes + quarantine) on every shard
+  /// engine. On by default: a service must notice a degrading substrate.
+  bool health_monitor = true;
+  /// Wear-aware bank rotation on every shard substrate.
+  bool wear_leveling = true;
+  WearLevelOptions wear;
+  /// Optional shared calibration cache (thread-safe); when null the
+  /// service builds one, shared by all shard engines, so each T still
+  /// calibrates exactly once per process.
+  std::shared_ptr<mlc::CalibrationCache> shared_calibration;
+  /// Optional per-shard fault hook factory (fault storms in tests and the
+  /// soak bench). Called once per shard at construction; the service owns
+  /// the returned hooks. Each hook is only ever driven by its own shard,
+  /// so single-threaded hook implementations are safe.
+  std::function<std::unique_ptr<approx::MemoryFaultHook>(int shard)>
+      fault_hook_factory;
+};
+
+/// Aggregate service counters (see also tenant_ledger / shard accessors).
+struct ServiceStats {
+  size_t batches = 0;
+  size_t jobs_submitted = 0;
+  size_t jobs_completed = 0;
+  size_t jobs_failed = 0;
+  size_t jobs_shed = 0;
+  /// Job-batches spent waiting in the backlog after an admission miss.
+  size_t deferral_events = 0;
+  size_t backlog_high_water = 0;
+  /// Shard-batches spent in resilience cooldown.
+  size_t cooldown_batches = 0;
+  /// Regions quarantined across all shard engines.
+  uint64_t quarantined_regions = 0;
+};
+
+class SortService {
+ public:
+  explicit SortService(const ServiceOptions& options);
+  ~SortService();
+
+  SortService(const SortService&) = delete;
+  SortService& operator=(const SortService&) = delete;
+
+  /// Registers a tenant profile. Fails on duplicate names, unregistered
+  /// backends, or an invalid knob for the backend.
+  Status RegisterTenant(const TenantSpec& tenant);
+
+  /// Queues one request and returns its ticket. Unknown tenants return an
+  /// error; a full backlog sheds the job immediately (the ticket's record
+  /// reports kShed with an honest status).
+  StatusOr<uint64_t> Submit(const SortRequest& request);
+
+  /// Admits from the backlog and executes one batch across the shard pool.
+  /// Returns the number of jobs that ran.
+  size_t RunBatch();
+
+  /// Runs batches until every submitted job is terminal.
+  void RunUntilIdle();
+
+  /// Convenience driver: submits each burst of `trace`, running batches
+  /// between bursts, then drains. Returns stats() at the end.
+  ServiceStats Run(const RequestTrace& trace);
+
+  const JobRecord& job(uint64_t ticket) const;
+  const std::vector<JobRecord>& jobs() const { return records_; }
+
+  /// Ledger of `tenant`, merged on the fly from job records.
+  TenantLedger tenant_ledger(const std::string& tenant) const;
+  std::vector<std::string> tenant_names() const;
+
+  const ServiceStats& stats() const { return stats_; }
+  const ServiceOptions& options() const { return options_; }
+
+  /// Shard s's wear ledger (null when wear_leveling is off).
+  const WearPlacement* shard_wear(int shard) const;
+  /// Aggregated health-monitor counters across shard `shard`'s engines.
+  approx::HealthStats shard_health(int shard) const;
+
+ private:
+  struct Shard;
+
+  core::ApproxSortEngine& EngineFor(Shard& shard, const TenantSpec& tenant);
+  void ExecuteShard(Shard& shard);
+  void RunJob(Shard& shard, uint64_t ticket);
+
+  ServiceOptions options_;
+  std::shared_ptr<mlc::CalibrationCache> calibration_;
+  std::unique_ptr<ThreadPool> pool_;
+  std::map<std::string, TenantSpec> tenants_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<JobRecord> records_;
+  /// Tickets awaiting admission, FIFO.
+  std::deque<uint64_t> backlog_;
+  /// Submit wall-clock stamps (seconds on a steady clock), per ticket.
+  std::vector<double> submit_time_;
+  ServiceStats stats_;
+};
+
+}  // namespace approxmem::service
+
+#endif  // APPROXMEM_SERVICE_SORT_SERVICE_H_

@@ -1,0 +1,89 @@
+#include "service/wear_placement.h"
+
+#include "common/check.h"
+
+namespace approxmem::service {
+
+WearPlacement::WearPlacement(const WearLevelOptions& options)
+    : options_(options) {
+  APPROXMEM_CHECK(options_.banks > 0);
+  banks_.resize(static_cast<size_t>(options_.banks));
+}
+
+uint64_t WearPlacement::PlaceSpan(uint64_t span) {
+  // Least-worn bank wins; ties fall to fewest bytes placed, then lowest
+  // index — with no wear reports yet this degrades to byte-balanced
+  // rotation, which is exactly the cold-start behaviour we want.
+  int best = 0;
+  for (int b = 1; b < options_.banks; ++b) {
+    const BankWear& cand = banks_[static_cast<size_t>(b)];
+    const BankWear& incumbent = banks_[static_cast<size_t>(best)];
+    if (cand.wear < incumbent.wear ||
+        (cand.wear == incumbent.wear &&
+         cand.bytes_placed < incumbent.bytes_placed)) {
+      best = b;
+    }
+  }
+  BankWear& bank = banks_[static_cast<size_t>(best)];
+  APPROXMEM_CHECK(bank.cursor + span <= kBankLaneBytes);
+  const uint64_t base =
+      static_cast<uint64_t>(best) * kBankLaneBytes + bank.cursor;
+  bank.cursor += span;
+  bank.bytes_placed += span;
+  ++bank.allocations;
+  current_job_spans_.emplace_back(best, span);
+  return base;
+}
+
+void WearPlacement::OnQuarantine(uint64_t base, uint64_t span) {
+  const int b = BankOf(base);
+  BankWear& bank = banks_[static_cast<size_t>(b)];
+  ++bank.quarantined_regions;
+  bank.wear += options_.quarantine_wear_penalty;
+  ++quarantine_events_;
+  // The quarantined span was already consumed by PlaceSpan, so the lane
+  // cursor has moved past it; nothing to rewind. Drop the span from the
+  // current job's attribution targets — its canaries failed, the job's
+  // data never lived there.
+  if (!current_job_spans_.empty() &&
+      current_job_spans_.back() == std::make_pair(b, span)) {
+    current_job_spans_.pop_back();
+  }
+}
+
+void WearPlacement::BeginJob() { current_job_spans_.clear(); }
+
+void WearPlacement::ChargeJobCost(double pv_iterations) {
+  if (current_job_spans_.empty() || pv_iterations <= 0.0) return;
+  uint64_t total_bytes = 0;
+  for (const auto& [bank, bytes] : current_job_spans_) total_bytes += bytes;
+  if (total_bytes == 0) return;
+  for (const auto& [bank, bytes] : current_job_spans_) {
+    banks_[static_cast<size_t>(bank)].wear +=
+        pv_iterations * (static_cast<double>(bytes) /
+                         static_cast<double>(total_bytes));
+  }
+}
+
+int WearPlacement::BankOf(uint64_t address) const {
+  const uint64_t b = address / kBankLaneBytes;
+  APPROXMEM_CHECK(b < banks_.size());
+  return static_cast<int>(b);
+}
+
+double WearPlacement::WearImbalance() const {
+  double max_wear = 0.0;
+  double total = 0.0;
+  int used = 0;
+  for (const BankWear& bank : banks_) {
+    if (bank.allocations == 0 && bank.wear == 0.0) continue;
+    ++used;
+    total += bank.wear;
+    if (bank.wear > max_wear) max_wear = bank.wear;
+  }
+  if (used == 0 || total <= 0.0) return 1.0;
+  const double mean = total / used;
+  return mean > 0.0 ? max_wear / mean : 1.0;
+}
+
+}  // namespace approxmem::service

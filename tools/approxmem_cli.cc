@@ -31,6 +31,7 @@
 #include "core/resilience.h"
 #include "core/workload.h"
 #include "refine/cost_model.h"
+#include "service/sort_service.h"
 #include "testing/differential_oracle.h"
 #include "testing/fault_injection.h"
 #include "testing/property_runner.h"
@@ -39,7 +40,8 @@ namespace approxmem {
 namespace {
 
 constexpr char kUsage[] =
-    "usage: approxmem_cli --cmd=calibrate|study|sort|refine|sweep|recommend\n"
+    "usage: approxmem_cli --cmd=calibrate|study|sort|refine|sweep|recommend|"
+    "resilient|fuzz|serve\n"
     "  calibrate [--save=FILE]         cell-model table (avg #P, p(t), err)\n"
     "  study     --algo=A --t=K        Section 3: sort in approx memory\n"
     "  sort      --algo=A --t=K        Sections 4-5: approx-refine to an\n"
@@ -57,6 +59,13 @@ constexpr char kUsage[] =
     "            oracle runs; --resilient=1 drives SortResilient with\n"
     "            monitoring on instead (see TESTING.md; prints a minimized\n"
     "            repro and exits 1 on the first invariant violation)\n"
+    "  serve     [--shards=4] [--threads=0] [--tenants=3] [--bursts=6]\n"
+    "            [--burst_jobs=8] [--n_max=512] [--queue=64] [--quota=4]\n"
+    "            [--inject=0]  scripted request-trace driver for the\n"
+    "            multi-tenant sort service (service/sort_service.h): runs\n"
+    "            a deterministic bursty trace over up to three tenants on\n"
+    "            different backends and prints per-tenant ledgers,\n"
+    "            admission stats, and per-shard wear/quarantine\n"
     "common: --n=N --seed=S --backend=mlc-pcm|mlc-pcm-banked|spintronic|\n"
     "        dram-precise (any registered backend; --t is the backend's\n"
     "        knob — half-width T on PCM, per-bit error prob on spintronic;\n"
@@ -451,6 +460,140 @@ int Fuzz(const Flags& flags, uint64_t seed) {
   return 0;
 }
 
+// Scripted request-trace driver for the multi-tenant sort service. No
+// network: the trace is generated from --seed and replayed through
+// SortService::Run, which is exactly how the concurrency and property
+// suites drive it, so any anomaly seen here replays in a test verbatim.
+int Serve(const Flags& flags, uint64_t seed) {
+  service::ServiceOptions options;
+  options.shards = static_cast<int>(flags.GetInt("shards", 4));
+  options.threads = static_cast<int>(flags.GetInt("threads", 0));
+  options.seed = seed;
+  options.calibration_trials =
+      static_cast<uint64_t>(flags.GetInt("calibration_trials", 20000));
+  options.admission.queue_capacity =
+      static_cast<size_t>(flags.GetInt("queue", 64));
+  options.admission.shard_batch_quota =
+      static_cast<int>(flags.GetInt("quota", 4));
+  options.admission.max_deferrals =
+      static_cast<int>(flags.GetInt("max_deferrals", 3));
+  const bool inject = flags.GetBool("inject", false);
+  if (inject) {
+    options.fault_hook_factory =
+        [seed](int shard) -> std::unique_ptr<approx::MemoryFaultHook> {
+      return std::make_unique<testing::FaultInjector>(
+          testing::FaultPlan::ApproxStorm(
+              seed ^ (0x5eedULL + static_cast<uint64_t>(shard))));
+    };
+  }
+  service::SortService service(options);
+
+  struct Profile {
+    const char* name;
+    const char* backend;
+  };
+  static constexpr Profile kProfiles[] = {
+      {"tenant-pcm", "mlc-pcm"},
+      {"tenant-banked", "mlc-pcm-banked"},
+      {"tenant-spin", "spintronic"},
+  };
+  const size_t tenant_count = std::min<size_t>(
+      std::max<int64_t>(flags.GetInt("tenants", 3), 1), 3);
+  std::vector<std::string> tenant_names;
+  for (size_t i = 0; i < tenant_count; ++i) {
+    service::TenantSpec tenant;
+    tenant.name = kProfiles[i].name;
+    tenant.backend = kProfiles[i].backend;
+    tenant.seed = seed + i;
+    const Status status = service.RegisterTenant(tenant);
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      return 1;
+    }
+    tenant_names.push_back(tenant.name);
+  }
+
+  service::TraceGenOptions gen;
+  gen.seed = seed;
+  gen.tenants = tenant_names;
+  gen.bursts = static_cast<size_t>(flags.GetInt("bursts", 6));
+  gen.max_burst_jobs = static_cast<size_t>(flags.GetInt("burst_jobs", 8));
+  gen.max_n = static_cast<size_t>(flags.GetInt("n_max", 512));
+  const service::RequestTrace trace = service::MakeRandomTrace(gen);
+
+  std::printf("serve: %zu jobs in %zu bursts over %zu tenants, %d shards "
+              "(seed=%llu%s)\n",
+              trace.TotalJobs(), trace.bursts.size(), tenant_count,
+              options.shards, static_cast<unsigned long long>(seed),
+              inject ? ", fault storm on" : "");
+  const auto start = std::chrono::steady_clock::now();
+  const service::ServiceStats stats = service.Run(trace);
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  TablePrinter tenants_table("per-tenant ledgers");
+  tenants_table.SetHeader({"tenant", "done", "failed", "shed", "deferrals",
+                           "write_cost", "cum_WR", "ledger_digest"});
+  for (const std::string& name : tenant_names) {
+    const service::TenantLedger ledger = service.tenant_ledger(name);
+    char digest[32];
+    std::snprintf(digest, sizeof(digest), "%016llx",
+                  static_cast<unsigned long long>(ledger.Digest()));
+    tenants_table.AddRow(
+        {name,
+         TablePrinter::FmtInt(static_cast<long long>(ledger.jobs_completed)),
+         TablePrinter::FmtInt(static_cast<long long>(ledger.jobs_failed)),
+         TablePrinter::FmtInt(static_cast<long long>(ledger.jobs_shed)),
+         TablePrinter::FmtInt(
+             static_cast<long long>(ledger.deferral_events)),
+         TablePrinter::Fmt(ledger.cost.write_cost / 1e6, 3),
+         TablePrinter::FmtPercent(ledger.CumulativeWriteReduction(), 2),
+         digest});
+  }
+  tenants_table.Print();
+
+  TablePrinter shards_table("per-shard substrate");
+  shards_table.SetHeader({"shard", "wear_imbalance", "quarantine_events",
+                          "regions_quarantined", "alloc_retries"});
+  for (int s = 0; s < options.shards; ++s) {
+    const service::WearPlacement* wear = service.shard_wear(s);
+    const approx::HealthStats health = service.shard_health(s);
+    shards_table.AddRow(
+        {TablePrinter::FmtInt(s),
+         wear ? TablePrinter::Fmt(wear->WearImbalance(), 3) : "-",
+         TablePrinter::FmtInt(static_cast<long long>(
+             wear ? wear->quarantine_events() : 0)),
+         TablePrinter::FmtInt(
+             static_cast<long long>(health.regions_quarantined)),
+         TablePrinter::FmtInt(
+             static_cast<long long>(health.allocation_retries))});
+  }
+  shards_table.Print();
+
+  std::printf("  batches           %zu (%zu shard-batches in cooldown)\n",
+              stats.batches, stats.cooldown_batches);
+  std::printf("  jobs              %zu submitted, %zu completed, %zu failed, "
+              "%zu shed\n",
+              stats.jobs_submitted, stats.jobs_completed, stats.jobs_failed,
+              stats.jobs_shed);
+  std::printf("  backlog           high water %zu (capacity %zu), "
+              "%zu deferral events\n",
+              stats.backlog_high_water, options.admission.queue_capacity,
+              stats.deferral_events);
+  std::printf("  throughput        %.1f jobs/sec (%.3fs wall)\n",
+              elapsed > 0.0 ? static_cast<double>(stats.jobs_completed) /
+                                  elapsed
+                            : 0.0,
+              elapsed);
+  if (!inject && stats.jobs_failed > 0) {
+    std::fprintf(stderr, "serve: %zu jobs FAILED without fault injection\n",
+                 stats.jobs_failed);
+    return 1;
+  }
+  return 0;
+}
+
 int Main(int argc, char** argv) {
   StatusOr<Flags> flags = Flags::Parse(argc, argv);
   if (!flags.ok()) {
@@ -465,6 +608,9 @@ int Main(int argc, char** argv) {
 
   if (cmd == "fuzz") {
     return Fuzz(*flags, static_cast<uint64_t>(flags->GetInt("seed", 42)));
+  }
+  if (cmd == "serve") {
+    return Serve(*flags, static_cast<uint64_t>(flags->GetInt("seed", 42)));
   }
 
   core::EngineOptions options;
