@@ -10,13 +10,34 @@
 // then reports wear-leveling effectiveness (per-shard placement imbalance
 // across PCM banks) and quarantine churn. Exits 1 when rotation failed to
 // keep placement balanced — the CI soak gate.
+//
+// --age_multiplier=X runs the accelerated-aging soak instead: the service
+// runs with the endurance subsystem on (approx/endurance.h) and every
+// charged P&V iteration counts X times against the per-bank budgets, so a
+// device-lifetime's worth of wear passes in CI minutes. Time is job-count
+// virtual time, never wall clock, so the retirement timeline and every
+// service digest replay bit-identically — the soak runs the same traffic
+// twice (shard pool threaded, then serial) and fails unless the timelines
+// and tenant ledgers match. It also fails when no bank retired, when the
+// service stopped completing verified jobs after the first retirement, or
+// when any completed job's output digest disagrees with std::sort (the
+// differential oracle). Emits bench_artifacts/endurance_snapshot.json for
+// tools/bench_compare (BENCH_8.json gate).
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <map>
 #include <memory>
+#include <string>
+#include <vector>
 
+#include "approx/endurance.h"
 #include "bench/bench_lib.h"
 #include "common/table_printer.h"
+#include "common/thread_pool.h"
+#include "core/workload.h"
 #include "service/sort_service.h"
+#include "testing/differential_oracle.h"
 #include "testing/fault_injection.h"
 
 namespace approxmem {
@@ -151,6 +172,272 @@ int RunSoak(const bench::BenchEnv& env, double seconds) {
   return 0;
 }
 
+// ---- Accelerated-aging soak ------------------------------------------------
+
+/// Everything one aging run produces that the gates and the snapshot need.
+struct AgingRunResult {
+  service::ServiceStats stats;
+  uint64_t timeline_digest = 0;
+  /// FNV fold of every tenant ledger digest, in tenant-name order.
+  uint64_t ledger_digest = 0;
+  uint64_t banks_retired = 0;
+  uint64_t first_retirement_vtime = 0;
+  uint64_t completed_after_first_retirement = 0;
+  double p99_drift = 1.0;
+  double write_reduction_drift = 0.0;
+  uint64_t oracle_failures = 0;
+  /// Retirement events in shard order, with their owning shard.
+  std::vector<std::pair<int, approx::RetirementEvent>> timeline;
+  std::map<uint64_t, service::SloEpochStats> epochs;
+};
+
+constexpr struct {
+  const char* name;
+  const char* backend;
+} kAgingTenants[] = {{"tenant-pcm", "mlc-pcm"},
+                     {"tenant-banked", "mlc-pcm-banked"},
+                     {"tenant-spin", "spintronic"}};
+
+/// One full aging run: fixed rounds of deterministic bursty traffic on an
+/// endurance-modeled 2-shard substrate. Pure function of (env.seed,
+/// age_multiplier, rounds, budget) — `threads` only changes wall clock.
+AgingRunResult RunAgingService(
+    const bench::BenchEnv& env, double age_multiplier, int rounds,
+    int threads, double budget,
+    const std::shared_ptr<mlc::CalibrationCache>& calibration) {
+  service::ServiceOptions options;
+  options.shards = 2;
+  options.threads = threads;
+  options.seed = env.seed;
+  options.calibration_trials = static_cast<uint64_t>(
+      env.flags.GetInt("calibration_trials", 20000));
+  options.shared_calibration = calibration;
+  options.admission.queue_capacity = 256;
+  // Few, small banks concentrate wear so a device lifetime fits in a CI
+  // run; the endurance geometry follows options.wear automatically.
+  options.wear.banks = 4;
+  options.endurance.enabled = true;
+  options.endurance.bank_budget_pv = budget;
+  options.endurance.age_multiplier = age_multiplier;
+  service::SortService sort_service(options);
+  for (const auto& profile : kAgingTenants) {
+    service::TenantSpec tenant;
+    tenant.name = profile.name;
+    tenant.backend = profile.backend;
+    tenant.seed = env.seed;
+    const Status status = sort_service.RegisterTenant(tenant);
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      std::exit(1);
+    }
+  }
+
+  for (int round = 0; round < rounds; ++round) {
+    service::TraceGenOptions gen;
+    gen.seed = env.seed ^ (0xa9e5ULL * static_cast<uint64_t>(round + 1));
+    gen.tenants = {"tenant-pcm", "tenant-banked", "tenant-spin"};
+    gen.bursts = 2;
+    gen.max_burst_jobs = 6;
+    gen.min_n = 64;
+    gen.max_n = env.n < 256 ? env.n : 256;
+    sort_service.Run(service::MakeRandomTrace(gen));
+  }
+
+  AgingRunResult result;
+  result.stats = sort_service.stats();
+  result.timeline_digest = sort_service.RetirementTimelineDigest();
+  uint64_t ledgers = testing::Fnv1a64(nullptr, 0);
+  for (const std::string& name : sort_service.tenant_names()) {
+    const uint64_t digest = sort_service.tenant_ledger(name).Digest();
+    ledgers = testing::Fnv1a64(&digest, sizeof(digest), ledgers);
+  }
+  result.ledger_digest = ledgers;
+  for (int s = 0; s < options.shards; ++s) {
+    const approx::EnduranceLedger* ledger = sort_service.shard_endurance(s);
+    result.banks_retired += ledger->wear_epoch();
+    for (const approx::RetirementEvent& event : ledger->retirements()) {
+      result.timeline.emplace_back(s, event);
+      if (result.first_retirement_vtime == 0 ||
+          event.virtual_time < result.first_retirement_vtime) {
+        result.first_retirement_vtime = event.virtual_time;
+      }
+    }
+  }
+  // Differential oracle over every completed job: the digest the service
+  // recorded must equal the digest of a trusted std::sort of the same
+  // generated input — aged banks may err more, but a COMPLETED job is
+  // still exactly sorted.
+  for (const service::JobRecord& record : sort_service.jobs()) {
+    if (record.state != service::JobState::kCompleted) continue;
+    if (record.wear_epoch > 0) ++result.completed_after_first_retirement;
+    std::vector<uint32_t> expected = core::MakeKeys(
+        record.request.workload, record.request.n, record.request.seed);
+    std::sort(expected.begin(), expected.end());
+    const uint64_t digest =
+        expected.empty()
+            ? 0
+            : testing::Fnv1a64(expected.data(),
+                               expected.size() * sizeof(uint32_t));
+    if (digest != record.keys_digest) ++result.oracle_failures;
+  }
+  result.p99_drift = sort_service.slo().P99DriftRatio();
+  result.write_reduction_drift = sort_service.slo().WriteReductionDrift();
+  result.epochs = sort_service.slo().epochs();
+  return result;
+}
+
+int RunAgingSoak(const bench::BenchEnv& env, double age_multiplier) {
+  const int rounds =
+      static_cast<int>(env.flags.GetInt("aging_rounds", 24));
+  // Sized so a 4-bank shard under ~25 rounds of default traffic walks the
+  // whole lifecycle: healthy, aged (escalation steps), staggered
+  // retirements, and end-of-life shedding near the end of the soak.
+  const double budget =
+      env.flags.GetDouble("bank_budget_pv", 4.0e6);
+
+  std::printf("\naging soak: %d rounds of bursty traffic, 2 shards x 4 "
+              "banks, age multiplier %.0fx, bank budget %.2e P&V\n",
+              rounds, age_multiplier, budget);
+  // One shared calibration cache: per-T calibrations are deterministic, so
+  // sharing only removes the Monte-Carlo recalibration from the replay.
+  const uint64_t trials = static_cast<uint64_t>(
+      env.flags.GetInt("calibration_trials", 20000));
+  const auto calibration = std::make_shared<mlc::CalibrationCache>(
+      mlc::MlcConfig{}, trials, env.seed ^ 0xca11b7a7e5eedULL);
+  const AgingRunResult primary = RunAgingService(
+      env, age_multiplier, rounds, env.threads, budget, calibration);
+  // The determinism gate: the identical virtual-time run with the shard
+  // pool forced serial must age — and account — bit-identically.
+  const AgingRunResult replay = RunAgingService(env, age_multiplier, rounds,
+                                                1, budget, calibration);
+
+  TablePrinter timeline("retirement timeline (job-count virtual time)");
+  timeline.SetHeader({"shard", "bank", "reason", "virtual_time",
+                      "consumed_pv", "quarantines"});
+  for (const auto& [shard, event] : primary.timeline) {
+    timeline.AddRow(
+        {TablePrinter::FmtInt(shard), TablePrinter::FmtInt(event.bank),
+         std::string(approx::RetirementReasonName(event.reason)),
+         TablePrinter::FmtInt(static_cast<long long>(event.virtual_time)),
+         TablePrinter::Fmt(event.consumed_pv, 0),
+         TablePrinter::FmtInt(static_cast<long long>(event.quarantines))});
+  }
+  timeline.Print();
+
+  TablePrinter slo("per-wear-epoch SLO (latency wall-clock, advisory)");
+  slo.SetHeader({"epoch", "completed", "failed", "shed", "mean_WR",
+                 "p50_ms", "p99_ms"});
+  for (const auto& [epoch, stats] : primary.epochs) {
+    slo.AddRow({TablePrinter::FmtInt(static_cast<long long>(epoch)),
+                TablePrinter::FmtInt(static_cast<long long>(
+                    stats.jobs_completed)),
+                TablePrinter::FmtInt(static_cast<long long>(
+                    stats.jobs_failed)),
+                TablePrinter::FmtInt(static_cast<long long>(stats.jobs_shed)),
+                TablePrinter::FmtPercent(stats.MeanWriteReduction(), 1),
+                TablePrinter::Fmt(stats.LatencyP50() * 1e3, 3),
+                TablePrinter::Fmt(stats.LatencyP99() * 1e3, 3)});
+  }
+  slo.Print();
+  std::printf("  traffic    %zu submitted, %zu completed, %zu failed, "
+              "%zu shed (%zu on exhausted substrate)\n",
+              primary.stats.jobs_submitted, primary.stats.jobs_completed,
+              primary.stats.jobs_failed, primary.stats.jobs_shed,
+              primary.stats.jobs_shed_exhausted);
+  std::printf("  lifetime   %llu banks retired (first at virtual time "
+              "%llu); %llu verified jobs completed after first "
+              "retirement\n",
+              static_cast<unsigned long long>(primary.banks_retired),
+              static_cast<unsigned long long>(
+                  primary.first_retirement_vtime),
+              static_cast<unsigned long long>(
+                  primary.completed_after_first_retirement));
+  std::printf("  drift      p99 latency x%.3f, write reduction %+.4f "
+              "across epochs\n",
+              primary.p99_drift, primary.write_reduction_drift);
+  std::printf("  digests    timeline %016llx ledgers %016llx (serial "
+              "replay %016llx / %016llx)\n",
+              static_cast<unsigned long long>(primary.timeline_digest),
+              static_cast<unsigned long long>(primary.ledger_digest),
+              static_cast<unsigned long long>(replay.timeline_digest),
+              static_cast<unsigned long long>(replay.ledger_digest));
+
+  bool ok = true;
+  if (primary.oracle_failures > 0 || replay.oracle_failures > 0) {
+    std::fprintf(stderr,
+                 "aging soak: %llu completed job(s) failed the "
+                 "differential oracle — a COMPLETED job must be exactly "
+                 "sorted\n",
+                 static_cast<unsigned long long>(primary.oracle_failures +
+                                                 replay.oracle_failures));
+    ok = false;
+  }
+  if (primary.banks_retired == 0) {
+    std::fprintf(stderr,
+                 "aging soak: no bank retired — raise --age_multiplier or "
+                 "lower --bank_budget_pv, the lifetime model never "
+                 "engaged\n");
+    ok = false;
+  }
+  if (primary.completed_after_first_retirement == 0) {
+    std::fprintf(stderr,
+                 "aging soak: no verified completion after the first "
+                 "retirement — the service did not degrade gracefully\n");
+    ok = false;
+  }
+  if (primary.timeline_digest != replay.timeline_digest ||
+      primary.ledger_digest != replay.ledger_digest) {
+    std::fprintf(stderr,
+                 "aging soak: threaded and serial runs disagree — the "
+                 "retirement timeline or tenant ledgers are "
+                 "nondeterministic\n");
+    ok = false;
+  }
+
+  const std::string path =
+      bench::CsvPath(env, "endurance_snapshot.json");
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return 1;
+  }
+  std::fprintf(
+      f,
+      "{\n"
+      "  \"snapshot\": \"device-lifetime endurance\",\n"
+      "  \"hardware_threads\": %d,\n"
+      "  \"endurance\": {\n"
+      "    \"age_multiplier\": %.1f,\n"
+      "    \"aging_rounds\": %d,\n"
+      "    \"bank_budget_pv\": %.1f,\n"
+      "    \"jobs_submitted\": %zu,\n"
+      "    \"jobs_completed\": %zu,\n"
+      "    \"banks_retired\": %llu,\n"
+      "    \"first_retirement_vtime\": %llu,\n"
+      "    \"completed_after_first_retirement\": %llu,\n"
+      "    \"p99_drift_ratio\": %.3f,\n"
+      "    \"write_reduction_drift\": %.4f,\n"
+      "    \"timeline_digest\": \"%016llx\"\n"
+      "  }\n"
+      "}\n",
+      ThreadPool::HardwareThreads(), age_multiplier, rounds, budget,
+      primary.stats.jobs_submitted, primary.stats.jobs_completed,
+      static_cast<unsigned long long>(primary.banks_retired),
+      static_cast<unsigned long long>(primary.first_retirement_vtime),
+      static_cast<unsigned long long>(
+          primary.completed_after_first_retirement),
+      primary.p99_drift, primary.write_reduction_drift,
+      static_cast<unsigned long long>(primary.timeline_digest));
+  std::fclose(f);
+  std::printf("endurance snapshot -> %s\n", path.c_str());
+
+  if (!ok) return 1;
+  std::printf("aging soak: PASS — deterministic retirement timeline, "
+              "verified service through %llu retirement(s)\n",
+              static_cast<unsigned long long>(primary.banks_retired));
+  return 0;
+}
+
 int Main(int argc, char** argv) {
   const bench::BenchEnv env = bench::ParseBenchEnv(argc, argv, 100000);
   bench::PrintRunHeader("Extension: P&V wear of approx-refine vs precise",
@@ -190,6 +477,8 @@ int Main(int argc, char** argv) {
       "\nWear tracks latency: at the sweet spot the approximate stage's "
       "cells see ~p(t) of the precise pulse count, extending device "
       "lifetime alongside the write-latency win.\n");
+  const double age_multiplier = env.flags.GetDouble("age_multiplier", 0.0);
+  if (age_multiplier > 0.0) return RunAgingSoak(env, age_multiplier);
   const double soak_seconds = env.flags.GetDouble("soak_seconds", 0.0);
   if (soak_seconds > 0.0) return RunSoak(env, soak_seconds);
   return 0;

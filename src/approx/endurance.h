@@ -1,0 +1,230 @@
+// Device-lifetime endurance modeling: wear budgets, error escalation, and
+// bank retirement.
+//
+// PCM cells survive a finite number of RESET/SET pulses. The rest of the
+// simulator already measures exactly that quantity — MemoryStats::
+// pv_iterations, the Equation 2 wear proxy charged back to banks by
+// service::WearPlacement::ChargeJobCost — but until now the substrate was
+// immortal: wear leveled, nothing aged. This header closes the loop:
+//
+//   * EnduranceLedger gives every bank a P&V-iteration budget and walks a
+//     per-bank state machine Active -> Aged -> Retired as charged wear
+//     crosses fractions of that budget. Escalation is a *pure function of
+//     charged wear* (never wall clock), so two runs charging the same wear
+//     sequence age identically — the determinism contract every service
+//     digest depends on. Retirements are stamped with a job-count virtual
+//     time and kept on an ordered timeline with an FNV digest.
+//
+//   * WearErrorHook turns bank age into observable errors: a
+//     MemoryFaultHook that flips a bit in approx-domain writes landing on
+//     aged banks, at the ledger's escalated rate. Draws come from a
+//     counter-based SplitMix hash of (seed, job key, draw index) — no RNG
+//     stream anywhere else moves, and a job's draws depend only on its own
+//     ticket. The hook chains an optional inner hook (fault storms in
+//     tests) so endurance composes with the existing fault framework.
+//
+// Precise-domain writes are never corrupted by age here: the precise
+// domain's wide guard bands tolerate resistance drift until cells truly
+// die, and death is modeled as retirement (the bank stops being placed),
+// not as silent precise corruption. That keeps the paper's refine
+// guarantee — and the differential oracle — intact while banks age out.
+#ifndef APPROXMEM_APPROX_ENDURANCE_H_
+#define APPROXMEM_APPROX_ENDURANCE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "approx/fault_hook.h"
+
+namespace approxmem::approx {
+
+/// One step of the wear -> error escalation curve: once a bank's consumed
+/// wear reaches `wear_fraction` of its budget, approx-domain writes on the
+/// bank suffer an extra word-error probability of `word_error_rate`.
+struct EscalationStep {
+  double wear_fraction = 0.0;
+  double word_error_rate = 0.0;
+};
+
+struct EnduranceOptions {
+  bool enabled = false;
+  /// P&V-iteration budget per bank; consuming it retires the bank. The
+  /// default is sized for soak tests, not real devices (real MLC PCM
+  /// endures ~1e6-1e8 cycles/cell; one simulated bank aggregates many
+  /// cells, so budgets here are per-lane totals in ledger units).
+  double bank_budget_pv = 5.0e6;
+  /// Escalation curve, sorted by wear_fraction ascending. Empty means
+  /// banks never err more — budget-only retirement.
+  std::vector<EscalationStep> escalation = {
+      {0.50, 0.002}, {0.75, 0.01}, {0.90, 0.05}};
+  /// Canary-driven retirement: a bank retires once this many health-
+  /// monitor quarantines landed inside it (persistent observed error rate
+  /// beyond threshold). 0 disables quarantine-driven retirement.
+  uint64_t retire_after_quarantines = 4;
+  /// Deterministic accelerated aging: every charged P&V iteration counts
+  /// this many times against the budget. Virtual time only — hours of
+  /// simulated load in CI minutes, bit-identical at any speed the host
+  /// actually runs.
+  double age_multiplier = 1.0;
+  /// Bank-lane geometry; must match the placement policy carving the
+  /// address space (service::WearPlacement uses 1 TiB lanes).
+  int banks = 8;
+  uint64_t bank_lane_bytes = uint64_t{1} << 40;
+  /// Seeds the WearErrorHook's draw hash.
+  uint64_t seed = 0xe4d2a9ce5eedULL;
+};
+
+enum class BankState : uint8_t {
+  /// Below the first escalation step: errs at the calibrated model rate.
+  kActive,
+  /// Crossed at least one escalation step: errs more, still placeable.
+  kAged,
+  /// Budget exhausted or canary-condemned: never placed again.
+  kRetired,
+};
+
+std::string_view BankStateName(BankState state);
+
+/// Why a bank left service.
+enum class RetirementReason : uint8_t {
+  /// Charged wear consumed the bank's whole P&V budget.
+  kBudgetExhausted,
+  /// The health monitor kept quarantining regions inside the bank.
+  kCanaryCondemned,
+};
+
+std::string_view RetirementReasonName(RetirementReason reason);
+
+/// One entry of the retirement timeline.
+struct RetirementEvent {
+  int bank = 0;
+  RetirementReason reason = RetirementReason::kBudgetExhausted;
+  /// Job-count virtual time on the owning substrate when the bank died
+  /// (jobs begun, not wall clock — deterministic).
+  uint64_t virtual_time = 0;
+  /// Consumed wear at retirement, in (aged) P&V iterations.
+  double consumed_pv = 0.0;
+  /// Quarantines inside the bank at retirement.
+  uint64_t quarantines = 0;
+};
+
+/// Per-bank endurance state, exposed for reports.
+struct BankEndurance {
+  double consumed_pv = 0.0;
+  uint64_t quarantines = 0;
+  BankState state = BankState::kActive;
+  /// Escalation steps crossed (0 = calibrated rate only).
+  int escalation_level = 0;
+};
+
+/// Wear -> error -> retirement ledger of one substrate (one service
+/// shard). Driven serially by its owner — the shard charges jobs in run
+/// order, and the service only reads across shards between batches — so
+/// the ledger is deliberately lock-free.
+class EnduranceLedger {
+ public:
+  explicit EnduranceLedger(const EnduranceOptions& options);
+
+  const EnduranceOptions& options() const { return options_; }
+
+  /// Advances job-count virtual time: called once per job begun on the
+  /// owning substrate. Timeline stamps come from this counter alone.
+  void BeginJob() { ++virtual_time_; }
+
+  /// Charges `pv` iterations of observed wear (pre-aging; the ledger
+  /// applies age_multiplier) to `bank`, crossing escalation steps and
+  /// retiring on budget exhaustion. Returns true when this charge retired
+  /// the bank.
+  bool ChargeBank(int bank, double pv);
+
+  /// Records a health-monitor quarantine inside `bank`; retires the bank
+  /// once retire_after_quarantines is reached. Returns true on retirement.
+  bool RecordQuarantine(int bank);
+
+  bool IsRetired(int bank) const {
+    return banks_[static_cast<size_t>(bank)].state == BankState::kRetired;
+  }
+
+  /// Extra approx-domain word-error probability of `bank` — a pure
+  /// function of the bank's consumed wear (the highest escalation step it
+  /// has crossed; 0 below the first step).
+  double ExtraWordErrorRate(int bank) const;
+
+  const BankEndurance& bank(int b) const {
+    return banks_[static_cast<size_t>(b)];
+  }
+  int total_banks() const { return static_cast<int>(banks_.size()); }
+  int live_banks() const { return live_banks_; }
+  /// Live capacity as a fraction of total banks; 0 = substrate exhausted.
+  double CapacityFraction() const {
+    return static_cast<double>(live_banks_) / static_cast<double>(
+        banks_.size());
+  }
+
+  /// Highest escalation level among banks still in service — the signal
+  /// the service's knob-tightening degradation reacts to.
+  int MaxLiveEscalationLevel() const;
+
+  /// Consumed-over-budget fraction of `bank` (can exceed 1 on the final
+  /// charge).
+  double WearFraction(int bank) const;
+
+  const std::vector<RetirementEvent>& retirements() const {
+    return retirements_;
+  }
+  /// Retirement count == the substrate's wear epoch: epoch 0 is the fresh
+  /// device, and every retirement starts the next epoch.
+  uint64_t wear_epoch() const { return retirements_.size(); }
+  uint64_t virtual_time() const { return virtual_time_; }
+
+  /// FNV-1a digest of the whole retirement timeline (bank, reason,
+  /// virtual time, wear, quarantines per event). Equal digests mean the
+  /// substrate aged identically — the soak's cross-thread-count gate.
+  uint64_t TimelineDigest() const;
+
+ private:
+  void Retire(int bank, RetirementReason reason);
+
+  EnduranceOptions options_;
+  std::vector<BankEndurance> banks_;
+  std::vector<RetirementEvent> retirements_;
+  int live_banks_ = 0;
+  uint64_t virtual_time_ = 0;
+};
+
+/// MemoryFaultHook realizing the ledger's escalated error rates: approx-
+/// domain writes landing on aged banks suffer an extra single-bit error.
+/// Deterministic without touching any Rng stream: each decision hashes
+/// (seed, job key, draw counter) with SplitMix64, and BeginJob(ticket)
+/// rebases (job key, counter) so a job's draws depend only on its ticket —
+/// the same invariance ApproxMemory::BeginJobStream gives the write
+/// models. An optional inner hook (fault-storm injector) runs first, so
+/// injected faults and endurance errors compose in a fixed order.
+class WearErrorHook final : public MemoryFaultHook {
+ public:
+  /// `ledger` is not owned and must outlive the hook. `inner` may be null.
+  WearErrorHook(const EnduranceLedger* ledger, MemoryFaultHook* inner);
+
+  /// Rebases the draw stream for one job; see class comment.
+  void BeginJob(uint64_t ticket);
+
+  uint32_t OnWrite(uint64_t address, bool precise_domain, uint32_t intended,
+                   uint32_t stored) override;
+  uint32_t OnRead(uint64_t address, bool precise_domain,
+                  uint32_t value) override;
+
+  uint64_t injected_errors() const { return injected_errors_; }
+
+ private:
+  const EnduranceLedger* ledger_;
+  MemoryFaultHook* inner_;
+  uint64_t job_key_ = 0;
+  uint64_t draw_counter_ = 0;
+  uint64_t injected_errors_ = 0;
+};
+
+}  // namespace approxmem::approx
+
+#endif  // APPROXMEM_APPROX_ENDURANCE_H_

@@ -24,6 +24,7 @@
 #define APPROXMEM_APPROX_HEALTH_MONITOR_H_
 
 #include <cstdint>
+#include <map>
 #include <utility>
 #include <vector>
 
@@ -93,6 +94,9 @@ class HealthMonitor {
   void RecordRetry() { ++stats_.allocation_retries; }
   void RecordRegionProbed() { ++stats_.regions_probed; }
 
+  /// Whether [base, base + span) intersects any quarantined region.
+  /// O(log q) against the merged interval index — allocation-time checks
+  /// stay cheap when retirement grows the list into the hundreds.
   bool IsQuarantined(uint64_t base, uint64_t span) const;
   const std::vector<std::pair<uint64_t, uint64_t>>& quarantined_regions()
       const {
@@ -102,8 +106,12 @@ class HealthMonitor {
  private:
   HealthOptions options_;
   HealthStats stats_;
-  /// Quarantined [base, base + span) regions, in quarantine order.
+  /// Quarantined [base, base + span) regions, in quarantine order (the
+  /// diagnostic timeline; may contain overlaps as recorded).
   std::vector<std::pair<uint64_t, uint64_t>> quarantined_;
+  /// Interval index for IsQuarantined: base -> end, disjoint and sorted
+  /// (overlapping or adjacent inserts are merged).
+  std::map<uint64_t, uint64_t> interval_index_;
 };
 
 }  // namespace approxmem::approx

@@ -112,6 +112,8 @@ StatusOr<ResilienceReport> SortResilient(
   const auto full_attempt = [&](AttemptPolicy policy, double attempt_t,
                                 uint64_t sort_seed,
                                 bool precise_domain) -> Status {
+    const uint64_t quarantined_before =
+        memory.health().stats().regions_quarantined;
     refine::RefineOptions ro;
     ro.algorithm = algorithm;
     ro.precise_alloc = precise_alloc;
@@ -165,7 +167,13 @@ StatusOr<ResilienceReport> SortResilient(
       }
       log_failure(report.attempts.back());
       if (!status.ok() && !status.IsRetryable()) return status;
-      if (run >= options.max_refine_retries) {
+      // A quarantine during this attempt means persistent substrate damage
+      // under the current placement; when configured, stop re-reading it
+      // and let the ladder escalate to a fresh placement instead.
+      const bool degraded_mid_attempt =
+          options.skip_retry_on_quarantine &&
+          memory.health().stats().regions_quarantined > quarantined_before;
+      if (run >= options.max_refine_retries || degraded_mid_attempt) {
         // Exhausted this rung; report the unverified output so the caller
         // still has the best effort if the whole ladder runs dry.
         out_keys = std::move(fk);

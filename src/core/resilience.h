@@ -71,6 +71,14 @@ struct ResilienceOptions {
   double min_t = std::numeric_limits<double>::quiet_NaN();
   /// Whether rung 3 (fully precise re-run) is available.
   bool allow_precise_fallback = true;
+  /// End-of-life interaction: when the health monitor quarantined new
+  /// regions *during* a failed attempt, the substrate visibly degraded
+  /// under it — re-reading the same placement (rung 1) cannot cure
+  /// persistent damage, so skip straight to guard-band escalation, whose
+  /// fresh allocations route around the dead region. Off by default to
+  /// preserve historical ladder digests; the sort service enables it for
+  /// endurance-modeled substrates.
+  bool skip_retry_on_quarantine = false;
   /// Print a one-line diagnostic to stderr for every failed attempt.
   bool log_diagnostics = false;
 };

@@ -1,0 +1,56 @@
+#include "service/slo_ledger.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace approxmem::service {
+
+double SloEpochStats::LatencyPercentile(double p) const {
+  if (latencies.empty()) return 0.0;
+  std::vector<double> sorted = latencies;
+  std::sort(sorted.begin(), sorted.end());
+  const double rank = p * static_cast<double>(sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = lo + 1 < sorted.size() ? lo + 1 : lo;
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+void SloLedger::RecordCompleted(uint64_t epoch, double latency_seconds,
+                                double write_reduction) {
+  SloEpochStats& stats = epochs_[epoch];
+  ++stats.jobs_completed;
+  stats.write_reduction_sum += write_reduction;
+  stats.latencies.push_back(latency_seconds);
+}
+
+void SloLedger::RecordFailed(uint64_t epoch) { ++epochs_[epoch].jobs_failed; }
+
+void SloLedger::RecordShed(uint64_t epoch) { ++epochs_[epoch].jobs_shed; }
+
+double SloLedger::P99DriftRatio() const {
+  const SloEpochStats* first = nullptr;
+  const SloEpochStats* last = nullptr;
+  for (const auto& [epoch, stats] : epochs_) {
+    if (stats.latencies.empty()) continue;
+    if (first == nullptr) first = &stats;
+    last = &stats;
+  }
+  if (first == nullptr || first == last) return 1.0;
+  const double base = first->LatencyP99();
+  return base > 0.0 ? last->LatencyP99() / base : 1.0;
+}
+
+double SloLedger::WriteReductionDrift() const {
+  const SloEpochStats* first = nullptr;
+  const SloEpochStats* last = nullptr;
+  for (const auto& [epoch, stats] : epochs_) {
+    if (stats.jobs_completed == 0) continue;
+    if (first == nullptr) first = &stats;
+    last = &stats;
+  }
+  if (first == nullptr || first == last) return 0.0;
+  return first->MeanWriteReduction() - last->MeanWriteReduction();
+}
+
+}  // namespace approxmem::service

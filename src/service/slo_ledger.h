@@ -1,0 +1,75 @@
+// Service-level-objective tracking across wear epochs.
+//
+// A device-lifetime story needs more than a retirement timeline: the
+// operator has to see what aging *costs the tenants*. The SloLedger bins
+// every terminal job by the wear epoch it ran in (epoch = retirements on
+// its substrate so far: epoch 0 is the fresh device, each retirement
+// starts the next) and tracks, per epoch, the latency distribution
+// (p50/p99) and the Equation 2 write-reduction — so p99 drift and
+// write-savings decay across the device's life are first-class metrics,
+// not something scraped from logs.
+//
+// Latency samples are wall clock and therefore reporting-only: they never
+// feed a digest or a scheduling decision. Everything else in the ledger
+// (job counts, write reductions, epochs) is deterministic and replays
+// bit-identically at any thread count.
+#ifndef APPROXMEM_SERVICE_SLO_LEDGER_H_
+#define APPROXMEM_SERVICE_SLO_LEDGER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace approxmem::service {
+
+/// One wear epoch's service-level accounting.
+struct SloEpochStats {
+  uint64_t jobs_completed = 0;
+  uint64_t jobs_failed = 0;
+  uint64_t jobs_shed = 0;
+  /// Sum of completed jobs' Equation 2 write reductions (mean on report).
+  double write_reduction_sum = 0.0;
+  /// Wall-clock submit-to-terminal latencies of completed jobs, seconds.
+  /// Reporting only.
+  std::vector<double> latencies;
+
+  double MeanWriteReduction() const {
+    return jobs_completed > 0
+               ? write_reduction_sum / static_cast<double>(jobs_completed)
+               : 0.0;
+  }
+  /// Percentile over the recorded latencies (p in [0, 1]); 0 when empty.
+  double LatencyPercentile(double p) const;
+  double LatencyP50() const { return LatencyPercentile(0.50); }
+  double LatencyP99() const { return LatencyPercentile(0.99); }
+};
+
+class SloLedger {
+ public:
+  /// Records one terminal job. `completed`/`failed`/`shed` are mutually
+  /// exclusive; latency and write_reduction are only read for completed
+  /// jobs.
+  void RecordCompleted(uint64_t epoch, double latency_seconds,
+                       double write_reduction);
+  void RecordFailed(uint64_t epoch);
+  void RecordShed(uint64_t epoch);
+
+  /// Epoch -> stats, keyed and iterated in epoch order.
+  const std::map<uint64_t, SloEpochStats>& epochs() const { return epochs_; }
+
+  /// p99 latency of the last epoch over the first (1.0 when fewer than two
+  /// epochs have completed jobs) — the soak's latency-drift metric.
+  double P99DriftRatio() const;
+
+  /// Mean write reduction of the first epoch minus the last (positive =
+  /// savings decayed as the device aged).
+  double WriteReductionDrift() const;
+
+ private:
+  std::map<uint64_t, SloEpochStats> epochs_;
+};
+
+}  // namespace approxmem::service
+
+#endif  // APPROXMEM_SERVICE_SLO_LEDGER_H_

@@ -1,5 +1,6 @@
 #include "service/sort_service.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <utility>
@@ -80,8 +81,14 @@ uint64_t TenantLedger::Digest() const {
 /// driver thread, between batches) ever touches it.
 struct SortService::Shard {
   int index = 0;
+  /// Device-lifetime ledger of the shard substrate (null when endurance is
+  /// off). Shared, not owned, by `wear` and `wear_hook`.
+  std::unique_ptr<approx::EnduranceLedger> endurance;
   std::unique_ptr<WearPlacement> wear;
   std::unique_ptr<approx::MemoryFaultHook> fault_hook;
+  /// Realizes the ledger's escalated error rates; chains fault_hook so
+  /// storms and aging compose. Engines see this hook when endurance is on.
+  std::unique_ptr<approx::WearErrorHook> wear_hook;
   std::map<std::string, std::unique_ptr<core::ApproxSortEngine>> engines;
   /// Tickets assigned for the current batch, in execution order.
   std::vector<uint64_t> run_list;
@@ -106,10 +113,25 @@ SortService::SortService(const ServiceOptions& options)
     auto shard = std::make_unique<Shard>();
     shard->index = s;
     if (options_.wear_leveling) {
-      shard->wear = std::make_unique<WearPlacement>(options_.wear);
+      if (options_.endurance.enabled) {
+        // Endurance needs the placement charges as its wear feed, so it
+        // only exists under wear leveling; geometry comes from the
+        // placement policy so ledger banks and placement lanes agree.
+        approx::EnduranceOptions endurance = options_.endurance;
+        endurance.banks = options_.wear.banks;
+        endurance.bank_lane_bytes = WearPlacement::kBankLaneBytes;
+        shard->endurance =
+            std::make_unique<approx::EnduranceLedger>(endurance);
+      }
+      shard->wear = std::make_unique<WearPlacement>(
+          options_.wear, shard->endurance.get());
     }
     if (options_.fault_hook_factory) {
       shard->fault_hook = options_.fault_hook_factory(s);
+    }
+    if (shard->endurance) {
+      shard->wear_hook = std::make_unique<approx::WearErrorHook>(
+          shard->endurance.get(), shard->fault_hook.get());
     }
     shards_.push_back(std::move(shard));
   }
@@ -166,7 +188,9 @@ StatusOr<uint64_t> SortService::Submit(const SortRequest& request) {
         "backlog full (" +
         std::to_string(options_.admission.queue_capacity) +
         " queued); shed at submission");
+    record.wear_epoch = ServiceWearEpoch();
     ++stats_.jobs_shed;
+    slo_.RecordShed(record.wear_epoch);
     records_.push_back(std::move(record));
     return ticket;
   }
@@ -180,20 +204,65 @@ StatusOr<uint64_t> SortService::Submit(const SortRequest& request) {
 
 size_t SortService::RunBatch() {
   if (backlog_.empty()) return 0;
+
+  // End of life: when every shard's substrate is exhausted nothing can run
+  // correctly anymore, so the whole backlog is shed with an honest status
+  // rather than pretending retired banks still hold data.
+  if (options_.endurance.enabled) {
+    bool any_live = false;
+    for (const auto& shard : shards_) {
+      if (!shard->endurance || shard->endurance->live_banks() > 0) {
+        any_live = true;
+        break;
+      }
+    }
+    if (!any_live) {
+      const uint64_t epoch = ServiceWearEpoch();
+      while (!backlog_.empty()) {
+        JobRecord& record = records_[backlog_.front()];
+        backlog_.pop_front();
+        record.state = JobState::kShed;
+        record.status = Status::Unavailable(
+            "service substrate exhausted: every bank on every shard is "
+            "retired");
+        record.wear_epoch = epoch;
+        record.latency_seconds = NowSeconds() - submit_time_[record.ticket];
+        ++stats_.jobs_shed;
+        ++stats_.jobs_shed_exhausted;
+        slo_.RecordShed(epoch);
+      }
+      return 0;
+    }
+  }
   ++stats_.batches;
 
   // Admission: walk the backlog FIFO and place each job on the least-
   // loaded shard that still has quota. Every input here — queue order,
-  // quotas, cooldown flags — is deterministic shared-shard state, so the
-  // per-shard run lists are identical at any thread count.
+  // quotas, cooldown flags, live-bank capacity — is deterministic
+  // shared-shard state, so the per-shard run lists are identical at any
+  // thread count.
   std::vector<int> quota(shards_.size());
   for (size_t s = 0; s < shards_.size(); ++s) {
     shards_[s]->run_list.clear();
+    // Graceful degradation: a shard's quota shrinks with its live-bank
+    // capacity — an aged substrate takes proportionally less traffic, and
+    // an exhausted one admits nothing at all.
+    int capacity_quota = options_.admission.shard_batch_quota;
+    if (const approx::EnduranceLedger* endurance =
+            shards_[s]->endurance.get()) {
+      if (endurance->live_banks() == 0) {
+        capacity_quota = 0;
+      } else if (endurance->live_banks() < endurance->total_banks()) {
+        capacity_quota = std::max(
+            1, capacity_quota * endurance->live_banks() /
+                   endurance->total_banks());
+      }
+    }
     if (shards_[s]->cooling) {
-      quota[s] = options_.admission.cooldown_admit;
+      quota[s] = std::min(options_.admission.cooldown_admit, capacity_quota);
       ++stats_.cooldown_batches;
     } else {
-      quota[s] = options_.admission.shard_batch_quota;
+      quota[s] = capacity_quota;
     }
   }
   std::deque<uint64_t> deferred;
@@ -222,8 +291,10 @@ size_t SortService::RunBatch() {
       record.status = Status::Unavailable(
           "shed by admission control after " +
           std::to_string(record.deferrals) + " deferrals");
+      record.wear_epoch = ServiceWearEpoch();
       record.latency_seconds = NowSeconds() - submit_time_[ticket];
       ++stats_.jobs_shed;
+      slo_.RecordShed(record.wear_epoch);
     } else {
       record.state = JobState::kDeferred;
       deferred.push_back(ticket);
@@ -238,24 +309,52 @@ size_t SortService::RunBatch() {
                        [this](size_t s) { ExecuteShard(*shards_[s]); });
   }
 
-  // Merge-on-report: terminal-state counters and cross-engine quarantine
-  // totals are folded in on the driver thread, after the batch barrier.
+  // Merge-on-report: terminal-state counters, per-epoch SLO samples, and
+  // cross-engine quarantine totals are folded in on the driver thread,
+  // after the batch barrier. Iteration is in shard order, so the fold is
+  // identical at any thread count.
   for (const auto& shard : shards_) {
     for (const uint64_t ticket : shard->run_list) {
       const JobRecord& record = records_[ticket];
-      if (record.state == JobState::kCompleted) {
-        ++stats_.jobs_completed;
-      } else {
-        ++stats_.jobs_failed;
+      switch (record.state) {
+        case JobState::kCompleted:
+          ++stats_.jobs_completed;
+          slo_.RecordCompleted(record.wear_epoch, record.latency_seconds,
+                               record.write_reduction);
+          break;
+        case JobState::kShed:
+          // A job can only reach kShed inside a run list when its shard's
+          // substrate ran out of banks under it mid-batch.
+          ++stats_.jobs_shed;
+          ++stats_.jobs_shed_exhausted;
+          slo_.RecordShed(record.wear_epoch);
+          break;
+        default:
+          ++stats_.jobs_failed;
+          slo_.RecordFailed(record.wear_epoch);
+          break;
       }
     }
   }
   uint64_t quarantined = 0;
+  uint64_t retired = 0;
   for (size_t s = 0; s < shards_.size(); ++s) {
     quarantined += shard_health(static_cast<int>(s)).regions_quarantined;
+    if (shards_[s]->endurance) {
+      retired += shards_[s]->endurance->wear_epoch();
+    }
   }
   stats_.quarantined_regions = quarantined;
+  stats_.banks_retired = retired;
   return executed;
+}
+
+uint64_t SortService::ServiceWearEpoch() const {
+  uint64_t epoch = 0;
+  for (const auto& shard : shards_) {
+    if (shard->endurance) epoch += shard->endurance->wear_epoch();
+  }
+  return epoch;
 }
 
 void SortService::RunUntilIdle() {
@@ -285,7 +384,9 @@ core::ApproxSortEngine& SortService::EngineFor(Shard& shard,
   engine_options.shared_calibration = calibration_;
   engine_options.health.enabled = options_.health_monitor;
   engine_options.placement = shard.wear.get();
-  engine_options.fault_hook = shard.fault_hook.get();
+  engine_options.fault_hook = shard.wear_hook
+                                  ? shard.wear_hook.get()
+                                  : shard.fault_hook.get();
   // Jobs already run shard-parallel; intra-sort stays serial so a fully
   // loaded service never oversubscribes the host.
   engine_options.sort_threads = 1;
@@ -311,16 +412,44 @@ void SortService::ExecuteShard(Shard& shard) {
 void SortService::RunJob(Shard& shard, uint64_t ticket) {
   JobRecord& record = records_[ticket];
   const TenantSpec& tenant = tenants_.at(record.request.tenant);
+  if (shard.endurance) {
+    record.wear_epoch = shard.endurance->wear_epoch();
+    // The shard may have lost its last bank earlier in this very batch;
+    // shed honestly instead of running on a fully retired substrate.
+    if (shard.endurance->live_banks() == 0) {
+      record.state = JobState::kShed;
+      record.status = Status::Unavailable(
+          "shard substrate exhausted: every bank retired");
+      record.latency_seconds = NowSeconds() - submit_time_[ticket];
+      return;
+    }
+  }
   core::ApproxSortEngine& engine = EngineFor(shard, tenant);
   approx::ApproxMemory& memory = engine.memory();
   if (shard.wear) shard.wear->BeginJob();
+  if (shard.wear_hook) shard.wear_hook->BeginJob(ticket);
   // Key every allocation stream of this job by its ticket alone: the job's
   // simulated error draws no longer depend on how many allocations earlier
   // jobs on this substrate consumed.
   memory.BeginJobStream(ticket);
-  const double knob = std::isnan(tenant.knob)
-                          ? memory.backend().default_approx_knob()
-                          : tenant.knob;
+  double knob = std::isnan(tenant.knob)
+                    ? memory.backend().default_approx_knob()
+                    : tenant.knob;
+  // Graceful degradation, knob half: tighten toward precise as the
+  // shard's surviving banks age. The level is a pure function of charged
+  // wear, so the tightening replays bit-identically.
+  if (shard.endurance) {
+    const int level = shard.endurance->MaxLiveEscalationLevel();
+    if (level > 0) {
+      knob = std::max(memory.backend().min_knob(),
+                      knob * std::pow(options_.aging_knob_factor, level));
+    }
+  }
+  record.effective_knob = knob;
+  core::ResilienceOptions resilience = tenant.resilience;
+  // On an endurance-modeled substrate, quarantines mean persistent damage;
+  // re-reading the same placement cannot cure it (see resilience.h).
+  if (shard.endurance) resilience.skip_retry_on_quarantine = true;
   const std::vector<uint32_t> keys = core::MakeKeys(
       record.request.workload, record.request.n, record.request.seed);
 
@@ -328,7 +457,7 @@ void SortService::RunJob(Shard& shard, uint64_t ticket) {
   std::vector<uint32_t> final_ids;
   if (tenant.resilient) {
     const StatusOr<core::ResilienceReport> report = core::SortResilient(
-        engine, keys, record.request.algorithm, knob, tenant.resilience,
+        engine, keys, record.request.algorithm, knob, resilience,
         &final_keys, &final_ids);
     if (!report.ok()) {
       record.state = JobState::kFailed;
@@ -416,6 +545,23 @@ const WearPlacement* SortService::shard_wear(int shard) const {
   APPROXMEM_CHECK(shard >= 0 &&
                   shard < static_cast<int>(shards_.size()));
   return shards_[static_cast<size_t>(shard)]->wear.get();
+}
+
+const approx::EnduranceLedger* SortService::shard_endurance(
+    int shard) const {
+  APPROXMEM_CHECK(shard >= 0 &&
+                  shard < static_cast<int>(shards_.size()));
+  return shards_[static_cast<size_t>(shard)]->endurance.get();
+}
+
+uint64_t SortService::RetirementTimelineDigest() const {
+  uint64_t h = testing::Fnv1a64(nullptr, 0);
+  for (const auto& shard : shards_) {
+    const uint64_t d =
+        shard->endurance ? shard->endurance->TimelineDigest() : 0;
+    h = DigestU64(h, d);
+  }
+  return h;
 }
 
 approx::HealthStats SortService::shard_health(int shard) const {

@@ -37,6 +37,19 @@
 // allocations across PCM bank lanes by accumulated P&V wear and steering
 // around regions the health monitor quarantined (see wear_placement.h).
 //
+// Endurance and graceful degradation. With ServiceOptions::endurance
+// enabled, every shard substrate carries an approx::EnduranceLedger fed by
+// the same Eq. 2 wear ChargeJobCost already charges, plus a WearErrorHook
+// that makes aged banks genuinely err more (approx/endurance.h). The
+// service reacts to the shrinking substrate instead of pretending it is
+// immortal: per-shard admission quotas scale with live-bank capacity, an
+// exhausted shard admits nothing (and a fully exhausted service sheds with
+// an honest Unavailable), tenant knobs tighten toward precise as a shard's
+// banks age (deterministically, from charged wear alone), and a per-wear-
+// epoch SLO ledger tracks p50/p99 latency and write-reduction drift across
+// the device's life. Retirement timelines and all digests stay
+// bit-identical at any thread count — wall clock never feeds a decision.
+//
 // Threading contract: Submit/RunBatch/RunUntilIdle and all accessors must
 // be called from one driver thread; the service parallelizes internally.
 #ifndef APPROXMEM_SERVICE_SORT_SERVICE_H_
@@ -51,6 +64,7 @@
 #include <string>
 #include <vector>
 
+#include "approx/endurance.h"
 #include "approx/fault_hook.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
@@ -58,6 +72,7 @@
 #include "core/resilience.h"
 #include "mlc/calibration.h"
 #include "service/service_trace.h"
+#include "service/slo_ledger.h"
 #include "service/wear_placement.h"
 
 namespace approxmem::service {
@@ -117,6 +132,13 @@ struct JobRecord {
   double baseline_write_cost = 0.0;
   /// Equation 2 over the job's cumulative cost.
   double write_reduction = 0.0;
+  /// Wear epoch of the shard substrate the job ran in (retirements so far
+  /// when the job started; 0 on a fresh or endurance-less substrate).
+  uint64_t wear_epoch = 0;
+  /// Knob the job actually ran at, after aging-driven tightening (equals
+  /// the tenant knob / backend default on a healthy substrate; 0 until the
+  /// job ran).
+  double effective_knob = 0.0;
   /// Wall-clock submit-to-terminal latency. Reporting only — never feeds
   /// a digest or a scheduling decision.
   double latency_seconds = 0.0;
@@ -174,6 +196,16 @@ struct ServiceOptions {
   /// Wear-aware bank rotation on every shard substrate.
   bool wear_leveling = true;
   WearLevelOptions wear;
+  /// Device-lifetime modeling: per-bank P&V budgets, wear-dependent error
+  /// escalation, and bank retirement (approx/endurance.h). Requires
+  /// wear_leveling (the ledger is fed by placement's job charges); the
+  /// banks/lane geometry is taken from `wear`, so leave
+  /// endurance.banks/bank_lane_bytes at their defaults.
+  approx::EnduranceOptions endurance;
+  /// Knob multiplier applied per escalation level of the most-aged live
+  /// bank on a job's shard — graceful degradation toward precise for
+  /// tenants placed on aged substrate. Floored at the backend's min_knob.
+  double aging_knob_factor = 0.5;
   /// Optional shared calibration cache (thread-safe); when null the
   /// service builds one, shared by all shard engines, so each T still
   /// calibrates exactly once per process.
@@ -200,6 +232,10 @@ struct ServiceStats {
   size_t cooldown_batches = 0;
   /// Regions quarantined across all shard engines.
   uint64_t quarantined_regions = 0;
+  /// Banks retired across all shard substrates (0 without endurance).
+  uint64_t banks_retired = 0;
+  /// Jobs shed because every shard's substrate was exhausted.
+  size_t jobs_shed_exhausted = 0;
 };
 
 class SortService {
@@ -244,6 +280,14 @@ class SortService {
   const WearPlacement* shard_wear(int shard) const;
   /// Aggregated health-monitor counters across shard `shard`'s engines.
   approx::HealthStats shard_health(int shard) const;
+  /// Shard s's endurance ledger (null when endurance is off).
+  const approx::EnduranceLedger* shard_endurance(int shard) const;
+  /// Per-wear-epoch SLO accounting (latency percentiles wall-clock,
+  /// everything else deterministic).
+  const SloLedger& slo() const { return slo_; }
+  /// FNV digest over every shard's retirement timeline, in shard order —
+  /// bit-identical across thread counts and identical replays.
+  uint64_t RetirementTimelineDigest() const;
 
  private:
   struct Shard;
@@ -251,6 +295,9 @@ class SortService {
   core::ApproxSortEngine& EngineFor(Shard& shard, const TenantSpec& tenant);
   void ExecuteShard(Shard& shard);
   void RunJob(Shard& shard, uint64_t ticket);
+  /// Retirements summed across all shard substrates — the epoch stamped on
+  /// jobs that never reached a shard.
+  uint64_t ServiceWearEpoch() const;
 
   ServiceOptions options_;
   std::shared_ptr<mlc::CalibrationCache> calibration_;
@@ -263,6 +310,7 @@ class SortService {
   /// Submit wall-clock stamps (seconds on a steady clock), per ticket.
   std::vector<double> submit_time_;
   ServiceStats stats_;
+  SloLedger slo_;
 };
 
 }  // namespace approxmem::service

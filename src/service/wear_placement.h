@@ -12,6 +12,12 @@
 // rotation drifts away from degraded banks — the service's use of the
 // PR-3 quarantine ledger.
 //
+// With an EnduranceLedger attached (approx/endurance.h), placement also
+// closes the device-lifetime loop: every charge feeds the per-bank P&V
+// budget, every quarantine counts toward canary condemnation, and banks
+// the ledger retires are permanently excluded from PlaceSpan — the
+// substrate genuinely shrinks as it ages.
+//
 // One WearPlacement serves one shard substrate and is driven serially by
 // that shard (the service never runs two jobs of a shard concurrently),
 // so the policy is deliberately lock-free; it must not be shared across
@@ -24,6 +30,7 @@
 #include <vector>
 
 #include "approx/approx_memory.h"
+#include "approx/endurance.h"
 
 namespace approxmem::service {
 
@@ -50,24 +57,47 @@ struct BankWear {
 
 class WearPlacement final : public approx::PlacementPolicy {
  public:
-  explicit WearPlacement(const WearLevelOptions& options);
+  /// `endurance` is optional and not owned (the service shares one ledger
+  /// per shard between placement and the wear-error hook); when set, its
+  /// bank count must match `options.banks`.
+  explicit WearPlacement(const WearLevelOptions& options,
+                         approx::EnduranceLedger* endurance = nullptr);
 
   // approx::PlacementPolicy:
   uint64_t PlaceSpan(uint64_t span) override;
   void OnQuarantine(uint64_t base, uint64_t span) override;
 
   /// Marks the start of one job's allocations; the spans placed until the
-  /// next BeginJob are the attribution targets of ChargeJobCost.
+  /// next BeginJob are the attribution targets of ChargeJobCost. Also
+  /// ticks the endurance ledger's job-count virtual time.
   void BeginJob();
 
   /// Distributes `pv_iterations` of observed wear over the banks the
   /// current job placed allocations in, proportional to bytes placed —
-  /// the merge-on-report half of the rotation loop.
+  /// the merge-on-report half of the rotation loop. Jobs whose spans are
+  /// all zero bytes split the charge equally across their banks; jobs
+  /// that placed nothing at all accrue to unattributed_wear() — the
+  /// charge is never dropped and never divides by zero.
   void ChargeJobCost(double pv_iterations);
 
   const std::vector<BankWear>& banks() const { return banks_; }
   int BankOf(uint64_t address) const;
   uint64_t quarantine_events() const { return quarantine_events_; }
+
+  /// Wear charged by jobs that placed no spans (charged but unattributable
+  /// to any bank); kept so the wear ledger stays conservative.
+  double unattributed_wear() const { return unattributed_wear_; }
+
+  /// The endurance ledger placement feeds, or null when lifetime modeling
+  /// is off.
+  const approx::EnduranceLedger* endurance() const { return endurance_; }
+
+  /// Banks still placeable: all of them without an endurance ledger,
+  /// otherwise the ledger's live count.
+  int LiveBankCount() const;
+  /// True when every bank is retired; PlaceSpan still makes progress (the
+  /// policy contract) but the owner should stop admitting work here.
+  bool SubstrateExhausted() const { return LiveBankCount() == 0; }
 
   /// Max-over-mean charged wear across banks that ever held an allocation;
   /// 1.0 is perfectly level, `banks` is fully concentrated. The soak
@@ -80,10 +110,12 @@ class WearPlacement final : public approx::PlacementPolicy {
 
  private:
   WearLevelOptions options_;
+  approx::EnduranceLedger* endurance_;
   std::vector<BankWear> banks_;
   /// (bank, bytes) placements since the last BeginJob.
   std::vector<std::pair<int, uint64_t>> current_job_spans_;
   uint64_t quarantine_events_ = 0;
+  double unattributed_wear_ = 0.0;
 };
 
 }  // namespace approxmem::service

@@ -1,0 +1,194 @@
+// Unit tests for service::WearPlacement: the ChargeJobCost attribution
+// edge cases (no spans, zero-byte spans, proportional split), the
+// WearImbalance boundary conditions, and the endurance wiring that skips
+// retired banks while keeping the PlaceSpan progress contract.
+#include <cstdint>
+#include <utility>
+
+#include <gtest/gtest.h>
+
+#include "approx/endurance.h"
+#include "service/wear_placement.h"
+
+namespace approxmem::service {
+namespace {
+
+WearLevelOptions FourBanks() {
+  WearLevelOptions options;
+  options.banks = 4;
+  return options;
+}
+
+approx::EnduranceOptions LedgerOptions() {
+  approx::EnduranceOptions options;
+  options.enabled = true;
+  options.banks = 4;
+  options.bank_lane_bytes = WearPlacement::kBankLaneBytes;
+  options.bank_budget_pv = 1000.0;
+  options.retire_after_quarantines = 2;
+  return options;
+}
+
+TEST(WearPlacementChargeTest, JobWithNoSpansAccruesUnattributedWear) {
+  WearPlacement placement(FourBanks());
+  placement.BeginJob();
+  placement.ChargeJobCost(250.0);
+  placement.ChargeJobCost(0.0);    // Zero charges are dropped outright.
+  placement.ChargeJobCost(-10.0);  // So are negative (defensive) ones.
+  EXPECT_DOUBLE_EQ(placement.unattributed_wear(), 250.0);
+  for (const BankWear& bank : placement.banks()) {
+    EXPECT_DOUBLE_EQ(bank.wear, 0.0);
+  }
+}
+
+TEST(WearPlacementChargeTest, ZeroByteSpansSplitTheChargeEqually) {
+  WearPlacement placement(FourBanks());
+  placement.BeginJob();
+  // Two zero-byte allocations: zero placed bytes, yet the charge must
+  // neither divide by zero nor be dropped — it splits equally per span.
+  placement.PlaceSpan(0);
+  placement.PlaceSpan(0);
+  placement.ChargeJobCost(100.0);
+  double total = 0.0;
+  for (const BankWear& bank : placement.banks()) total += bank.wear;
+  EXPECT_DOUBLE_EQ(total, 100.0);
+  EXPECT_DOUBLE_EQ(placement.unattributed_wear(), 0.0);
+}
+
+TEST(WearPlacementChargeTest, MixedSpansChargeProportionalToBytes) {
+  WearPlacement placement(FourBanks());
+  placement.BeginJob();
+  const uint64_t small = placement.PlaceSpan(100);
+  const uint64_t large = placement.PlaceSpan(300);
+  placement.ChargeJobCost(400.0);
+  EXPECT_DOUBLE_EQ(placement.banks()[placement.BankOf(small)].wear, 100.0);
+  EXPECT_DOUBLE_EQ(placement.banks()[placement.BankOf(large)].wear, 300.0);
+
+  // A zero-byte span riding along with real bytes gets a zero share: the
+  // proportional rule covers it without the equal-split fallback.
+  placement.BeginJob();
+  const uint64_t empty = placement.PlaceSpan(0);
+  const uint64_t full = placement.PlaceSpan(64);
+  const double before = placement.banks()[placement.BankOf(empty)].wear;
+  placement.ChargeJobCost(50.0);
+  if (placement.BankOf(empty) != placement.BankOf(full)) {
+    EXPECT_DOUBLE_EQ(placement.banks()[placement.BankOf(empty)].wear, before);
+  }
+}
+
+TEST(WearPlacementChargeTest, BeginJobResetsAttributionTargets) {
+  WearPlacement placement(FourBanks());
+  placement.BeginJob();
+  placement.PlaceSpan(128);
+  placement.BeginJob();  // Previous job's spans must not absorb this charge.
+  placement.ChargeJobCost(75.0);
+  EXPECT_DOUBLE_EQ(placement.unattributed_wear(), 75.0);
+}
+
+TEST(WearPlacementImbalanceTest, NoAllocationsReportsPerfectlyLevel) {
+  WearPlacement placement(FourBanks());
+  EXPECT_DOUBLE_EQ(placement.WearImbalance(), 1.0);
+}
+
+TEST(WearPlacementImbalanceTest, SingleUsedBankIsLevelByDefinition) {
+  WearPlacement placement(FourBanks());
+  placement.BeginJob();
+  placement.PlaceSpan(64);
+  placement.ChargeJobCost(500.0);
+  EXPECT_DOUBLE_EQ(placement.WearImbalance(), 1.0);
+}
+
+TEST(WearPlacementImbalanceTest, AllocatedButUnchargedBanksStayLevel) {
+  WearPlacement placement(FourBanks());
+  placement.BeginJob();
+  placement.PlaceSpan(64);
+  placement.PlaceSpan(64);
+  // Allocations landed but no wear was ever charged: total wear is zero,
+  // which must read as level, not as a division by zero.
+  EXPECT_DOUBLE_EQ(placement.WearImbalance(), 1.0);
+}
+
+TEST(WearPlacementImbalanceTest, ConcentrationReadsAsMaxOverMean) {
+  WearPlacement placement(FourBanks());
+  placement.BeginJob();
+  const uint64_t heavy = placement.PlaceSpan(300);
+  const uint64_t light = placement.PlaceSpan(100);
+  placement.ChargeJobCost(400.0);
+  ASSERT_NE(placement.BankOf(heavy), placement.BankOf(light));
+  // Wear 300 and 100 over two used banks: mean 200, max 300 -> 1.5.
+  EXPECT_DOUBLE_EQ(placement.WearImbalance(), 1.5);
+}
+
+TEST(WearPlacementEnduranceTest, RetiredBanksAreSkippedByPlacement) {
+  approx::EnduranceLedger ledger(LedgerOptions());
+  WearPlacement placement(FourBanks(), &ledger);
+  ledger.ChargeBank(0, 2000.0);  // Retire bank 0 directly.
+  ASSERT_TRUE(ledger.IsRetired(0));
+  EXPECT_EQ(placement.LiveBankCount(), 3);
+  EXPECT_FALSE(placement.SubstrateExhausted());
+
+  placement.BeginJob();
+  for (int i = 0; i < 12; ++i) {
+    EXPECT_NE(placement.BankOf(placement.PlaceSpan(64)), 0);
+  }
+  EXPECT_EQ(placement.banks()[0].allocations, 0u);
+}
+
+TEST(WearPlacementEnduranceTest, ExhaustedSubstrateStillMakesProgress) {
+  approx::EnduranceLedger ledger(LedgerOptions());
+  WearPlacement placement(FourBanks(), &ledger);
+  for (int b = 0; b < 4; ++b) ledger.ChargeBank(b, 2000.0);
+  EXPECT_TRUE(placement.SubstrateExhausted());
+  EXPECT_EQ(placement.LiveBankCount(), 0);
+
+  // A job already mid-flight may still allocate (precise fallback); the
+  // policy contract demands a valid placement even off a dead substrate.
+  placement.BeginJob();
+  const uint64_t base = placement.PlaceSpan(64);
+  const int bank = placement.BankOf(base);
+  EXPECT_GE(bank, 0);
+  EXPECT_LT(bank, 4);
+  EXPECT_EQ(placement.banks()[bank].allocations, 1u);
+}
+
+TEST(WearPlacementEnduranceTest, ChargesFlowIntoTheLedgerWithAging) {
+  approx::EnduranceOptions aged = LedgerOptions();
+  aged.age_multiplier = 10.0;
+  approx::EnduranceLedger ledger(aged);
+  WearPlacement placement(FourBanks(), &ledger);
+
+  placement.BeginJob();
+  EXPECT_EQ(ledger.virtual_time(), 1u);  // BeginJob ticks virtual time.
+  const uint64_t base = placement.PlaceSpan(64);
+  const int bank = placement.BankOf(base);
+  placement.ChargeJobCost(150.0);  // 150 observed * 10x = 1500 > budget.
+  EXPECT_TRUE(ledger.IsRetired(bank));
+  ASSERT_EQ(ledger.retirements().size(), 1u);
+  EXPECT_EQ(ledger.retirements()[0].virtual_time, 1u);
+}
+
+TEST(WearPlacementEnduranceTest, QuarantinesCondemnViaTheCanaryPath) {
+  approx::EnduranceLedger ledger(LedgerOptions());  // Condemn after 2.
+  WearPlacement placement(FourBanks(), &ledger);
+
+  placement.BeginJob();
+  const uint64_t span = 64;
+  const uint64_t base = placement.PlaceSpan(span);
+  const int bank = placement.BankOf(base);
+  placement.OnQuarantine(base, span);
+  EXPECT_EQ(placement.quarantine_events(), 1u);
+  EXPECT_EQ(ledger.bank(bank).quarantines, 1u);
+  EXPECT_FALSE(ledger.IsRetired(bank));
+  // The quarantined span is dropped from attribution: a charge now has no
+  // targets and lands on the unattributed ledger.
+  placement.ChargeJobCost(30.0);
+  EXPECT_DOUBLE_EQ(placement.unattributed_wear(), 30.0);
+
+  placement.OnQuarantine(base + 128, span);  // Same bank, different region.
+  EXPECT_TRUE(ledger.IsRetired(bank));
+  EXPECT_EQ(ledger.retirements()[0].reason,
+            approx::RetirementReason::kCanaryCondemned);
+}
+
+}  // namespace
+}  // namespace approxmem::service
