@@ -1,0 +1,36 @@
+#include "common/memory_budget.h"
+
+#include <limits>
+
+#include "common/check.h"
+
+namespace approxmem {
+
+void MemoryBudget::Reserve(size_t bytes) {
+  const size_t now = used_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  APPROXMEM_CHECK(capacity_ == 0 || now <= capacity_);
+  size_t peak = high_water_.load(std::memory_order_relaxed);
+  while (peak < now &&
+         !high_water_.compare_exchange_weak(peak, now,
+                                            std::memory_order_relaxed)) {
+  }
+}
+
+bool MemoryBudget::CanReserve(size_t bytes) const {
+  if (capacity_ == 0) return true;
+  const size_t now = used_.load(std::memory_order_relaxed);
+  return now <= capacity_ && bytes <= capacity_ - now;
+}
+
+void MemoryBudget::Release(size_t bytes) {
+  const size_t before = used_.fetch_sub(bytes, std::memory_order_relaxed);
+  APPROXMEM_CHECK(before >= bytes);
+}
+
+size_t MemoryBudget::remaining() const {
+  if (capacity_ == 0) return std::numeric_limits<size_t>::max();
+  const size_t now = used_.load(std::memory_order_relaxed);
+  return now >= capacity_ ? 0 : capacity_ - now;
+}
+
+}  // namespace approxmem

@@ -1,0 +1,107 @@
+// Strict modeled-memory budget for out-of-core processing.
+//
+// The external sort must never use more working memory than it was granted:
+// run formation sizes its runs from the budget, and the k-way merge derives
+// its fan-in from what is left after the output buffer. MemoryBudget is the
+// enforcement point — every working buffer reserves its modeled footprint
+// before it exists and releases it when it dies, and a reservation that
+// would exceed the capacity CHECK-fails (a breach means the sizing math is
+// wrong, so every downstream number would be garbage, same policy as the
+// other simulator invariants).
+//
+// The budget accounts *modeled* bytes, not host allocations: simulated
+// arrays (approx/approx_array.h) and host staging vectors both charge the
+// bytes the modeled machine would need. Thread-safe: the flush path of the
+// overlap pipeline releases buffers from device-completion callbacks.
+#ifndef APPROXMEM_COMMON_MEMORY_BUDGET_H_
+#define APPROXMEM_COMMON_MEMORY_BUDGET_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace approxmem {
+
+class MemoryBudget {
+ public:
+  /// A budget of `capacity_bytes` modeled bytes. Zero capacity means
+  /// unlimited (used by tests that exercise the pipeline without a
+  /// contract).
+  explicit MemoryBudget(size_t capacity_bytes) : capacity_(capacity_bytes) {}
+
+  MemoryBudget(const MemoryBudget&) = delete;
+  MemoryBudget& operator=(const MemoryBudget&) = delete;
+
+  /// Reserves `bytes` against the budget. CHECK-fails when the reservation
+  /// would exceed capacity — callers must size their buffers from
+  /// CanReserve/remaining() first; Reserve is the enforcement, not the
+  /// negotiation.
+  void Reserve(size_t bytes);
+
+  /// True when `bytes` more would still fit.
+  bool CanReserve(size_t bytes) const;
+
+  /// Releases a previous reservation. CHECK-fails on over-release.
+  void Release(size_t bytes);
+
+  size_t capacity() const { return capacity_; }
+  size_t used() const { return used_.load(std::memory_order_relaxed); }
+  /// Remaining headroom; SIZE_MAX when the budget is unlimited.
+  size_t remaining() const;
+  /// Largest number of bytes ever reserved at once.
+  size_t high_water() const {
+    return high_water_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  size_t capacity_;
+  std::atomic<size_t> used_{0};
+  std::atomic<size_t> high_water_{0};
+};
+
+/// RAII reservation: charges on construction, releases on destruction.
+/// Movable so buffers can hand their reservation to a flush request.
+class BudgetReservation {
+ public:
+  BudgetReservation() = default;
+  BudgetReservation(MemoryBudget* budget, size_t bytes)
+      : budget_(budget), bytes_(bytes) {
+    if (budget_ != nullptr) budget_->Reserve(bytes_);
+  }
+  BudgetReservation(BudgetReservation&& other) noexcept
+      : budget_(other.budget_), bytes_(other.bytes_) {
+    other.budget_ = nullptr;
+    other.bytes_ = 0;
+  }
+  BudgetReservation& operator=(BudgetReservation&& other) noexcept {
+    if (this != &other) {
+      reset();
+      budget_ = other.budget_;
+      bytes_ = other.bytes_;
+      other.budget_ = nullptr;
+      other.bytes_ = 0;
+    }
+    return *this;
+  }
+  ~BudgetReservation() { reset(); }
+
+  BudgetReservation(const BudgetReservation&) = delete;
+  BudgetReservation& operator=(const BudgetReservation&) = delete;
+
+  /// Releases the reservation early.
+  void reset() {
+    if (budget_ != nullptr) budget_->Release(bytes_);
+    budget_ = nullptr;
+    bytes_ = 0;
+  }
+
+  size_t bytes() const { return bytes_; }
+
+ private:
+  MemoryBudget* budget_ = nullptr;
+  size_t bytes_ = 0;
+};
+
+}  // namespace approxmem
+
+#endif  // APPROXMEM_COMMON_MEMORY_BUDGET_H_

@@ -52,6 +52,18 @@ void ThreadPool::WorkerLoop() {
   }
 }
 
+void ThreadPool::Schedule(std::function<void()> fn) {
+  if (workers_.empty()) {
+    fn();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.emplace_back(std::move(fn));
+  }
+  work_cv_.notify_one();
+}
+
 void ThreadPool::ParallelFor(size_t begin, size_t end,
                              const std::function<void(size_t)>& fn) {
   if (begin >= end) return;

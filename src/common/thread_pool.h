@@ -45,6 +45,13 @@ class ThreadPool {
   void ParallelFor(size_t begin, size_t end,
                    const std::function<void(size_t)>& fn);
 
+  /// Enqueues `fn` to run on some worker thread and returns immediately.
+  /// With no workers (threads == 1) the task runs inline before Schedule
+  /// returns, which reproduces serial execution exactly — callers needing a
+  /// completion signal build one into the task (the async device keeps a
+  /// per-transfer done flag). Tasks must not throw.
+  void Schedule(std::function<void()> fn);
+
   /// True when called from one of this process's pool worker threads.
   static bool InWorker();
 

@@ -155,6 +155,54 @@ StatusOr<RefineOutcome> ApproxSortEngine::SortApproxRefine(
       memory_.WriteCostRatio(knob), final_keys, final_ids);
 }
 
+namespace {
+
+// SplitMix64 finalizer: decorrelates consecutive run indices into
+// independent-looking pivot seeds.
+uint64_t MixStreamKey(uint64_t seed, uint64_t stream_key) {
+  uint64_t z = seed ^ (stream_key + 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+StatusOr<refine::RefineReport> ApproxSortEngine::SortRunApproxRefine(
+    const std::vector<uint32_t>& keys, const sort::AlgorithmId& algorithm,
+    double knob, uint64_t stream_key, std::vector<uint32_t>* final_keys) {
+  const Status valid = memory_.backend().Validate(
+      approx::AllocSpec::Approx(knob, keys.size()));
+  if (!valid.ok()) return valid;
+  memory_.BeginJobStream(stream_key);
+  refine::RefineOptions refine_options;
+  refine_options.algorithm = algorithm;
+  refine_options.approx_alloc = [this, knob](size_t n) {
+    return memory_.NewApproxArray(n, knob);
+  };
+  refine_options.precise_alloc = [this](size_t n) {
+    return memory_.NewPreciseArray(n);
+  };
+  refine_options.sort_seed =
+      MixStreamKey(options_.seed ^ 0x4e414cULL, stream_key);
+  // Runs are large and numerous; the exact-sortedness LIS pass is a
+  // diagnostic the external sort does not read.
+  refine_options.measure_approx_sortedness = false;
+  refine_options.tuning = SortTuningForRuns();
+  return refine::ApproxRefineSort(keys, refine_options, final_keys, nullptr);
+}
+
+StatusOr<refine::PreciseBaselineReport> ApproxSortEngine::SortRunPrecise(
+    const std::vector<uint32_t>& keys, const sort::AlgorithmId& algorithm,
+    uint64_t stream_key, std::vector<uint32_t>* sorted_keys) {
+  memory_.BeginJobStream(stream_key);
+  return refine::PreciseSortBaseline(
+      keys, algorithm,
+      [this](size_t n) { return memory_.NewPreciseArray(n); },
+      MixStreamKey(options_.seed ^ 0x4e414cULL, stream_key),
+      /*with_ids=*/true, sorted_keys, SortTuningForRuns());
+}
+
 bool ApproxSortEngine::RecommendApproxRefine(
     const sort::AlgorithmId& algorithm, size_t n, double knob,
     size_t expected_rem) {

@@ -117,6 +117,27 @@ class ApproxSortEngine {
       double knob, std::vector<uint32_t>* final_keys = nullptr,
       std::vector<uint32_t>* final_ids = nullptr);
 
+  /// Out-of-core run formation handoff: approx-refine sort of one run
+  /// WITHOUT the per-run precise baseline that SortApproxRefine always
+  /// pays (the external sort compares whole configurations instead, so a
+  /// per-run baseline would double every run's cost for nothing). Before
+  /// sorting, the hybrid memory's allocation RNG is rebased onto
+  /// (seed, stream_key) — the same BeginJobStream trick the multi-tenant
+  /// service uses — so the run's simulated error draws depend only on the
+  /// experiment seed and the run's own key, never on how many runs (or
+  /// which configurations) executed on the substrate before it. That is
+  /// what keeps the external sort's spill digests byte-identical at any
+  /// thread count.
+  StatusOr<refine::RefineReport> SortRunApproxRefine(
+      const std::vector<uint32_t>& keys, const sort::AlgorithmId& algorithm,
+      double knob, uint64_t stream_key, std::vector<uint32_t>* final_keys);
+
+  /// Precise-domain counterpart for the external sort's baseline
+  /// configuration: same RNG rebasing, same absence of a second baseline.
+  StatusOr<refine::PreciseBaselineReport> SortRunPrecise(
+      const std::vector<uint32_t>& keys, const sort::AlgorithmId& algorithm,
+      uint64_t stream_key, std::vector<uint32_t>* sorted_keys);
+
   /// p(t) — the calibrated PCM write-latency ratio (Section 2.2).
   double PvRatio(double t) { return memory_.PvRatio(t); }
 

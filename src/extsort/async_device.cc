@@ -1,0 +1,226 @@
+#include "extsort/async_device.h"
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+
+#include "common/check.h"
+
+namespace approxmem::extsort {
+
+Status AsyncDeviceConfig::Validate() const {
+  if (block_bytes == 0 || block_bytes % 4 != 0) {
+    return Status::InvalidArgument(
+        "block_bytes must be a positive multiple of 4");
+  }
+  if (bandwidth_mb_per_s <= 0.0) {
+    return Status::InvalidArgument("bandwidth_mb_per_s must be positive");
+  }
+  if (latency_us < 0.0) {
+    return Status::InvalidArgument("latency_us must be non-negative");
+  }
+  if (queue_depth < 1) {
+    return Status::InvalidArgument("queue_depth must be >= 1");
+  }
+  return Status::Ok();
+}
+
+AsyncDevice::AsyncDevice(const AsyncDeviceConfig& config, ThreadPool* pool)
+    : config_(config), pool_(pool) {
+  APPROXMEM_CHECK_OK(config_.Validate());
+  channel_free_us_.assign(static_cast<size_t>(config_.queue_depth), 0.0);
+}
+
+AsyncDevice::~AsyncDevice() { Drain(); }
+
+int AsyncDevice::CreateFile() {
+  files_.push_back(std::make_unique<File>());
+  return static_cast<int>(files_.size()) - 1;
+}
+
+size_t AsyncDevice::FileSize(int file) const {
+  APPROXMEM_CHECK(file >= 0 && static_cast<size_t>(file) < files_.size());
+  return files_[static_cast<size_t>(file)]->size;
+}
+
+double AsyncDevice::ScheduleOnChannel(double ready_us, size_t bytes,
+                                      bool is_read) {
+  const uint64_t blocks =
+      (bytes + config_.block_bytes - 1) / config_.block_bytes;
+  // 1 MB/s == 1 byte per virtual µs, so the bandwidth figure doubles as
+  // the bytes-per-µs rate.
+  const double service_us =
+      config_.latency_us + static_cast<double>(blocks * config_.block_bytes) /
+                               config_.bandwidth_mb_per_s;
+  size_t channel = 0;
+  for (size_t c = 1; c < channel_free_us_.size(); ++c) {
+    if (channel_free_us_[c] < channel_free_us_[channel]) channel = c;
+  }
+  const double start_us = std::max(ready_us, channel_free_us_[channel]);
+  const double done_us = start_us + service_us;
+  channel_free_us_[channel] = done_us;
+  stats_.queue_wait_us += start_us - ready_us;
+  if (is_read) {
+    ++stats_.reads;
+    stats_.blocks_read += blocks;
+    stats_.bytes_read += bytes;
+    stats_.read_busy_us += service_us;
+  } else {
+    ++stats_.writes;
+    stats_.blocks_written += blocks;
+    stats_.bytes_written += bytes;
+    stats_.write_busy_us += service_us;
+  }
+  return done_us;
+}
+
+void AsyncDevice::MarkCopied(TransferId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  transfers_[id].copied = true;
+  cv_.notify_all();
+}
+
+AsyncDevice::TransferId AsyncDevice::SubmitWrite(int file,
+                                                 std::vector<uint32_t> values,
+                                                 double ready_us) {
+  APPROXMEM_CHECK(file >= 0 && static_cast<size_t>(file) < files_.size());
+  File& f = *files_[static_cast<size_t>(file)];
+  const TransferId id = next_id_++;
+  const double done_us =
+      ScheduleOnChannel(ready_us, values.size() * 4, /*is_read=*/false);
+
+  // Reserve the extent in program order: the segment object is created
+  // here (so file layout is deterministic) and filled by the pool task.
+  auto segment = std::make_unique<Segment>();
+  segment->begin = f.size;
+  f.size += values.size();
+  Segment* dest = segment.get();
+  f.segments.push_back(std::move(segment));
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    Transfer& t = transfers_[id];
+    t.is_read = false;
+    t.done_us = done_us;
+  }
+  auto task = [this, id, dest, source = std::move(values)]() mutable {
+    dest->data = std::move(source);
+    MarkCopied(id);
+  };
+  if (pool_ != nullptr) {
+    pool_->Schedule(std::move(task));
+  } else {
+    task();
+  }
+  return id;
+}
+
+AsyncDevice::TransferId AsyncDevice::SubmitRead(int file, size_t offset,
+                                                size_t count,
+                                                double ready_us) {
+  APPROXMEM_CHECK(file >= 0 && static_cast<size_t>(file) < files_.size());
+  File& f = *files_[static_cast<size_t>(file)];
+  offset = std::min(offset, f.size);
+  count = std::min(count, f.size - offset);
+  const TransferId id = next_id_++;
+  const double done_us = ScheduleOnChannel(ready_us, count * 4,
+                                           /*is_read=*/true);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    Transfer& t = transfers_[id];
+    t.is_read = true;
+    t.done_us = done_us;
+  }
+  auto task = [this, id, &f, offset, count] {
+    std::vector<uint32_t> data(count);
+    // Gather across the segments covering [offset, offset + count). The
+    // segment list only grows and covered segments are already copied
+    // (the caller Wait()ed their writes), so this walk is race-free.
+    size_t filled = 0;
+    for (const auto& segment : f.segments) {
+      const size_t seg_end = segment->begin + segment->data.size();
+      if (seg_end <= offset + filled) continue;
+      if (segment->begin >= offset + count) break;
+      const size_t from = offset + filled - segment->begin;
+      const size_t take =
+          std::min(count - filled, segment->data.size() - from);
+      std::memcpy(data.data() + filled, segment->data.data() + from,
+                  take * 4);
+      filled += take;
+      if (filled == count) break;
+    }
+    APPROXMEM_CHECK(filled == count);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      transfers_[id].data = std::move(data);
+    }
+    MarkCopied(id);
+  };
+  if (pool_ != nullptr) {
+    pool_->Schedule(std::move(task));
+  } else {
+    task();
+  }
+  return id;
+}
+
+double AsyncDevice::Wait(TransferId id) {
+  std::unique_lock<std::mutex> lock(mu_);
+  // Re-find on every predicate check: concurrent submissions may rehash
+  // the map and invalidate any held iterator.
+  cv_.wait(lock, [&] {
+    const auto it = transfers_.find(id);
+    APPROXMEM_CHECK(it != transfers_.end());
+    return it->second.copied;
+  });
+  const auto it = transfers_.find(id);
+  const double done_us = it->second.done_us;
+  if (!it->second.is_read) transfers_.erase(it);
+  return done_us;
+}
+
+std::vector<uint32_t> AsyncDevice::TakeData(TransferId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = transfers_.find(id);
+  APPROXMEM_CHECK(it != transfers_.end() && it->second.copied &&
+                  it->second.is_read);
+  std::vector<uint32_t> data = std::move(it->second.data);
+  transfers_.erase(it);
+  return data;
+}
+
+void AsyncDevice::Drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] {
+    for (const auto& [id, t] : transfers_) {
+      if (!t.copied) return false;
+    }
+    return true;
+  });
+}
+
+std::vector<uint32_t> AsyncDevice::PeekData(int file) const {
+  APPROXMEM_CHECK(file >= 0 && static_cast<size_t>(file) < files_.size());
+  const File& f = *files_[static_cast<size_t>(file)];
+  std::vector<uint32_t> flat;
+  flat.reserve(f.size);
+  for (const auto& segment : f.segments) {
+    flat.insert(flat.end(), segment->data.begin(), segment->data.end());
+  }
+  APPROXMEM_CHECK(flat.size() == f.size);
+  return flat;
+}
+
+void AsyncDevice::ResetClock() {
+  Drain();
+  channel_free_us_.assign(channel_free_us_.size(), 0.0);
+}
+
+void AsyncDevice::Truncate(int file) {
+  APPROXMEM_CHECK(file >= 0 && static_cast<size_t>(file) < files_.size());
+  File& f = *files_[static_cast<size_t>(file)];
+  f.segments.clear();
+  f.size = 0;
+}
+
+}  // namespace approxmem::extsort

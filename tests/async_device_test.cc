@@ -1,0 +1,211 @@
+#include "extsort/async_device.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/thread_pool.h"
+
+namespace approxmem::extsort {
+namespace {
+
+// 4 KiB blocks at 400 MB/s (= 400 bytes per virtual µs) with 100 µs of
+// per-request latency: one block's service time is 100 + 4096/400 =
+// 110.24 µs.
+AsyncDeviceConfig OneChannelConfig() {
+  AsyncDeviceConfig config;
+  config.block_bytes = 4096;
+  config.bandwidth_mb_per_s = 400.0;
+  config.latency_us = 100.0;
+  config.queue_depth = 1;
+  return config;
+}
+
+constexpr double kOneBlockServiceUs = 100.0 + 4096.0 / 400.0;
+
+TEST(AsyncDeviceConfigTest, ValidateRejectsDegenerateConfigs) {
+  AsyncDeviceConfig config;
+  EXPECT_TRUE(config.Validate().ok());
+  config.block_bytes = 0;
+  EXPECT_FALSE(config.Validate().ok());
+  config = AsyncDeviceConfig();
+  config.block_bytes = 6;  // Not a multiple of the element size.
+  EXPECT_FALSE(config.Validate().ok());
+  config = AsyncDeviceConfig();
+  config.bandwidth_mb_per_s = 0.0;
+  EXPECT_FALSE(config.Validate().ok());
+  config = AsyncDeviceConfig();
+  config.latency_us = -1.0;
+  EXPECT_FALSE(config.Validate().ok());
+  config = AsyncDeviceConfig();
+  config.queue_depth = 0;
+  EXPECT_FALSE(config.Validate().ok());
+}
+
+TEST(AsyncDeviceTest, WriteReadRoundTrip) {
+  AsyncDevice device(OneChannelConfig());
+  const int file = device.CreateFile();
+  device.Wait(device.SubmitWrite(file, {1, 2, 3, 4, 5}, 0.0));
+  EXPECT_EQ(device.FileSize(file), 5u);
+  const auto id = device.SubmitRead(file, 1, 3, 0.0);
+  device.Wait(id);
+  EXPECT_EQ(device.TakeData(id), (std::vector<uint32_t>{2, 3, 4}));
+}
+
+TEST(AsyncDeviceTest, ReadClampsToFileEnd) {
+  AsyncDevice device(OneChannelConfig());
+  const int file = device.CreateFile();
+  device.Wait(device.SubmitWrite(file, {7, 8}, 0.0));
+  const auto tail = device.SubmitRead(file, 1, 100, 0.0);
+  device.Wait(tail);
+  EXPECT_EQ(device.TakeData(tail), (std::vector<uint32_t>{8}));
+  const auto past = device.SubmitRead(file, 10, 5, 0.0);
+  device.Wait(past);
+  EXPECT_TRUE(device.TakeData(past).empty());
+}
+
+TEST(AsyncDeviceTest, ReadGathersAcrossWriteSegments) {
+  AsyncDevice device(OneChannelConfig());
+  const int file = device.CreateFile();
+  device.Wait(device.SubmitWrite(file, {1, 2, 3}, 0.0));
+  device.Wait(device.SubmitWrite(file, {4, 5}, 0.0));
+  device.Wait(device.SubmitWrite(file, {6, 7, 8, 9}, 0.0));
+  const auto id = device.SubmitRead(file, 1, 7, 0.0);
+  device.Wait(id);
+  EXPECT_EQ(device.TakeData(id),
+            (std::vector<uint32_t>{2, 3, 4, 5, 6, 7, 8}));
+  EXPECT_EQ(device.PeekData(file),
+            (std::vector<uint32_t>{1, 2, 3, 4, 5, 6, 7, 8, 9}));
+}
+
+TEST(AsyncDeviceTest, ServiceTimeFollowsLatencyPlusBandwidth) {
+  AsyncDevice device(OneChannelConfig());
+  const int file = device.CreateFile();
+  // 1024 elements = exactly one 4 KiB block.
+  const double done =
+      device.Wait(device.SubmitWrite(file,
+                                     std::vector<uint32_t>(1024, 1), 0.0));
+  EXPECT_DOUBLE_EQ(done, kOneBlockServiceUs);
+  EXPECT_DOUBLE_EQ(device.stats().write_busy_us, kOneBlockServiceUs);
+  EXPECT_EQ(device.stats().blocks_written, 1u);
+  EXPECT_EQ(device.stats().bytes_written, 4096u);
+}
+
+TEST(AsyncDeviceTest, PartialBlocksAreChargedWhole) {
+  AsyncDevice device(OneChannelConfig());
+  const int file = device.CreateFile();
+  const double done = device.Wait(device.SubmitWrite(file, {42}, 0.0));
+  // 4 bytes moved, one whole block charged.
+  EXPECT_DOUBLE_EQ(done, kOneBlockServiceUs);
+  EXPECT_EQ(device.stats().blocks_written, 1u);
+  EXPECT_EQ(device.stats().bytes_written, 4u);
+}
+
+TEST(AsyncDeviceTest, SingleChannelSerializesAndAccruesQueueWait) {
+  AsyncDevice device(OneChannelConfig());
+  const int file = device.CreateFile();
+  const auto first = device.SubmitWrite(file, {1}, 0.0);
+  const auto second = device.SubmitWrite(file, {2}, 0.0);
+  EXPECT_DOUBLE_EQ(device.Wait(first), kOneBlockServiceUs);
+  // The second request was ready at 0 but queued behind the first.
+  EXPECT_DOUBLE_EQ(device.Wait(second), 2 * kOneBlockServiceUs);
+  EXPECT_DOUBLE_EQ(device.stats().queue_wait_us, kOneBlockServiceUs);
+}
+
+TEST(AsyncDeviceTest, QueueDepthServicesRequestsConcurrently) {
+  AsyncDeviceConfig config = OneChannelConfig();
+  config.queue_depth = 2;
+  AsyncDevice device(config);
+  const int file = device.CreateFile();
+  const auto first = device.SubmitWrite(file, {1}, 0.0);
+  const auto second = device.SubmitWrite(file, {2}, 0.0);
+  const auto third = device.SubmitWrite(file, {3}, 0.0);
+  EXPECT_DOUBLE_EQ(device.Wait(first), kOneBlockServiceUs);
+  EXPECT_DOUBLE_EQ(device.Wait(second), kOneBlockServiceUs);
+  EXPECT_DOUBLE_EQ(device.Wait(third), 2 * kOneBlockServiceUs);
+}
+
+TEST(AsyncDeviceTest, ReadyTimeDefersServiceStart) {
+  AsyncDevice device(OneChannelConfig());
+  const int file = device.CreateFile();
+  device.Wait(device.SubmitWrite(file, {1}, 0.0));
+  device.ResetClock();
+  const auto id = device.SubmitRead(file, 0, 1, 1000.0);
+  EXPECT_DOUBLE_EQ(device.Wait(id), 1000.0 + kOneBlockServiceUs);
+  EXPECT_DOUBLE_EQ(device.stats().queue_wait_us, 0.0);
+  device.TakeData(id);
+}
+
+TEST(AsyncDeviceTest, ResetClockRestartsVirtualTimeKeepsContents) {
+  AsyncDevice device(OneChannelConfig());
+  const int file = device.CreateFile();
+  device.Wait(device.SubmitWrite(file, {1, 2, 3}, 0.0));
+  device.ResetClock();
+  const double done = device.Wait(device.SubmitWrite(file, {4}, 0.0));
+  EXPECT_DOUBLE_EQ(done, kOneBlockServiceUs);  // Not queued behind staging.
+  EXPECT_EQ(device.FileSize(file), 4u);
+  EXPECT_EQ(device.stats().writes, 2u);  // Stats survive the reset.
+}
+
+TEST(AsyncDeviceTest, TruncateDropsContentsForFree) {
+  AsyncDevice device(OneChannelConfig());
+  const int a = device.CreateFile();
+  const int b = device.CreateFile();
+  device.Wait(device.SubmitWrite(a, {1, 2}, 0.0));
+  device.Wait(device.SubmitWrite(b, {3}, 0.0));
+  const DeviceStats before = device.stats();
+  device.Truncate(a);
+  EXPECT_EQ(device.FileSize(a), 0u);
+  EXPECT_EQ(device.FileSize(b), 1u);
+  EXPECT_EQ(device.stats().writes, before.writes);
+  EXPECT_DOUBLE_EQ(device.stats().BusyUs(), before.BusyUs());
+}
+
+TEST(AsyncDeviceTest, VirtualTimesIdenticalWithAndWithoutPool) {
+  // The cost model is evaluated at submit on the submitting thread, so
+  // virtual completion times never depend on who moves the bytes.
+  const auto run = [](ThreadPool* pool) {
+    AsyncDeviceConfig config;
+    config.queue_depth = 3;
+    AsyncDevice device(config, pool);
+    const int file = device.CreateFile();
+    std::vector<double> times;
+    std::vector<AsyncDevice::TransferId> writes;
+    for (uint32_t i = 0; i < 8; ++i) {
+      writes.push_back(device.SubmitWrite(
+          file, std::vector<uint32_t>(100 + 37 * i, i), 50.0 * i));
+    }
+    for (const auto id : writes) times.push_back(device.Wait(id));
+    const auto read = device.SubmitRead(file, 0, 500, times.back());
+    times.push_back(device.Wait(read));
+    const std::vector<uint32_t> data = device.TakeData(read);
+    times.push_back(static_cast<double>(data.size()));
+    return times;
+  };
+  ThreadPool pool(4);
+  const std::vector<double> threaded = run(&pool);
+  const std::vector<double> serial = run(nullptr);
+  EXPECT_EQ(threaded, serial);
+}
+
+TEST(AsyncDeviceTest, ConcurrentSubmissionsLandInProgramOrderExtents) {
+  // Extents are reserved at submit in program order even when the pool
+  // moves the bytes later: the file layout is deterministic.
+  ThreadPool pool(4);
+  AsyncDevice device(AsyncDeviceConfig(), &pool);
+  const int file = device.CreateFile();
+  std::vector<AsyncDevice::TransferId> ids;
+  for (uint32_t i = 0; i < 50; ++i) {
+    ids.push_back(device.SubmitWrite(file, {i, i, i}, 0.0));
+  }
+  for (const auto id : ids) device.Wait(id);
+  const std::vector<uint32_t> flat = device.PeekData(file);
+  ASSERT_EQ(flat.size(), 150u);
+  for (uint32_t i = 0; i < 50; ++i) {
+    EXPECT_EQ(flat[3 * i], i);
+    EXPECT_EQ(flat[3 * i + 2], i);
+  }
+}
+
+}  // namespace
+}  // namespace approxmem::extsort

@@ -212,24 +212,25 @@ TEST(differential_oracle, ExternalSortMatchesGoldenUnderApproxFaults) {
   engine_options.fault_hook = &injector;
   core::ApproxSortEngine engine(engine_options);
 
-  extsort::SimulatedDisk disk;
-  const int input_file = disk.CreateFile();
-  disk.Append(input_file, keys);
+  extsort::AsyncDevice device;
+  const int input_file = device.CreateFile();
+  device.Wait(device.SubmitWrite(input_file, keys, 0.0));
+  device.ResetClock();
 
   extsort::ExternalSortOptions options;
-  options.memory_budget_elements = 512;
+  options.run_elements = 512;
   options.merge_fan_in = 4;
   options.merge_buffer_elements = 64;
   int output_file = -1;
   const auto report =
-      extsort::ExternalSort(engine, disk, input_file, options, &output_file);
+      extsort::ExternalSort(engine, device, input_file, options, &output_file);
   ASSERT_TRUE(report.ok()) << report.status().ToString();
   EXPECT_TRUE(report->verified);
   EXPECT_GT(report->initial_runs, 1u);
 
   std::vector<uint32_t> golden = keys;
   std::sort(golden.begin(), golden.end());
-  EXPECT_EQ(disk.Read(output_file, 0, n), golden);
+  EXPECT_EQ(device.PeekData(output_file), golden);
 }
 
 }  // namespace

@@ -1,0 +1,171 @@
+#include "extsort/loser_tree.h"
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace approxmem::extsort {
+namespace {
+
+TEST(LoserTreeTest, SingleWay) {
+  LoserTree tree(1);
+  EXPECT_TRUE(tree.Exhausted());
+  tree.Update(0, 42, true);
+  EXPECT_FALSE(tree.Exhausted());
+  EXPECT_EQ(tree.MinWay(), 0u);
+  EXPECT_EQ(tree.MinKey(), 42u);
+  tree.Update(0, 0, false);
+  EXPECT_TRUE(tree.Exhausted());
+}
+
+TEST(LoserTreeTest, SingleWayDrainsARunInOrder) {
+  // Fan-in 1 is a real merge configuration (a tail group with one run);
+  // the tree must behave as a pass-through cursor.
+  LoserTree tree(1);
+  const std::vector<uint32_t> run = {3, 3, 7, 9, 9, 9, 12};
+  tree.Update(0, run[0], true);
+  std::vector<uint32_t> drained;
+  size_t pos = 0;
+  while (!tree.Exhausted()) {
+    drained.push_back(tree.MinKey());
+    ++pos;
+    tree.Update(0, pos < run.size() ? run[pos] : 0, pos < run.size());
+  }
+  EXPECT_EQ(drained, run);
+}
+
+TEST(LoserTreeTest, PicksMinimumAcrossWays) {
+  LoserTree tree(4);
+  tree.Update(0, 30, true);
+  tree.Update(1, 10, true);
+  tree.Update(2, 20, true);
+  tree.Update(3, 40, true);
+  EXPECT_EQ(tree.MinWay(), 1u);
+  EXPECT_EQ(tree.MinKey(), 10u);
+  tree.Update(1, 35, true);  // Way 1 advances past the others.
+  EXPECT_EQ(tree.MinWay(), 2u);
+  EXPECT_EQ(tree.MinKey(), 20u);
+}
+
+TEST(LoserTreeTest, EqualKeysPreferLowerWay) {
+  LoserTree tree(3);
+  tree.Update(0, 5, true);
+  tree.Update(1, 5, true);
+  tree.Update(2, 5, true);
+  EXPECT_EQ(tree.MinWay(), 0u);
+}
+
+TEST(LoserTreeTest, DuplicateKeysAcrossAllRunsDrainRunStable) {
+  // Every run holds the same key: the winner must always be the lowest
+  // not-yet-exhausted way, so elements drain grouped by run — the run-
+  // stability property the external merge relies on for determinism.
+  constexpr size_t kWays = 4;
+  constexpr size_t kPerRun = 3;
+  LoserTree tree(kWays);
+  std::vector<size_t> remaining(kWays, kPerRun);
+  for (size_t w = 0; w < kWays; ++w) tree.Update(w, 77, true);
+  std::vector<size_t> emit_order;
+  while (!tree.Exhausted()) {
+    const size_t w = tree.MinWay();
+    EXPECT_EQ(tree.MinKey(), 77u);
+    emit_order.push_back(w);
+    --remaining[w];
+    tree.Update(w, 77, remaining[w] > 0);
+  }
+  ASSERT_EQ(emit_order.size(), kWays * kPerRun);
+  // Lowest live way wins every round: way 0 drains fully, then way 1, ...
+  for (size_t i = 0; i < emit_order.size(); ++i) {
+    EXPECT_EQ(emit_order[i], i / kPerRun) << "emission " << i;
+  }
+}
+
+TEST(LoserTreeTest, ExhaustedRunReplacementOrder) {
+  // When the winning run exhausts, the next winner must be the minimum of
+  // the remaining heads — immediately, with no stale winner in between.
+  LoserTree tree(3);
+  tree.Update(0, 1, true);
+  tree.Update(1, 5, true);
+  tree.Update(2, 3, true);
+  EXPECT_EQ(tree.MinWay(), 0u);
+  tree.Update(0, 0, false);  // Way 0 exhausts while holding the minimum.
+  EXPECT_FALSE(tree.Exhausted());
+  EXPECT_EQ(tree.MinWay(), 2u);
+  EXPECT_EQ(tree.MinKey(), 3u);
+  tree.Update(2, 0, false);
+  EXPECT_EQ(tree.MinWay(), 1u);
+  EXPECT_EQ(tree.MinKey(), 5u);
+  tree.Update(1, 0, false);
+  EXPECT_TRUE(tree.Exhausted());
+}
+
+TEST(LoserTreeTest, ExhaustionInterleavedWithDuplicates) {
+  // Ways exhaust at different times while the survivors all hold equal
+  // keys; the winner must re-settle on the lowest live way each time.
+  LoserTree tree(4);
+  tree.Update(0, 9, true);
+  tree.Update(1, 9, true);
+  tree.Update(2, 9, true);
+  tree.Update(3, 9, true);
+  EXPECT_EQ(tree.MinWay(), 0u);
+  tree.Update(0, 0, false);
+  EXPECT_EQ(tree.MinWay(), 1u);
+  tree.Update(1, 9, true);  // Way 1 yields another 9; still lowest live.
+  EXPECT_EQ(tree.MinWay(), 1u);
+  tree.Update(1, 0, false);
+  EXPECT_EQ(tree.MinWay(), 2u);
+  tree.Update(2, 0, false);
+  EXPECT_EQ(tree.MinWay(), 3u);
+  EXPECT_EQ(tree.MinKey(), 9u);
+  tree.Update(3, 0, false);
+  EXPECT_TRUE(tree.Exhausted());
+}
+
+TEST(LoserTreeTest, NonPowerOfTwoWays) {
+  LoserTree tree(5);
+  const uint32_t heads[5] = {9, 7, 8, 6, 10};
+  for (size_t w = 0; w < 5; ++w) tree.Update(w, heads[w], true);
+  EXPECT_EQ(tree.MinKey(), 6u);
+  EXPECT_EQ(tree.MinWay(), 3u);
+}
+
+TEST(LoserTreeTest, MergesLikeStdMerge) {
+  // Property: draining a loser tree over k sorted runs reproduces the
+  // sorted concatenation.
+  Rng rng(1);
+  for (int trial = 0; trial < 30; ++trial) {
+    const size_t k = 1 + rng.UniformInt(9);
+    std::vector<std::vector<uint32_t>> runs(k);
+    std::vector<uint32_t> all;
+    for (auto& run : runs) {
+      run.resize(rng.UniformInt(50));
+      for (auto& v : run) v = static_cast<uint32_t>(rng.UniformInt(100));
+      std::sort(run.begin(), run.end());
+      all.insert(all.end(), run.begin(), run.end());
+    }
+    std::sort(all.begin(), all.end());
+
+    LoserTree tree(k);
+    std::vector<size_t> pos(k, 0);
+    for (size_t w = 0; w < k; ++w) {
+      if (!runs[w].empty()) tree.Update(w, runs[w][0], true);
+    }
+    std::vector<uint32_t> merged;
+    while (!tree.Exhausted()) {
+      const size_t w = tree.MinWay();
+      merged.push_back(tree.MinKey());
+      ++pos[w];
+      if (pos[w] < runs[w].size()) {
+        tree.Update(w, runs[w][pos[w]], true);
+      } else {
+        tree.Update(w, 0, false);
+      }
+    }
+    EXPECT_EQ(merged, all) << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace approxmem::extsort

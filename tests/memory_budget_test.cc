@@ -1,0 +1,113 @@
+#include "common/memory_budget.h"
+
+#include <utility>
+
+#include <gtest/gtest.h>
+
+namespace approxmem {
+namespace {
+
+TEST(MemoryBudgetTest, ReserveReleaseTracksUsage) {
+  MemoryBudget budget(1000);
+  EXPECT_EQ(budget.capacity(), 1000u);
+  EXPECT_EQ(budget.used(), 0u);
+  EXPECT_EQ(budget.remaining(), 1000u);
+  budget.Reserve(300);
+  EXPECT_EQ(budget.used(), 300u);
+  EXPECT_EQ(budget.remaining(), 700u);
+  budget.Reserve(700);
+  EXPECT_EQ(budget.remaining(), 0u);
+  budget.Release(300);
+  budget.Release(700);
+  EXPECT_EQ(budget.used(), 0u);
+}
+
+TEST(MemoryBudgetTest, HighWaterRecordsPeakNotCurrent) {
+  MemoryBudget budget(100);
+  budget.Reserve(60);
+  budget.Reserve(30);
+  EXPECT_EQ(budget.high_water(), 90u);
+  budget.Release(90);
+  EXPECT_EQ(budget.used(), 0u);
+  EXPECT_EQ(budget.high_water(), 90u);
+  budget.Reserve(10);
+  EXPECT_EQ(budget.high_water(), 90u);  // A lower peak does not overwrite.
+  budget.Release(10);
+}
+
+TEST(MemoryBudgetTest, CanReserveIsTheNegotiation) {
+  MemoryBudget budget(100);
+  budget.Reserve(80);
+  EXPECT_TRUE(budget.CanReserve(20));
+  EXPECT_FALSE(budget.CanReserve(21));
+  EXPECT_TRUE(budget.CanReserve(0));
+  budget.Release(80);
+}
+
+TEST(MemoryBudgetTest, ZeroCapacityIsUnlimited) {
+  MemoryBudget budget(0);
+  EXPECT_TRUE(budget.CanReserve(SIZE_MAX / 2));
+  budget.Reserve(1u << 30);
+  EXPECT_EQ(budget.remaining(), SIZE_MAX);
+  EXPECT_EQ(budget.high_water(), 1u << 30);  // Accounting still works.
+  budget.Release(1u << 30);
+}
+
+TEST(MemoryBudgetDeathTest, BreachIsFatal) {
+  MemoryBudget budget(100);
+  budget.Reserve(60);
+  EXPECT_DEATH(budget.Reserve(41), "capacity_");
+  budget.Release(60);
+}
+
+TEST(MemoryBudgetDeathTest, OverReleaseIsFatal) {
+  MemoryBudget budget(100);
+  budget.Reserve(10);
+  EXPECT_DEATH(budget.Release(11), "before >= bytes");
+  budget.Release(10);
+}
+
+TEST(BudgetReservationTest, RaiiScopeReleases) {
+  MemoryBudget budget(100);
+  {
+    BudgetReservation reservation(&budget, 40);
+    EXPECT_EQ(budget.used(), 40u);
+    EXPECT_EQ(reservation.bytes(), 40u);
+  }
+  EXPECT_EQ(budget.used(), 0u);
+  EXPECT_EQ(budget.high_water(), 40u);
+}
+
+TEST(BudgetReservationTest, MoveTransfersOwnership) {
+  MemoryBudget budget(100);
+  BudgetReservation first(&budget, 30);
+  BudgetReservation second(std::move(first));
+  EXPECT_EQ(budget.used(), 30u);  // Single charge, not doubled.
+  EXPECT_EQ(first.bytes(), 0u);   // NOLINT(bugprone-use-after-move)
+  EXPECT_EQ(second.bytes(), 30u);
+
+  BudgetReservation third(&budget, 50);
+  EXPECT_EQ(budget.used(), 80u);
+  third = std::move(second);  // Releases the 50, adopts the 30.
+  EXPECT_EQ(budget.used(), 30u);
+  EXPECT_EQ(third.bytes(), 30u);
+}
+
+TEST(BudgetReservationTest, ResetReleasesEarlyAndIsIdempotent) {
+  MemoryBudget budget(100);
+  BudgetReservation reservation(&budget, 25);
+  reservation.reset();
+  EXPECT_EQ(budget.used(), 0u);
+  reservation.reset();  // No double release.
+  EXPECT_EQ(budget.used(), 0u);
+}
+
+TEST(BudgetReservationTest, DefaultAndNullBudgetAreNoOps) {
+  BudgetReservation empty;
+  EXPECT_EQ(empty.bytes(), 0u);
+  BudgetReservation unbound(nullptr, 999);
+  EXPECT_EQ(unbound.bytes(), 999u);  // Tracks size without a budget.
+}
+
+}  // namespace
+}  // namespace approxmem

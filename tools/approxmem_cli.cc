@@ -30,6 +30,8 @@
 #include "core/engine.h"
 #include "core/resilience.h"
 #include "core/workload.h"
+#include "extsort/async_device.h"
+#include "extsort/external_sort.h"
 #include "refine/cost_model.h"
 #include "service/sort_service.h"
 #include "testing/differential_oracle.h"
@@ -41,7 +43,7 @@ namespace {
 
 constexpr char kUsage[] =
     "usage: approxmem_cli --cmd=calibrate|study|sort|refine|sweep|recommend|"
-    "resilient|fuzz|serve\n"
+    "resilient|fuzz|serve|extsort\n"
     "  calibrate [--save=FILE]         cell-model table (avg #P, p(t), err)\n"
     "  study     --algo=A --t=K        Section 3: sort in approx memory\n"
     "  sort      --algo=A --t=K        Sections 4-5: approx-refine to an\n"
@@ -70,6 +72,20 @@ constexpr char kUsage[] =
     "            wear-error escalation, retirement; approx/endurance.h)\n"
     "            with [--age_multiplier=1] [--bank_budget_pv=4e6] and adds\n"
     "            a per-shard wear-epoch/retirement table\n"
+    "  extsort   [--budget_mb=8] [--threads=2] [--precise] [--compare=0]\n"
+    "            [--replay_check=0] [--block_kb=4] [--bandwidth_mb=400]\n"
+    "            [--latency_us=100] [--queue_depth=4] [--run_elements=0]\n"
+    "            [--fan_in=0] [--verify=1]  out-of-core sort of --n keys on\n"
+    "            a virtual block device (extsort/async_device.h) under a\n"
+    "            strict --budget_mb memory budget: double-buffered\n"
+    "            approx-refine run formation overlapping prefetch/sort/\n"
+    "            flush, then loser-tree merge passes; prints overlap\n"
+    "            ratios, spill accounting, and digests. --precise sorts\n"
+    "            runs in precise memory instead; --compare runs both and\n"
+    "            prints the Eq. 2 write reduction at scale; --replay_check\n"
+    "            re-runs at threads=1 and exits 1 unless the spill and\n"
+    "            output digests are byte-identical; --threads counts I/O\n"
+    "            workers (<=0 = hardware)\n"
     "common: --n=N --seed=S --backend=mlc-pcm|mlc-pcm-banked|spintronic|\n"
     "        dram-precise (any registered backend; --t is the backend's\n"
     "        knob — half-width T on PCM, per-bit error prob on spintronic;\n"
@@ -641,6 +657,164 @@ int Serve(const Flags& flags, uint64_t seed) {
   return 0;
 }
 
+// Out-of-core external sort on the virtual block device. One run_once
+// builds a fresh engine (shared calibration cache, same seed), stages the
+// input file, and sorts it under the budget; --replay_check runs the whole
+// thing again at threads=1 and insists on byte-identical digests — the
+// determinism contract the async overlap must not break.
+int Extsort(const Flags& flags, const sort::AlgorithmId& algorithm,
+            const std::vector<uint32_t>& keys, double t,
+            const core::EngineOptions& engine_options) {
+  extsort::AsyncDeviceConfig device_config;
+  device_config.block_bytes =
+      static_cast<size_t>(flags.GetInt("block_kb", 4)) * 1024;
+  device_config.bandwidth_mb_per_s = flags.GetDouble("bandwidth_mb", 400.0);
+  device_config.latency_us = flags.GetDouble("latency_us", 100.0);
+  device_config.queue_depth =
+      static_cast<int>(flags.GetInt("queue_depth", 4));
+  const Status device_ok = device_config.Validate();
+  if (!device_ok.ok()) {
+    std::fprintf(stderr, "%s\n", device_ok.ToString().c_str());
+    return 2;
+  }
+
+  extsort::ExternalSortOptions sort_options;
+  sort_options.memory_budget_bytes =
+      static_cast<size_t>(flags.GetInt("budget_mb", 8)) << 20;
+  sort_options.algorithm = algorithm;
+  sort_options.t = t;
+  sort_options.use_approx_refine = !flags.GetBool("precise", false);
+  sort_options.run_elements =
+      static_cast<size_t>(flags.GetInt("run_elements", 0));
+  sort_options.merge_fan_in = static_cast<size_t>(flags.GetInt("fan_in", 0));
+  sort_options.verify = flags.GetBool("verify", true);
+
+  // One calibration cache across every engine this command builds, so the
+  // replay and comparison runs see identical cell models.
+  core::EngineOptions base = engine_options;
+  if (base.shared_calibration == nullptr) {
+    base.shared_calibration = std::make_shared<mlc::CalibrationCache>(
+        base.mlc, base.calibration_trials, base.seed ^ 0xca11b7a7e5eedULL);
+  }
+
+  const auto run_once = [&](int threads,
+                            const extsort::ExternalSortOptions& options)
+      -> StatusOr<extsort::ExternalSortReport> {
+    std::unique_ptr<ThreadPool> pool;
+    if (threads != 1) pool = std::make_unique<ThreadPool>(threads);
+    core::ApproxSortEngine engine(base);
+    extsort::AsyncDevice device(device_config, pool.get());
+    const int input = device.CreateFile();
+    device.Wait(device.SubmitWrite(input, keys, 0.0));
+    device.ResetClock();
+    int output = -1;
+    return extsort::ExternalSort(engine, device, input, options, &output);
+  };
+
+  int threads = static_cast<int>(flags.GetInt("threads", 2));
+  if (threads <= 0) threads = ThreadPool::HardwareThreads();
+  const auto wall_start = std::chrono::steady_clock::now();
+  const auto report = run_once(threads, sort_options);
+  if (!report.ok()) {
+    std::fprintf(stderr, "%s\n", report.status().ToString().c_str());
+    return 1;
+  }
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+
+  const extsort::PhaseMetrics total = report->Total();
+  std::printf("extsort: %zu keys, %zu MiB budget, %d I/O threads "
+              "(%s, knob=%s, %s):\n",
+              report->n, sort_options.memory_budget_bytes >> 20, threads,
+              algorithm.Name().c_str(), FmtKnob(t).c_str(),
+              sort_options.use_approx_refine ? "approx-refine" : "precise");
+  std::printf("  initial runs      %zu x %zu elements, fan-in %zu, "
+              "%zu merge pass(es)\n",
+              report->initial_runs, report->run_elements,
+              report->merge_fan_in, report->merge_passes);
+  std::printf("  bytes spilled     %.1f MiB (device wrote %.1f MiB, "
+              "read %.1f MiB)\n",
+              static_cast<double>(report->bytes_spilled) / (1 << 20),
+              static_cast<double>(report->device.bytes_written) / (1 << 20),
+              static_cast<double>(report->device.bytes_read) / (1 << 20));
+  std::printf("  run formation     overlap %.3f (io %.2fs + compute %.2fs "
+              "over %.2fs makespan)\n",
+              report->run_formation.OverlapRatio(),
+              report->run_formation.io_busy_us / 1e6,
+              report->run_formation.compute_us / 1e6,
+              report->run_formation.makespan_us / 1e6);
+  std::printf("  merge             overlap %.3f (io %.2fs + compute %.2fs "
+              "over %.2fs makespan)\n",
+              report->merge.OverlapRatio(), report->merge.io_busy_us / 1e6,
+              report->merge.compute_us / 1e6, report->merge.makespan_us / 1e6);
+  std::printf("  total             overlap %.3f, %.3fs wall\n",
+              total.OverlapRatio(), wall_s);
+  std::printf("  memory write cost %.3f ms (reads %.3f ms), Rem~ total %zu\n",
+              report->memory_write_cost / 1e6, report->memory_read_cost / 1e6,
+              report->total_rem);
+  std::printf("  budget high water %zu / %zu bytes\n",
+              report->budget_high_water, sort_options.memory_budget_bytes);
+  std::printf("  spill digest      %016llx\n",
+              static_cast<unsigned long long>(report->spill_digest));
+  std::printf("  output digest     %016llx\n",
+              static_cast<unsigned long long>(report->output_digest));
+  std::printf("  verified          %s\n", report->verified ? "yes" : "NO");
+  if (!report->verified) {
+    std::fprintf(stderr, "extsort: output FAILED verification\n");
+    return 1;
+  }
+
+  if (flags.GetBool("compare", false)) {
+    extsort::ExternalSortOptions other = sort_options;
+    other.use_approx_refine = !sort_options.use_approx_refine;
+    const auto baseline = run_once(threads, other);
+    if (!baseline.ok()) {
+      std::fprintf(stderr, "%s\n", baseline.status().ToString().c_str());
+      return 1;
+    }
+    const double approx_cost = sort_options.use_approx_refine
+                                   ? report->memory_write_cost
+                                   : baseline->memory_write_cost;
+    const double precise_cost = sort_options.use_approx_refine
+                                    ? baseline->memory_write_cost
+                                    : report->memory_write_cost;
+    std::printf("  write reduction   %.2f%% (Eq. 2 at scale: approx-refine "
+                "%.3f ms vs precise %.3f ms; identical disk traffic)\n",
+                precise_cost > 0.0
+                    ? (1.0 - approx_cost / precise_cost) * 100.0
+                    : 0.0,
+                approx_cost / 1e6, precise_cost / 1e6);
+    if (!baseline->verified) {
+      std::fprintf(stderr, "extsort: comparison run FAILED verification\n");
+      return 1;
+    }
+  }
+
+  if (flags.GetBool("replay_check", false)) {
+    const auto replay = run_once(1, sort_options);
+    if (!replay.ok()) {
+      std::fprintf(stderr, "%s\n", replay.status().ToString().c_str());
+      return 1;
+    }
+    const bool match = replay->spill_digest == report->spill_digest &&
+                       replay->output_digest == report->output_digest;
+    std::printf("  replay threads=1  spill %016llx output %016llx -> %s\n",
+                static_cast<unsigned long long>(replay->spill_digest),
+                static_cast<unsigned long long>(replay->output_digest),
+                match ? "MATCH" : "MISMATCH");
+    if (!match) {
+      std::fprintf(stderr,
+                   "extsort: digest MISMATCH between threads=%d and "
+                   "threads=1\n",
+                   threads);
+      return 1;
+    }
+  }
+  return 0;
+}
+
 int Main(int argc, char** argv) {
   StatusOr<Flags> flags = Flags::Parse(argc, argv);
   if (!flags.ok()) {
@@ -716,6 +890,7 @@ int Main(int argc, char** argv) {
     return Refine(engine, *algorithm, keys, t);
   }
   if (cmd == "sweep") return Sweep(engine, *algorithm, keys);
+  if (cmd == "extsort") return Extsort(*flags, *algorithm, keys, t, options);
   if (cmd == "resilient") {
     return Resilient(*flags, *algorithm, keys, t, options);
   }
