@@ -10,7 +10,7 @@
 // times the striped intra-sort radix hot path at 1/2/4/8 workers plus the
 // batched-vs-scalar write kernels and writes
 // bench_artifacts/perf_snapshot.json — the snapshot committed at the repo
-// root as BENCH_6.json and diffed by tools/bench_compare in CI.
+// root as BENCH_10.json and diffed by tools/bench_compare in CI.
 #include <benchmark/benchmark.h>
 #include <sys/stat.h>
 

@@ -1,10 +1,16 @@
 // Service-layer throughput: drives the multi-tenant SortService with a
 // deterministic bursty trace at one shard and at four shards, and reports
-// jobs/sec, p50/p99 submit-to-terminal latency, and each tenant's
-// cumulative Equation 2 write reduction. The shard-scaling ratio (4-shard
-// jobs/sec over 1-shard) is the machine-comparable metric bench_compare
-// gates on — absolute jobs/sec depends on the host. On a single-core host
-// the ratio sits near 1.0 and is advisory only.
+// jobs/sec, p50/p99 latency — both wall-clock (host-dependent, printed
+// for humans) and virtual-time (computed from the modeled cost ledgers,
+// bit-identical on every host) — plus each tenant's cumulative Equation 2
+// write reduction. bench_compare gates on the virtual-time percentiles
+// and the shard-scaling ratio; wall-clock columns are advisory.
+//
+// A second section runs one out-of-core job twice — through the service's
+// admission queue and as a bare ExtsortJobPlan on an identically seeded
+// engine — and reports the write-cost parity ratio. bench_compare hard-
+// gates |1 - parity| <= 1%: the service must charge tenants exactly what
+// the standalone external sort pays, no hidden cost either way.
 //
 // Extra flags: --jobs=48 (total trace jobs), --calibration_trials=20000.
 #include <algorithm>
@@ -16,7 +22,9 @@
 #include "bench/bench_lib.h"
 #include "common/table_printer.h"
 #include "common/thread_pool.h"
+#include "extsort/extsort_plan.h"
 #include "service/sort_service.h"
+#include "testing/differential_oracle.h"
 
 namespace approxmem {
 namespace {
@@ -35,6 +43,11 @@ struct ServiceRun {
   double jobs_per_sec = 0.0;
   double p50_ms = 0.0;
   double p99_ms = 0.0;
+  /// Virtual-time percentiles over completed jobs, in modeled µs. Pure
+  /// functions of (trace, config): identical on every host and at every
+  /// thread count, so bench_compare gates on these, not the wall clock.
+  double virtual_p50_us = 0.0;
+  double virtual_p99_us = 0.0;
   service::ServiceStats stats;
   std::vector<double> tenant_wr;  // Parallel to kTenants.
 };
@@ -95,13 +108,17 @@ ServiceRun RunAtShards(const bench::BenchEnv& env, int shards, size_t jobs,
           : 0.0;
 
   std::vector<double> latencies;
+  std::vector<double> virtual_latencies;
   for (const service::JobRecord& record : sort_service.jobs()) {
     if (record.state == service::JobState::kCompleted) {
       latencies.push_back(record.latency_seconds * 1e3);
+      virtual_latencies.push_back(record.virtual_latency_us);
     }
   }
   run.p50_ms = Percentile(latencies, 0.50);
   run.p99_ms = Percentile(latencies, 0.99);
+  run.virtual_p50_us = Percentile(virtual_latencies, 0.50);
+  run.virtual_p99_us = Percentile(virtual_latencies, 0.99);
   for (const std::string& name : tenant_names) {
     run.tenant_wr.push_back(
         sort_service.tenant_ledger(name).CumulativeWriteReduction());
@@ -114,6 +131,95 @@ ServiceRun RunAtShards(const bench::BenchEnv& env, int shards, size_t jobs,
     std::exit(1);
   }
   return run;
+}
+
+/// The service's per-shard, per-tenant engine seed (sort_service.cc
+/// MixSeed), replicated so the standalone parity engine starts from the
+/// byte-identical substrate the service's shard 0 would build.
+uint64_t ShardEngineSeed(uint64_t service_seed,
+                         const service::TenantSpec& tenant) {
+  uint64_t h = testing::Fnv1a64(tenant.name.data(), tenant.name.size());
+  h = testing::Fnv1a64(&tenant.seed, sizeof(tenant.seed), h);
+  const uint64_t shard = 0;
+  h = testing::Fnv1a64(&shard, sizeof(shard), h);
+  return service_seed ^ h;
+}
+
+/// Runs one out-of-core job through the service, then the identical
+/// ExtsortJobPlan standalone on an identically seeded engine, and returns
+/// (service write cost) / (standalone write cost). The plans rebase every
+/// RNG stream from (engine seed, ticket), so the two executions must
+/// charge the same Equation 2 cost — bench_compare hard-gates the ratio
+/// within 1% of 1.0.
+double ExtsortCostParity(const bench::BenchEnv& env, uint64_t trials,
+                         const std::shared_ptr<mlc::CalibrationCache>& cache,
+                         double* service_cost, double* standalone_cost) {
+  service::TenantSpec tenant;
+  tenant.name = kTenants[0].name;
+  tenant.backend = kTenants[0].backend;
+  tenant.seed = env.seed;
+
+  service::SortRequest request;
+  request.tenant = tenant.name;
+  request.job_class = core::JobClass::kExtSort;
+  request.n = 64 * 1024;  // ~6 runs under the default 512 KiB lease.
+  request.seed = env.seed;
+  service::RequestTrace trace;
+  trace.bursts.push_back({request});
+
+  service::ServiceOptions options;
+  options.shards = 1;
+  options.threads = 1;
+  options.seed = env.seed;
+  options.calibration_trials = trials;
+  options.shared_calibration = cache;
+  service::SortService sort_service(options);
+  Status status = sort_service.RegisterTenant(tenant);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    std::exit(1);
+  }
+  sort_service.Run(trace);
+  const service::JobRecord& record = sort_service.jobs().front();
+  if (record.state != service::JobState::kCompleted) {
+    std::fprintf(stderr, "parity job did not complete: %s\n",
+                 record.status.ToString().c_str());
+    std::exit(1);
+  }
+
+  // The standalone substrate mirrors EngineFor: same MixSeed-derived seed,
+  // health monitoring on, and a fresh wear-aware placement policy — so any
+  // residual cost difference is the service's own doing, not setup skew.
+  service::WearLevelOptions wear_options;
+  service::WearPlacement wear(wear_options);
+  core::EngineOptions engine_options;
+  engine_options.backend = tenant.backend;
+  engine_options.seed = ShardEngineSeed(env.seed, tenant);
+  engine_options.calibration_trials = trials;
+  engine_options.shared_calibration = cache;
+  engine_options.health.enabled = true;
+  engine_options.placement = &wear;
+  engine_options.sort_threads = 1;
+  core::ApproxSortEngine engine(engine_options);
+  wear.BeginJob();
+  core::JobContext context;
+  context.engine = &engine;
+  context.ticket = record.ticket;
+  context.knob = record.effective_knob;
+  context.resilient = tenant.resilient;
+  context.resilience = tenant.resilience;
+  extsort::ExtsortJobPlan plan(record.request, tenant.extsort);
+  const core::JobOutcome outcome = plan.Execute(context);
+  if (!outcome.status.ok() || !outcome.verified) {
+    std::fprintf(stderr, "standalone parity run failed: %s\n",
+                 outcome.status.ToString().c_str());
+    std::exit(1);
+  }
+  *service_cost = record.cost.write_cost;
+  *standalone_cost = outcome.cost.write_cost;
+  return outcome.cost.write_cost > 0.0
+             ? record.cost.write_cost / outcome.cost.write_cost
+             : 0.0;
 }
 
 int Main(int argc, char** argv) {
@@ -132,20 +238,25 @@ int Main(int argc, char** argv) {
       one.jobs_per_sec > 0.0 ? four.jobs_per_sec / one.jobs_per_sec : 0.0;
 
   TablePrinter table("service throughput (same trace at 1 vs 4 shards)");
-  table.SetHeader({"shards", "jobs/sec", "p50_ms", "p99_ms", "batches",
-                   "backlog_hw"});
+  table.SetHeader({"shards", "jobs/sec", "p50_ms", "p99_ms", "vp50_us",
+                   "vp99_us", "batches", "backlog_hw"});
   for (const auto& [shards, run] :
        {std::pair<int, const ServiceRun&>{1, one}, {4, four}}) {
     table.AddRow({TablePrinter::FmtInt(shards),
                   TablePrinter::Fmt(run.jobs_per_sec, 1),
                   TablePrinter::Fmt(run.p50_ms, 3),
                   TablePrinter::Fmt(run.p99_ms, 3),
+                  TablePrinter::Fmt(run.virtual_p50_us, 1),
+                  TablePrinter::Fmt(run.virtual_p99_us, 1),
                   TablePrinter::FmtInt(
                       static_cast<long long>(run.stats.batches)),
                   TablePrinter::FmtInt(static_cast<long long>(
                       run.stats.backlog_high_water))});
   }
   table.Print();
+  std::printf("wall-clock p50/p99 are advisory (host-dependent); the "
+              "virtual-time vp50/vp99 columns are deterministic and gated "
+              "by tools/bench_compare\n");
 
   TablePrinter tenants("cumulative Eq. 2 write reduction per tenant");
   tenants.SetHeader({"tenant", "backend", "cum_WR"});
@@ -160,6 +271,14 @@ int Main(int argc, char** argv) {
               scaling,
               hardware > 1 ? "gated by tools/bench_compare"
                            : "advisory: single-core host");
+
+  double service_cost = 0.0;
+  double standalone_cost = 0.0;
+  const double parity =
+      ExtsortCostParity(env, trials, cache, &service_cost, &standalone_cost);
+  std::printf("extsort cost parity: service %.1f vs standalone %.1f write "
+              "cost -> ratio %.6f (hard-gated within 1%% of 1.0)\n",
+              service_cost, standalone_cost, parity);
 
   const std::string path = bench::CsvPath(env, "service_snapshot.json");
   std::FILE* f = std::fopen(path.c_str(), "w");
@@ -179,12 +298,16 @@ int Main(int argc, char** argv) {
       "    \"shard_scaling_4s\": %.3f,\n"
       "    \"p50_latency_ms\": %.3f,\n"
       "    \"p99_latency_ms\": %.3f,\n"
+      "    \"virtual_p50_latency_us\": %.3f,\n"
+      "    \"virtual_p99_latency_us\": %.3f,\n"
+      "    \"extsort_cost_parity\": %.6f,\n"
       "    \"tenant_write_reduction\": {\"%s\": %.4f, \"%s\": %.4f, "
       "\"%s\": %.4f}\n"
       "  }\n"
       "}\n",
       hardware, jobs, env.n, one.jobs_per_sec, four.jobs_per_sec, scaling,
-      four.p50_ms, four.p99_ms, kTenants[0].name, four.tenant_wr[0],
+      four.p50_ms, four.p99_ms, four.virtual_p50_us, four.virtual_p99_us,
+      parity, kTenants[0].name, four.tenant_wr[0],
       kTenants[1].name, four.tenant_wr[1], kTenants[2].name,
       four.tenant_wr[2]);
   std::fclose(f);

@@ -170,7 +170,8 @@ uint64_t MixStreamKey(uint64_t seed, uint64_t stream_key) {
 
 StatusOr<refine::RefineReport> ApproxSortEngine::SortRunApproxRefine(
     const std::vector<uint32_t>& keys, const sort::AlgorithmId& algorithm,
-    double knob, uint64_t stream_key, std::vector<uint32_t>* final_keys) {
+    double knob, uint64_t stream_key, std::vector<uint32_t>* final_keys,
+    std::vector<uint32_t>* final_ids) {
   const Status valid = memory_.backend().Validate(
       approx::AllocSpec::Approx(knob, keys.size()));
   if (!valid.ok()) return valid;
@@ -189,18 +190,20 @@ StatusOr<refine::RefineReport> ApproxSortEngine::SortRunApproxRefine(
   // diagnostic the external sort does not read.
   refine_options.measure_approx_sortedness = false;
   refine_options.tuning = SortTuningForRuns();
-  return refine::ApproxRefineSort(keys, refine_options, final_keys, nullptr);
+  return refine::ApproxRefineSort(keys, refine_options, final_keys,
+                                  final_ids);
 }
 
 StatusOr<refine::PreciseBaselineReport> ApproxSortEngine::SortRunPrecise(
     const std::vector<uint32_t>& keys, const sort::AlgorithmId& algorithm,
-    uint64_t stream_key, std::vector<uint32_t>* sorted_keys) {
+    uint64_t stream_key, std::vector<uint32_t>* sorted_keys,
+    std::vector<uint32_t>* sorted_ids) {
   memory_.BeginJobStream(stream_key);
   return refine::PreciseSortBaseline(
       keys, algorithm,
       [this](size_t n) { return memory_.NewPreciseArray(n); },
       MixStreamKey(options_.seed ^ 0x4e414cULL, stream_key),
-      /*with_ids=*/true, sorted_keys, SortTuningForRuns());
+      /*with_ids=*/true, sorted_keys, SortTuningForRuns(), sorted_ids);
 }
 
 bool ApproxSortEngine::RecommendApproxRefine(

@@ -130,13 +130,17 @@ class ApproxSortEngine {
   /// thread count.
   StatusOr<refine::RefineReport> SortRunApproxRefine(
       const std::vector<uint32_t>& keys, const sort::AlgorithmId& algorithm,
-      double knob, uint64_t stream_key, std::vector<uint32_t>* final_keys);
+      double knob, uint64_t stream_key, std::vector<uint32_t>* final_keys,
+      std::vector<uint32_t>* final_ids = nullptr);
 
   /// Precise-domain counterpart for the external sort's baseline
   /// configuration: same RNG rebasing, same absence of a second baseline.
+  /// `sorted_ids`, when non-null, receives the record-ID permutation (the
+  /// record-payload spill format needs it).
   StatusOr<refine::PreciseBaselineReport> SortRunPrecise(
       const std::vector<uint32_t>& keys, const sort::AlgorithmId& algorithm,
-      uint64_t stream_key, std::vector<uint32_t>* sorted_keys);
+      uint64_t stream_key, std::vector<uint32_t>* sorted_keys,
+      std::vector<uint32_t>* sorted_ids = nullptr);
 
   /// p(t) — the calibrated PCM write-latency ratio (Section 2.2).
   double PvRatio(double t) { return memory_.PvRatio(t); }

@@ -10,6 +10,7 @@
 
 #include "common/check.h"
 #include "extsort/loser_tree.h"
+#include "refine/approx_refine.h"
 #include "sortedness/measures.h"
 #include "testing/differential_oracle.h"
 
@@ -17,20 +18,28 @@ namespace approxmem::extsort {
 namespace {
 
 /// Resolved sizing: every 0-valued option derived from the budget.
+/// merge_buffer_elements counts *records*; record_stride is the 32-bit
+/// words per record (1 for bare keys, 2 for <key, rowid> pairs).
 struct Sizing {
   size_t run_elements = 0;
   size_t merge_buffer_elements = 0;
   size_t merge_fan_in = 0;
+  size_t record_stride = 1;
 };
 
 Sizing DeriveSizing(const ExternalSortOptions& options,
                     const AsyncDevice& device, size_t budget_bytes) {
   Sizing sizing;
+  sizing.record_stride =
+      options.record_payloads ? kRecordBytes / kDeviceElementBytes : 1;
+  const size_t record_bytes = sizing.record_stride * kDeviceElementBytes;
+  const size_t run_footprint = options.record_payloads
+                                   ? kRecordRunFootprintBytesPerElement
+                                   : kRunFootprintBytesPerElement;
   sizing.run_elements =
       options.run_elements != 0
           ? options.run_elements
-          : std::max<size_t>(2,
-                             budget_bytes / kRunFootprintBytesPerElement);
+          : std::max<size_t>(2, budget_bytes / run_footprint);
   sizing.merge_buffer_elements =
       options.merge_buffer_elements != 0
           ? options.merge_buffer_elements
@@ -38,17 +47,18 @@ Sizing DeriveSizing(const ExternalSortOptions& options,
   if (options.merge_buffer_elements == 0 && budget_bytes > 0) {
     // A tiny budget must still fit the minimum merge group — 2 cursors
     // with double buffers plus the output buffer is 5 slots — so shrink
-    // the buffer rather than letting MergeGroup breach the contract.
+    // the buffer rather than letting MergeGroup breach the contract. A
+    // record-payload slot is twice as wide, so the clamp halves with it.
     sizing.merge_buffer_elements = std::min(
         sizing.merge_buffer_elements,
-        std::max<size_t>(1, budget_bytes / (5 * 4)));
+        std::max<size_t>(1, budget_bytes / (5 * record_bytes)));
   }
   if (options.merge_fan_in != 0) {
     sizing.merge_fan_in = options.merge_fan_in;
   } else {
     // Budget in merge-buffer slots: each cursor needs two (current +
     // read-ahead), the output buffer one.
-    const size_t slot_bytes = sizing.merge_buffer_elements * 4;
+    const size_t slot_bytes = sizing.merge_buffer_elements * record_bytes;
     const size_t slots = budget_bytes == 0
                              ? std::numeric_limits<size_t>::max()
                              : budget_bytes / slot_bytes;
@@ -81,29 +91,36 @@ struct RunExtent {
 
 /// Double-buffered cursor over one sorted run: while the merge consumes
 /// the current buffer, the next one is already in flight on the device.
+/// `buffer_records` counts records; `stride` is words per record, so a
+/// record-payload refill moves stride x records device elements and a
+/// <key, rowid> pair never splits across two refills (run extents are
+/// whole records).
 class MergeCursor {
  public:
   MergeCursor(AsyncDevice* device, const RunExtent& run,
-              size_t buffer_elements)
+              size_t buffer_records, size_t stride)
       : device_(device),
         file_(run.file),
         next_(run.begin),
         end_(run.end),
-        buffer_elements_(buffer_elements) {}
+        buffer_elements_(buffer_records * stride),
+        stride_(stride) {}
 
   /// Submits the initial read-ahead at virtual time `clock_us`.
   void Open(double clock_us) { SubmitNext(clock_us); }
 
   /// Returns false when the run is exhausted. A refill waits on the
   /// in-flight read, advances `*clock_us` to its completion, and submits
-  /// the next read-ahead.
-  bool Peek(uint32_t* value, double* clock_us) {
+  /// the next read-ahead. `payload`, when non-null, receives the record's
+  /// second word (stride 2 only).
+  bool Peek(uint32_t* key, uint32_t* payload, double* clock_us) {
     if (pos_ >= buffer_.size() && !Refill(clock_us)) return false;
-    *value = buffer_[pos_];
+    *key = buffer_[pos_];
+    if (payload != nullptr && stride_ == 2) *payload = buffer_[pos_ + 1];
     return true;
   }
 
-  void Advance() { ++pos_; }
+  void Advance() { pos_ += stride_; }
 
  private:
   void SubmitNext(double ready_us) {
@@ -130,6 +147,7 @@ class MergeCursor {
   size_t next_;
   size_t end_;
   size_t buffer_elements_;
+  size_t stride_;
   AsyncDevice::TransferId pending_ = 0;
   bool has_pending_ = false;
   std::vector<uint32_t> buffer_;
@@ -142,49 +160,58 @@ class MergeCursor {
 RunExtent MergeGroup(AsyncDevice& device, const std::vector<RunExtent>& runs,
                      int out_file, const Sizing& sizing, MemoryBudget* budget,
                      double* clock_us, double* compute_us) {
-  const size_t buffer_bytes = sizing.merge_buffer_elements * 4;
+  const size_t stride = sizing.record_stride;
+  const size_t buffer_bytes =
+      sizing.merge_buffer_elements * stride * kDeviceElementBytes;
   BudgetReservation working(budget, (2 * runs.size() + 1) * buffer_bytes);
   const double levels = std::max(
       1.0, std::ceil(std::log2(static_cast<double>(runs.size()))));
-  const double per_element_us = kMergeNsPerElementLevel * levels / 1000.0;
+  const double per_record_us = kMergeNsPerElementLevel * levels / 1000.0;
 
   const size_t begin = device.FileSize(out_file);
   std::vector<MergeCursor> cursors;
   cursors.reserve(runs.size());
   for (const RunExtent& run : runs) {
-    cursors.emplace_back(&device, run, sizing.merge_buffer_elements);
+    cursors.emplace_back(&device, run, sizing.merge_buffer_elements, stride);
   }
   for (MergeCursor& cursor : cursors) cursor.Open(*clock_us);
 
+  // The loser tree keys on the record key; each way's in-flight payload
+  // rides alongside so a popped record re-emits its rowid unchanged.
   LoserTree tree(runs.size());
+  std::vector<uint32_t> head_payload(runs.size(), 0);
   for (size_t way = 0; way < cursors.size(); ++way) {
     uint32_t head = 0;
-    if (cursors[way].Peek(&head, clock_us)) tree.Update(way, head, true);
+    if (cursors[way].Peek(&head, &head_payload[way], clock_us)) {
+      tree.Update(way, head, true);
+    }
   }
 
+  const size_t out_capacity = sizing.merge_buffer_elements * stride;
   std::vector<AsyncDevice::TransferId> writes;
   std::vector<uint32_t> out_buffer;
-  out_buffer.reserve(sizing.merge_buffer_elements);
+  out_buffer.reserve(out_capacity);
   const auto flush = [&] {
     if (out_buffer.empty()) return;
-    // The emitted elements cost compute before they can be written.
+    // The emitted records cost compute before they can be written.
     const double cost =
-        static_cast<double>(out_buffer.size()) * per_element_us;
+        static_cast<double>(out_buffer.size() / stride) * per_record_us;
     *clock_us += cost;
     *compute_us += cost;
     writes.push_back(
         device.SubmitWrite(out_file, std::move(out_buffer), *clock_us));
     out_buffer = std::vector<uint32_t>();
-    out_buffer.reserve(sizing.merge_buffer_elements);
+    out_buffer.reserve(out_capacity);
   };
 
   while (!tree.Exhausted()) {
     const size_t way = tree.MinWay();
     out_buffer.push_back(tree.MinKey());
-    if (out_buffer.size() >= sizing.merge_buffer_elements) flush();
+    if (stride == 2) out_buffer.push_back(head_payload[way]);
+    if (out_buffer.size() >= out_capacity) flush();
     cursors[way].Advance();
     uint32_t head = 0;
-    if (cursors[way].Peek(&head, clock_us)) {
+    if (cursors[way].Peek(&head, &head_payload[way], clock_us)) {
       tree.Update(way, head, true);
     } else {
       tree.Update(way, 0, false);
@@ -200,14 +227,21 @@ RunExtent MergeGroup(AsyncDevice& device, const std::vector<RunExtent>& runs,
 }  // namespace
 
 Status ExternalSortOptions::Validate() const {
-  if (t <= 0.0) return Status::InvalidArgument("t must be positive");
+  // t only drives the approx stage; the precise configuration (and a
+  // precise backend, whose knob is 0) never reads it.
+  if (use_approx_refine && t <= 0.0) {
+    return Status::InvalidArgument("t must be positive");
+  }
   const size_t budget_bytes =
       budget != nullptr ? budget->capacity() : memory_budget_bytes;
   if (budget_bytes == 0 && run_elements == 0) {
     return Status::InvalidArgument(
         "an unlimited budget requires an explicit run_elements");
   }
-  if (run_elements == 0 && budget_bytes < 2 * kRunFootprintBytesPerElement) {
+  const size_t run_footprint = record_payloads
+                                   ? kRecordRunFootprintBytesPerElement
+                                   : kRunFootprintBytesPerElement;
+  if (run_elements == 0 && budget_bytes < 2 * run_footprint) {
     return Status::InvalidArgument(
         "memory budget below the working set of a 2-element run");
   }
@@ -293,16 +327,25 @@ StatusOr<ExternalSortReport> ExternalSort(core::ApproxSortEngine& engine,
     APPROXMEM_CHECK(chunk.size() == chunk_count(k));
 
     // The run's sort, on this thread, with the allocation RNG rebased to
-    // (seed, run index) and the sort's working set reserved around it.
+    // (seed, run index) and the sort's working set reserved around it. In
+    // record-payload mode `sorted` interleaves <key, rowid> pairs, rowids
+    // rebased to the run's global input offset.
     std::vector<uint32_t> sorted;
     double sort_cost_ns = 0.0;
     {
       BudgetReservation working(budget,
                                 chunk.size() * kSortWorkingBytesPerElement);
       const uint64_t stream_key = options.stream_salt ^ (k + 1);
+      std::vector<uint32_t> run_keys;
+      std::vector<uint32_t> run_ids;
+      std::vector<uint32_t>* keys_out =
+          options.record_payloads ? &run_keys : &sorted;
+      std::vector<uint32_t>* ids_out =
+          options.record_payloads ? &run_ids : nullptr;
       if (options.use_approx_refine) {
         const auto run_report = engine.SortRunApproxRefine(
-            chunk, options.algorithm, options.t, stream_key, &sorted);
+            chunk, options.algorithm, options.t, stream_key, keys_out,
+            ids_out);
         if (!run_report.ok()) return run_report.status();
         if (!run_report->verified()) {
           return Status::Internal(
@@ -312,6 +355,7 @@ StatusOr<ExternalSortReport> ExternalSort(core::ApproxSortEngine& engine,
         }
         report.memory_write_cost += run_report->TotalWriteCost();
         report.memory_read_cost += run_report->TotalReadCost();
+        report.memory_stats += run_report->TotalStats();
         report.total_rem += run_report->rem_estimate;
         sort_cost_ns =
             run_report->TotalWriteCost() + run_report->TotalReadCost();
@@ -319,7 +363,7 @@ StatusOr<ExternalSortReport> ExternalSort(core::ApproxSortEngine& engine,
         const auto baseline = engine.SortRunPrecise(chunk, options.algorithm,
                                                     options.stream_salt ^
                                                         (k + 1),
-                                                    &sorted);
+                                                    keys_out, ids_out);
         if (!baseline.ok()) return baseline.status();
         const double write_cost =
             baseline->keys.write_cost + baseline->ids.write_cost;
@@ -327,11 +371,22 @@ StatusOr<ExternalSortReport> ExternalSort(core::ApproxSortEngine& engine,
             baseline->keys.read_cost + baseline->ids.read_cost;
         report.memory_write_cost += write_cost;
         report.memory_read_cost += read_cost;
+        report.memory_stats += baseline->keys;
+        report.memory_stats += baseline->ids;
         sort_cost_ns = write_cost + read_cost;
+      }
+      if (options.record_payloads) {
+        const uint32_t base = static_cast<uint32_t>(chunk_begin(k));
+        sorted.resize(run_keys.size() * 2);
+        for (size_t i = 0; i < run_keys.size(); ++i) {
+          sorted[2 * i] = run_keys[i];
+          sorted[2 * i + 1] = base + run_ids[i];
+        }
       }
     }
     prefetch_slot[k].reset();
-    APPROXMEM_CHECK(sorted.size() == chunk.size());
+    APPROXMEM_CHECK(sorted.size() ==
+                    chunk.size() * sizing.record_stride);
 
     const double sort_start_us = std::max(compute_free_us, load_done_us);
     const double sort_done_us = sort_start_us + sort_cost_ns / 1000.0;
@@ -433,13 +488,30 @@ StatusOr<ExternalSortReport> ExternalSort(core::ApproxSortEngine& engine,
       output.empty() ? EmptyDigest()
                      : testing::Fnv1a64(output.data(),
                                         output.size() * sizeof(uint32_t));
-  if (options.verify) {
+  if (!options.verify) {
+    report.verified = true;
+  } else if (options.record_payloads) {
+    // Permutation certificate: output keys exactly sorted, rowids a
+    // permutation of [0, n), and key[i] == input[rowid[i]] — the same
+    // invariants the differential oracle checks for in-memory sorts.
+    if (output.size() == report.n * 2) {
+      std::vector<uint32_t> out_keys(report.n);
+      std::vector<uint32_t> out_ids(report.n);
+      for (size_t i = 0; i < report.n; ++i) {
+        out_keys[i] = output[2 * i];
+        out_ids[i] = output[2 * i + 1];
+      }
+      report.verified = refine::VerifyRefineOutput(
+                            device.PeekData(input_file), out_keys, out_ids)
+                            .ok();
+    } else {
+      report.verified = false;
+    }
+  } else {
     report.verified = output.size() == report.n &&
                       sortedness::IsSorted(output) &&
                       sortedness::IsPermutationOf(device.PeekData(input_file),
                                                   output);
-  } else {
-    report.verified = true;
   }
   if (output_file != nullptr) *output_file = final_file;
   return report;

@@ -27,6 +27,7 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "approx/memory_stats.h"
 #include "common/memory_budget.h"
 #include "common/status.h"
 #include "core/engine.h"
@@ -45,6 +46,18 @@ inline constexpr size_t kRunFootprintBytesPerElement = 48;
 /// The in-sort portion of the footprint (everything but the prefetch and
 /// flush slots), reserved around each run's sort.
 inline constexpr size_t kSortWorkingBytesPerElement = 36;
+/// Bytes per device element (32-bit words).
+inline constexpr size_t kDeviceElementBytes = 4;
+/// Bytes per spilled record in record-payload mode: an interleaved
+/// <key, rowid> pair of 32-bit words.
+inline constexpr size_t kRecordBytes = 8;
+/// Run-formation footprint per element with record payloads: the prefetch
+/// slots still hold bare input keys (2 x 4B) and the sort working set
+/// already carries IDs (36B), but the in-flight flush buffer now holds
+/// 8-byte records instead of 4-byte keys — 52B/elem total. The derived run
+/// size in payload mode is memory_budget_bytes / 52.
+inline constexpr size_t kRecordRunFootprintBytesPerElement =
+    kRunFootprintBytesPerElement - kDeviceElementBytes + kRecordBytes;
 /// Modeled merge compute per element per loser-tree level, in virtual ns.
 inline constexpr double kMergeNsPerElementLevel = 2.0;
 
@@ -74,6 +87,14 @@ struct ExternalSortOptions {
   /// Verify the output against the input (sorted + permutation); skippable
   /// for sweeps that gate on digests instead.
   bool verify = true;
+  /// Record payloads: spill <key, rowid> pairs (8 bytes per record,
+  /// interleaved 32-bit words) instead of bare keys, all the way through
+  /// run formation, the merge cursors, and the final output — which then
+  /// verifies as a permutation certificate (keys sorted, rowids a
+  /// permutation of [0, n), key[i] == input[rowid[i]]), the same contract
+  /// the differential oracle checks for in-memory sorts. The input file
+  /// still holds bare keys; rowids are their global input offsets.
+  bool record_payloads = false;
 
   Status Validate() const;
 };
@@ -107,6 +128,10 @@ struct ExternalSortReport {
   /// Simulated memory write / read cost of all in-memory sorts (ns).
   double memory_write_cost = 0.0;
   double memory_read_cost = 0.0;
+  /// Full simulated-memory ledger summed over every run's sort — what a
+  /// scheduler charges into tenant/wear accounting (Eq. 2 numerator for
+  /// the approx configuration).
+  approx::MemoryStats memory_stats;
   /// Heuristic-REM total across runs (0 in precise mode).
   size_t total_rem = 0;
   /// FNV-1a over every initial run's sorted bytes, in run order — the

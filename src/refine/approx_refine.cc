@@ -403,9 +403,13 @@ StatusOr<RefineReport> ApproxRefineSort(const std::vector<uint32_t>& keys,
 StatusOr<PreciseBaselineReport> PreciseSortBaseline(
     const std::vector<uint32_t>& keys, const sort::AlgorithmId& algorithm,
     const ArrayAlloc& precise_alloc, uint64_t sort_seed, bool with_ids,
-    std::vector<uint32_t>* sorted_keys, const sort::SortTuning& tuning) {
+    std::vector<uint32_t>* sorted_keys, const sort::SortTuning& tuning,
+    std::vector<uint32_t>* sorted_ids) {
   if (!precise_alloc) {
     return Status::InvalidArgument("precise_alloc must be set");
+  }
+  if (sorted_ids != nullptr && !with_ids) {
+    return Status::InvalidArgument("sorted_ids requires with_ids");
   }
   const size_t n = keys.size();
   PreciseBaselineReport report;
@@ -438,6 +442,7 @@ StatusOr<PreciseBaselineReport> PreciseSortBaseline(
   std::vector<uint32_t> out = key_array.Snapshot();
   report.verified = sortedness::IsSorted(out);
   if (sorted_keys != nullptr) *sorted_keys = std::move(out);
+  if (sorted_ids != nullptr) *sorted_ids = id_array.Snapshot();
   return report;
 }
 

@@ -219,12 +219,14 @@ struct PreciseBaselineReport {
 
 /// Runs the precise-only baseline (Equation 2's denominator). When
 /// `sorted_keys` is non-null it receives the sorted output (used by the
-/// external-sort baseline configuration).
+/// external-sort baseline configuration); `sorted_ids` likewise receives
+/// the matching record-ID permutation (requires with_ids).
 StatusOr<PreciseBaselineReport> PreciseSortBaseline(
     const std::vector<uint32_t>& keys, const sort::AlgorithmId& algorithm,
     const ArrayAlloc& precise_alloc, uint64_t sort_seed, bool with_ids = true,
     std::vector<uint32_t>* sorted_keys = nullptr,
-    const sort::SortTuning& tuning = {});
+    const sort::SortTuning& tuning = {},
+    std::vector<uint32_t>* sorted_ids = nullptr);
 
 /// Write reduction of approx-refine relative to the precise baseline
 /// (Equation 2): 1 - TMWL(approx-refine) / TMWL(precise).

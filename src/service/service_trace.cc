@@ -9,6 +9,10 @@ namespace approxmem::service {
 
 std::string SortRequest::Name() const {
   std::string name = tenant;
+  if (job_class != core::JobClass::kInMemory) {
+    name += ' ';
+    name += core::JobClassName(job_class);
+  }
   name += ' ';
   name += algorithm.Name();
   name += '/';
@@ -52,6 +56,10 @@ RequestTrace MakeRandomTrace(const TraceGenOptions& options) {
       request.n = options.min_n +
                   rng.UniformInt(options.max_n - options.min_n + 1);
       request.seed = ++job_seed;
+      if (options.extsort_fraction > 0.0 &&
+          rng.UniformDouble() < options.extsort_fraction) {
+        request.job_class = core::JobClass::kExtSort;
+      }
     }
   }
   return trace;
@@ -91,6 +99,17 @@ std::vector<RequestTrace> ShrinkVariants(const RequestTrace& trace) {
       if (trace.bursts[b][j].n <= 4) continue;
       RequestTrace variant = trace;
       variant.bursts[b][j].n /= 2;
+      variants.push_back(std::move(variant));
+    }
+  }
+  // Demote one extsort job to the in-memory class — a failure that
+  // survives the demotion was never about the out-of-core path, so the
+  // minimal repro sheds the heavier class.
+  for (size_t b = 0; b < trace.bursts.size(); ++b) {
+    for (size_t j = 0; j < trace.bursts[b].size(); ++j) {
+      if (trace.bursts[b][j].job_class != core::JobClass::kExtSort) continue;
+      RequestTrace variant = trace;
+      variant.bursts[b][j].job_class = core::JobClass::kInMemory;
       variants.push_back(std::move(variant));
     }
   }

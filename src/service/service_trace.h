@@ -13,23 +13,22 @@
 #include <string>
 #include <vector>
 
+#include "core/job_plan.h"
 #include "core/workload.h"
 #include "sort/sort_common.h"
 
 namespace approxmem::service {
 
-/// One sort job as a client would phrase it. The service generates the
-/// input keys itself from (workload, n, seed) — the trace driver ships no
-/// payload bytes, matching the scripted no-network setup.
-struct SortRequest {
+/// One sort job as a client would phrase it: a core::SortJob (job class,
+/// algorithm, workload, n, seed) addressed to a tenant. The service
+/// generates the input keys itself from (workload, n, seed) — the trace
+/// driver ships no payload bytes, matching the scripted no-network setup.
+struct SortRequest : core::SortJob {
   std::string tenant;
-  sort::AlgorithmId algorithm{sort::SortKind::kLsdRadix, 3};
-  core::WorkloadKind workload = core::WorkloadKind::kUniform;
-  size_t n = 1024;
-  /// Seeds the key generator for this job.
-  uint64_t seed = 1;
 
-  /// "tenant-a lsd3/uniform n=1024 seed=1" — paste-able repro label.
+  /// "tenant-a lsd3/uniform n=1024 seed=1" (in-memory) or
+  /// "tenant-a extsort lsd3/uniform n=1024 seed=1" — paste-able repro
+  /// label.
   std::string Name() const;
 };
 
@@ -56,6 +55,10 @@ struct TraceGenOptions {
   std::vector<sort::AlgorithmId> algorithms;
   /// Workload pool; empty draws from all five WorkloadKinds.
   std::vector<core::WorkloadKind> workloads;
+  /// Probability in [0, 1] that a job is an out-of-core (extsort) job.
+  /// 0 draws nothing from the class RNG, so traces generated before the
+  /// job-class split replay byte-identically.
+  double extsort_fraction = 0.0;
 };
 
 /// The deterministic random trace at `options.seed`.

@@ -5,9 +5,11 @@
 
 namespace approxmem::service {
 
-double SloEpochStats::LatencyPercentile(double p) const {
-  if (latencies.empty()) return 0.0;
-  std::vector<double> sorted = latencies;
+namespace {
+
+double Percentile(const std::vector<double>& samples, double p) {
+  if (samples.empty()) return 0.0;
+  std::vector<double> sorted = samples;
   std::sort(sorted.begin(), sorted.end());
   const double rank = p * static_cast<double>(sorted.size() - 1);
   const size_t lo = static_cast<size_t>(rank);
@@ -16,12 +18,24 @@ double SloEpochStats::LatencyPercentile(double p) const {
   return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
 }
 
+}  // namespace
+
+double SloEpochStats::LatencyPercentile(double p) const {
+  return Percentile(latencies, p);
+}
+
+double SloEpochStats::VirtualLatencyPercentile(double p) const {
+  return Percentile(virtual_latencies_us, p);
+}
+
 void SloLedger::RecordCompleted(uint64_t epoch, double latency_seconds,
+                                double virtual_latency_us,
                                 double write_reduction) {
   SloEpochStats& stats = epochs_[epoch];
   ++stats.jobs_completed;
   stats.write_reduction_sum += write_reduction;
   stats.latencies.push_back(latency_seconds);
+  stats.virtual_latencies_us.push_back(virtual_latency_us);
 }
 
 void SloLedger::RecordFailed(uint64_t epoch) { ++epochs_[epoch].jobs_failed; }
@@ -39,6 +53,19 @@ double SloLedger::P99DriftRatio() const {
   if (first == nullptr || first == last) return 1.0;
   const double base = first->LatencyP99();
   return base > 0.0 ? last->LatencyP99() / base : 1.0;
+}
+
+double SloLedger::VirtualP99DriftRatio() const {
+  const SloEpochStats* first = nullptr;
+  const SloEpochStats* last = nullptr;
+  for (const auto& [epoch, stats] : epochs_) {
+    if (stats.virtual_latencies_us.empty()) continue;
+    if (first == nullptr) first = &stats;
+    last = &stats;
+  }
+  if (first == nullptr || first == last) return 1.0;
+  const double base = first->VirtualLatencyP99();
+  return base > 0.0 ? last->VirtualLatencyP99() / base : 1.0;
 }
 
 double SloLedger::WriteReductionDrift() const {

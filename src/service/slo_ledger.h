@@ -9,10 +9,15 @@
 // write-savings decay across the device's life are first-class metrics,
 // not something scraped from logs.
 //
-// Latency samples are wall clock and therefore reporting-only: they never
-// feed a digest or a scheduling decision. Everything else in the ledger
-// (job counts, write reductions, epochs) is deterministic and replays
-// bit-identically at any thread count.
+// Two latency timelines per epoch, same split as extsort/async_device:
+//  * Wall clock (latencies): reporting-only — host noise, never fed to a
+//    digest or a scheduling decision, advisory in bench gates.
+//  * Virtual time (virtual_latencies_us): queue-position × modeled service
+//    time, computed by the service from deterministic cost ledgers alone,
+//    so virtual p50/p99 replay bit-identically at any thread count — the
+//    numbers bench_compare gates on hard.
+// Everything else in the ledger (job counts, write reductions, epochs) is
+// likewise deterministic.
 #ifndef APPROXMEM_SERVICE_SLO_LEDGER_H_
 #define APPROXMEM_SERVICE_SLO_LEDGER_H_
 
@@ -33,6 +38,8 @@ struct SloEpochStats {
   /// Wall-clock submit-to-terminal latencies of completed jobs, seconds.
   /// Reporting only.
   std::vector<double> latencies;
+  /// Deterministic virtual-time latencies of completed jobs, µs.
+  std::vector<double> virtual_latencies_us;
 
   double MeanWriteReduction() const {
     return jobs_completed > 0
@@ -43,15 +50,20 @@ struct SloEpochStats {
   double LatencyPercentile(double p) const;
   double LatencyP50() const { return LatencyPercentile(0.50); }
   double LatencyP99() const { return LatencyPercentile(0.99); }
+  /// Percentile over the virtual-time latencies; 0 when empty.
+  double VirtualLatencyPercentile(double p) const;
+  double VirtualLatencyP50() const { return VirtualLatencyPercentile(0.50); }
+  double VirtualLatencyP99() const { return VirtualLatencyPercentile(0.99); }
 };
 
 class SloLedger {
  public:
   /// Records one terminal job. `completed`/`failed`/`shed` are mutually
-  /// exclusive; latency and write_reduction are only read for completed
-  /// jobs.
+  /// exclusive; latencies and write_reduction are only read for completed
+  /// jobs. `virtual_latency_us` is the deterministic queue-time latency
+  /// the service computed on its virtual clock.
   void RecordCompleted(uint64_t epoch, double latency_seconds,
-                       double write_reduction);
+                       double virtual_latency_us, double write_reduction);
   void RecordFailed(uint64_t epoch);
   void RecordShed(uint64_t epoch);
 
@@ -60,7 +72,12 @@ class SloLedger {
 
   /// p99 latency of the last epoch over the first (1.0 when fewer than two
   /// epochs have completed jobs) — the soak's latency-drift metric.
+  /// Wall-clock, advisory on shared hosts.
   double P99DriftRatio() const;
+
+  /// Same drift ratio over the deterministic virtual-time latencies —
+  /// replays bit-identically, so bench gates can be hard.
+  double VirtualP99DriftRatio() const;
 
   /// Mean write reduction of the first epoch minus the last (positive =
   /// savings decayed as the device aged).

@@ -6,7 +6,6 @@
 #include <utility>
 
 #include "common/check.h"
-#include "core/workload.h"
 #include "testing/differential_oracle.h"
 
 namespace approxmem::service {
@@ -33,11 +32,6 @@ uint64_t DigestU64(uint64_t h, uint64_t value) {
 
 uint64_t DigestDouble(uint64_t h, double value) {
   return testing::Fnv1a64(&value, sizeof(value), h);
-}
-
-uint64_t VectorDigest(const std::vector<uint32_t>& values) {
-  if (values.empty()) return 0;
-  return testing::Fnv1a64(values.data(), values.size() * sizeof(uint32_t));
 }
 
 }  // namespace
@@ -165,7 +159,34 @@ Status SortService::RegisterTenant(const TenantSpec& tenant) {
         (*backend)->Validate(approx::AllocSpec::Approx(tenant.knob, 1));
     if (!valid.ok()) return valid;
   }
-  tenants_.emplace(tenant.name, tenant);
+  // Out-of-core settings must be runnable: a lease too small for a 2-run
+  // sort, or larger than the tenant budget, would make every kExtSort job
+  // fail (or never admit) — registration errors, not batch surprises.
+  if (tenant.extsort.lease_bytes <
+      2 * extsort::kRecordRunFootprintBytesPerElement) {
+    return Status::InvalidArgument(
+        "extsort lease below the working set of a 2-element run for "
+        "tenant " +
+        tenant.name);
+  }
+  if (tenant.extsort.lease_bytes > tenant.extsort_budget_bytes) {
+    return Status::InvalidArgument(
+        "extsort lease exceeds the tenant extsort budget for tenant " +
+        tenant.name);
+  }
+  {
+    const Status device_valid = tenant.extsort.device.Validate();
+    if (!device_valid.ok()) return device_valid;
+  }
+  if (tenant.epoch_cost_quota < 0.0) {
+    return Status::InvalidArgument(
+        "epoch_cost_quota must be non-negative for tenant " + tenant.name);
+  }
+  TenantState state;
+  state.spec = tenant;
+  state.extsort_budget =
+      std::make_unique<MemoryBudget>(tenant.extsort_budget_bytes);
+  tenants_.emplace(tenant.name, std::move(state));
   return Status::Ok();
 }
 
@@ -182,6 +203,7 @@ StatusOr<uint64_t> SortService::Submit(const SortRequest& request) {
   record.request = request;
   ++stats_.jobs_submitted;
   submit_time_.push_back(NowSeconds());
+  virtual_submit_us_.push_back(virtual_now_us_);
   if (backlog_.size() >= options_.admission.queue_capacity) {
     record.state = JobState::kShed;
     record.status = Status::Unavailable(
@@ -227,6 +249,8 @@ size_t SortService::RunBatch() {
             "retired");
         record.wear_epoch = epoch;
         record.latency_seconds = NowSeconds() - submit_time_[record.ticket];
+        record.virtual_latency_us =
+            virtual_now_us_ - virtual_submit_us_[record.ticket];
         ++stats_.jobs_shed;
         ++stats_.jobs_shed_exhausted;
         slo_.RecordShed(epoch);
@@ -266,10 +290,35 @@ size_t SortService::RunBatch() {
     }
   }
   std::deque<uint64_t> deferred;
+  const uint64_t admission_epoch = ServiceWearEpoch();
   while (!backlog_.empty()) {
     const uint64_t ticket = backlog_.front();
     backlog_.pop_front();
     JobRecord& record = records_[ticket];
+    TenantState& tenant = tenants_.at(record.request.tenant);
+    // Tenant cost quota: a tenant at or over its Eq. 2 write-cost budget
+    // for the current wear epoch is shed honestly, not run on credit. The
+    // charged totals only change on the driver thread (merge-on-report),
+    // so this check is deterministic.
+    if (tenant.spec.epoch_cost_quota > 0.0) {
+      const auto charged = tenant.epoch_write_cost.find(admission_epoch);
+      if (charged != tenant.epoch_write_cost.end() &&
+          charged->second >= tenant.spec.epoch_cost_quota) {
+        record.state = JobState::kShed;
+        record.status = Status::Unavailable(
+            "tenant " + record.request.tenant +
+            " exhausted its Eq. 2 write-cost quota for wear epoch " +
+            std::to_string(admission_epoch));
+        record.wear_epoch = admission_epoch;
+        record.latency_seconds = NowSeconds() - submit_time_[ticket];
+        record.virtual_latency_us =
+            virtual_now_us_ - virtual_submit_us_[ticket];
+        ++stats_.jobs_shed;
+        ++stats_.jobs_shed_quota;
+        slo_.RecordShed(record.wear_epoch);
+        continue;
+      }
+    }
     int best = -1;
     for (size_t s = 0; s < shards_.size(); ++s) {
       if (static_cast<int>(shards_[s]->run_list.size()) >= quota[s]) continue;
@@ -278,7 +327,22 @@ size_t SortService::RunBatch() {
         best = static_cast<int>(s);
       }
     }
-    if (best >= 0) {
+    // An out-of-core job also needs its working-memory lease from the
+    // tenant's extsort budget before it may run; a full budget defers the
+    // job exactly like a full shard quota.
+    bool lease_ok = true;
+    if (best >= 0 &&
+        record.request.job_class == core::JobClass::kExtSort) {
+      const size_t lease_bytes = tenant.spec.extsort.lease_bytes;
+      if (tenant.extsort_budget->CanReserve(lease_bytes)) {
+        extsort_leases_.emplace(
+            ticket,
+            BudgetReservation(tenant.extsort_budget.get(), lease_bytes));
+      } else {
+        lease_ok = false;
+      }
+    }
+    if (best >= 0 && lease_ok) {
       record.shard = best;
       record.batch = static_cast<int>(stats_.batches) - 1;
       shards_[static_cast<size_t>(best)]->run_list.push_back(ticket);
@@ -293,6 +357,8 @@ size_t SortService::RunBatch() {
           std::to_string(record.deferrals) + " deferrals");
       record.wear_epoch = ServiceWearEpoch();
       record.latency_seconds = NowSeconds() - submit_time_[ticket];
+      record.virtual_latency_us =
+          virtual_now_us_ - virtual_submit_us_[ticket];
       ++stats_.jobs_shed;
       slo_.RecordShed(record.wear_epoch);
     } else {
@@ -309,17 +375,30 @@ size_t SortService::RunBatch() {
                        [this](size_t s) { ExecuteShard(*shards_[s]); });
   }
 
-  // Merge-on-report: terminal-state counters, per-epoch SLO samples, and
-  // cross-engine quarantine totals are folded in on the driver thread,
-  // after the batch barrier. Iteration is in shard order, so the fold is
-  // identical at any thread count.
+  // Merge-on-report: terminal-state counters, per-epoch SLO samples,
+  // tenant cost charges, lease releases, and cross-engine quarantine
+  // totals are folded in on the driver thread, after the batch barrier.
+  // Iteration is in shard order, so the fold is identical at any thread
+  // count. The virtual clock advances here too: each shard replays its run
+  // list as a serial queue from the batch's start position, and the
+  // service clock moves to the latest shard queue position — async_device
+  // channel semantics with shards as channels.
+  const uint64_t charge_epoch = ServiceWearEpoch();
+  double batch_end_us = virtual_now_us_;
   for (const auto& shard : shards_) {
+    double clock_us = virtual_now_us_;
     for (const uint64_t ticket : shard->run_list) {
-      const JobRecord& record = records_[ticket];
+      JobRecord& record = records_[ticket];
+      clock_us += record.service_us;
+      record.virtual_latency_us = clock_us - virtual_submit_us_[ticket];
+      extsort_leases_.erase(ticket);
       switch (record.state) {
         case JobState::kCompleted:
           ++stats_.jobs_completed;
+          tenants_.at(record.request.tenant)
+              .epoch_write_cost[charge_epoch] += record.cost.write_cost;
           slo_.RecordCompleted(record.wear_epoch, record.latency_seconds,
+                               record.virtual_latency_us,
                                record.write_reduction);
           break;
         case JobState::kShed:
@@ -330,12 +409,18 @@ size_t SortService::RunBatch() {
           slo_.RecordShed(record.wear_epoch);
           break;
         default:
+          // Failed jobs still paid their writes; the quota charges the
+          // honest cumulative cost, exactly like the tenant ledger.
           ++stats_.jobs_failed;
+          tenants_.at(record.request.tenant)
+              .epoch_write_cost[charge_epoch] += record.cost.write_cost;
           slo_.RecordFailed(record.wear_epoch);
           break;
       }
     }
+    batch_end_us = std::max(batch_end_us, clock_us);
   }
+  virtual_now_us_ = batch_end_us;
   uint64_t quarantined = 0;
   uint64_t retired = 0;
   for (size_t s = 0; s < shards_.size(); ++s) {
@@ -411,7 +496,7 @@ void SortService::ExecuteShard(Shard& shard) {
 
 void SortService::RunJob(Shard& shard, uint64_t ticket) {
   JobRecord& record = records_[ticket];
-  const TenantSpec& tenant = tenants_.at(record.request.tenant);
+  const TenantSpec& tenant = tenants_.at(record.request.tenant).spec;
   if (shard.endurance) {
     record.wear_epoch = shard.endurance->wear_epoch();
     // The shard may have lost its last bank earlier in this very batch;
@@ -428,10 +513,6 @@ void SortService::RunJob(Shard& shard, uint64_t ticket) {
   approx::ApproxMemory& memory = engine.memory();
   if (shard.wear) shard.wear->BeginJob();
   if (shard.wear_hook) shard.wear_hook->BeginJob(ticket);
-  // Key every allocation stream of this job by its ticket alone: the job's
-  // simulated error draws no longer depend on how many allocations earlier
-  // jobs on this substrate consumed.
-  memory.BeginJobStream(ticket);
   double knob = std::isnan(tenant.knob)
                     ? memory.backend().default_approx_knob()
                     : tenant.knob;
@@ -446,58 +527,38 @@ void SortService::RunJob(Shard& shard, uint64_t ticket) {
     }
   }
   record.effective_knob = knob;
-  core::ResilienceOptions resilience = tenant.resilience;
+  core::JobContext context;
+  context.engine = &engine;
+  context.ticket = ticket;
+  context.knob = knob;
+  context.resilient = tenant.resilient;
+  context.resilience = tenant.resilience;
   // On an endurance-modeled substrate, quarantines mean persistent damage;
   // re-reading the same placement cannot cure it (see resilience.h).
-  if (shard.endurance) resilience.skip_retry_on_quarantine = true;
-  const std::vector<uint32_t> keys = core::MakeKeys(
-      record.request.workload, record.request.n, record.request.seed);
+  if (shard.endurance) context.resilience.skip_retry_on_quarantine = true;
 
-  std::vector<uint32_t> final_keys;
-  std::vector<uint32_t> final_ids;
-  if (tenant.resilient) {
-    const StatusOr<core::ResilienceReport> report = core::SortResilient(
-        engine, keys, record.request.algorithm, knob, resilience,
-        &final_keys, &final_ids);
-    if (!report.ok()) {
-      record.state = JobState::kFailed;
-      record.status = report.status();
-    } else {
-      record.attempts = report->attempts.size();
-      record.verified = report->verified;
-      record.cost = report->cumulative;
-      record.baseline_write_cost = report->baseline.TotalWriteCost();
-      record.write_reduction = report->write_reduction;
-      record.state =
-          report->verified ? JobState::kCompleted : JobState::kFailed;
-      record.status = report->verified
-                          ? Status::Ok()
-                          : Status::Unavailable(
-                                "resilience ladder exhausted unverified");
-    }
+  core::JobOutcome outcome;
+  if (record.request.job_class == core::JobClass::kExtSort) {
+    extsort::ExtsortJobPlan plan(record.request, tenant.extsort);
+    outcome = plan.Execute(context);
   } else {
-    const StatusOr<core::RefineOutcome> outcome = engine.SortApproxRefine(
-        keys, record.request.algorithm, knob, &final_keys, &final_ids);
-    if (!outcome.ok()) {
-      record.state = JobState::kFailed;
-      record.status = outcome.status();
-    } else {
-      record.attempts = 1;
-      record.verified = outcome->refine.verified();
-      record.cost = outcome->refine.TotalStats();
-      record.baseline_write_cost = outcome->baseline.TotalWriteCost();
-      record.write_reduction = outcome->write_reduction;
-      record.state = record.verified ? JobState::kCompleted
-                                     : JobState::kFailed;
-      record.status =
-          record.verified
-              ? Status::Ok()
-              : Status::Unavailable("refine output unverified: " +
-                                    outcome->refine.verification.ToString());
-    }
+    core::InMemoryJobPlan plan(record.request);
+    outcome = plan.Execute(context);
   }
-  record.keys_digest = VectorDigest(final_keys);
-  record.ids_digest = VectorDigest(final_ids);
+  record.status = outcome.status;
+  record.verified = outcome.verified;
+  record.attempts = outcome.attempts;
+  record.keys_digest = outcome.keys_digest;
+  record.ids_digest = outcome.ids_digest;
+  record.cost = outcome.cost;
+  record.baseline_write_cost = outcome.baseline_write_cost;
+  record.write_reduction = outcome.write_reduction;
+  record.service_us = outcome.service_us;
+  record.bytes_spilled = outcome.bytes_spilled;
+  record.merge_passes = outcome.merge_passes;
+  record.state = outcome.status.ok() && outcome.verified
+                     ? JobState::kCompleted
+                     : JobState::kFailed;
   if (shard.wear) shard.wear->ChargeJobCost(record.cost.pv_iterations);
   record.latency_seconds = NowSeconds() - submit_time_[ticket];
 }
@@ -537,8 +598,16 @@ TenantLedger SortService::tenant_ledger(const std::string& tenant) const {
 std::vector<std::string> SortService::tenant_names() const {
   std::vector<std::string> names;
   names.reserve(tenants_.size());
-  for (const auto& [name, spec] : tenants_) names.push_back(name);
+  for (const auto& [name, state] : tenants_) names.push_back(name);
   return names;
+}
+
+double SortService::tenant_epoch_cost(const std::string& tenant,
+                                      uint64_t epoch) const {
+  const auto it = tenants_.find(tenant);
+  if (it == tenants_.end()) return 0.0;
+  const auto cost = it->second.epoch_write_cost.find(epoch);
+  return cost != it->second.epoch_write_cost.end() ? cost->second : 0.0;
 }
 
 const WearPlacement* SortService::shard_wear(int shard) const {

@@ -8,6 +8,30 @@
 // and the service batches the backlog onto a sharded pool of
 // ApproxSortEngines driven by the deterministic ThreadPool.
 //
+// Job classes. Both execution paths run through the common core::JobPlan
+// abstraction (core/job_plan.h): kInMemory jobs execute the resilient
+// approx-refine path, kExtSort jobs the record-payload external sort
+// (extsort/extsort_plan.h) under a per-tenant MemoryBudget lease reserved
+// at admission. Both classes share one admission queue, charge their Eq. 2
+// write cost into the same TenantLedger and WearPlacement accounting, and
+// count against the tenant's per-epoch cost quota.
+//
+// Tenant cost quotas. TenantSpec::epoch_cost_quota bounds the Eq. 2 write
+// cost (simulated ns) a tenant may charge per wear epoch (the whole device
+// life on an endurance-less substrate). A tenant at or over its quota has
+// its queued jobs shed at admission with an honest Unavailable, counted in
+// ServiceStats::jobs_shed_quota, until the next epoch starts.
+//
+// Virtual-time latency. Alongside the wall-clock submit-to-terminal stamps
+// (reporting-only, host-noise-prone), the service keeps a deterministic
+// virtual clock in the async_device style: every completed job contributes
+// its modeled service time (JobOutcome::service_us — memory cost for
+// in-memory jobs, device makespan for extsort jobs) to its shard's serial
+// queue, shards advance in parallel, and a job's virtual latency is its
+// completion position on that clock minus its virtual submit stamp. Pure
+// function of the trace and cost ledgers, so bench gates on virtual
+// p50/p99 can be hard where wall-clock gates are advisory.
+//
 // Determinism contract. Scheduling is batch-synchronous: RunBatch admits
 // jobs from the FIFO backlog onto per-shard run lists using only
 // deterministic state (queue occupancy, per-shard admission quotas,
@@ -66,10 +90,13 @@
 
 #include "approx/endurance.h"
 #include "approx/fault_hook.h"
+#include "common/memory_budget.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "core/engine.h"
+#include "core/job_plan.h"
 #include "core/resilience.h"
+#include "extsort/extsort_plan.h"
 #include "mlc/calibration.h"
 #include "service/service_trace.h"
 #include "service/slo_ledger.h"
@@ -89,9 +116,24 @@ struct TenantSpec {
   uint64_t seed = 1;
   /// Run jobs under the verified-retry ladder (core/resilience.h). When
   /// false, jobs run plain approx-refine and fail on the first unverified
-  /// output.
+  /// output. (kExtSort jobs verify per run and have no ladder either way.)
   bool resilient = true;
   core::ResilienceOptions resilience;
+  /// Out-of-core execution settings for the tenant's kExtSort jobs: the
+  /// per-job working-memory lease and the modeled device.
+  extsort::ExtsortPlanOptions extsort;
+  /// Capacity of the tenant's extsort working-memory budget (modeled
+  /// bytes). Each kExtSort job reserves extsort.lease_bytes from it at
+  /// admission and releases on completion, so the capacity bounds the
+  /// tenant's concurrent out-of-core working set; jobs whose lease does
+  /// not fit are deferred until one frees.
+  size_t extsort_budget_bytes = 1u << 20;
+  /// Eq. 2 write-cost quota (simulated ns) the tenant may charge per wear
+  /// epoch; 0 = unlimited. At or over quota, the tenant's queued jobs are
+  /// shed with an honest Unavailable until the next epoch (on an
+  /// endurance-less substrate there is only epoch 0, so the quota is a
+  /// whole-life budget).
+  double epoch_cost_quota = 0.0;
 };
 
 enum class JobState : uint8_t {
@@ -142,6 +184,17 @@ struct JobRecord {
   /// Wall-clock submit-to-terminal latency. Reporting only — never feeds
   /// a digest or a scheduling decision.
   double latency_seconds = 0.0;
+  /// Deterministic submit-to-terminal latency on the service's virtual
+  /// clock, µs (see the virtual-time paragraph above). Replays
+  /// bit-identically at any thread count.
+  double virtual_latency_us = 0.0;
+  /// Modeled service time the job contributed to its shard's virtual
+  /// queue, µs (0 for jobs that never ran).
+  double service_us = 0.0;
+  /// Out-of-core extras, zero for in-memory jobs: device bytes written
+  /// beyond the final output, and merge passes beyond run formation.
+  uint64_t bytes_spilled = 0;
+  size_t merge_passes = 0;
 };
 
 /// Per-tenant cumulative accounting, merged from job records on report.
@@ -236,6 +289,9 @@ struct ServiceStats {
   uint64_t banks_retired = 0;
   /// Jobs shed because every shard's substrate was exhausted.
   size_t jobs_shed_exhausted = 0;
+  /// Jobs shed because their tenant's Eq. 2 write-cost quota for the
+  /// current wear epoch was exhausted.
+  size_t jobs_shed_quota = 0;
 };
 
 class SortService {
@@ -282,9 +338,15 @@ class SortService {
   approx::HealthStats shard_health(int shard) const;
   /// Shard s's endurance ledger (null when endurance is off).
   const approx::EnduranceLedger* shard_endurance(int shard) const;
-  /// Per-wear-epoch SLO accounting (latency percentiles wall-clock,
-  /// everything else deterministic).
+  /// Per-wear-epoch SLO accounting (wall-clock latency percentiles are
+  /// reporting-only; the virtual-time percentiles and everything else are
+  /// deterministic).
   const SloLedger& slo() const { return slo_; }
+  /// Eq. 2 write cost `tenant` has charged in wear epoch `epoch` — what
+  /// the admission quota compares against epoch_cost_quota.
+  double tenant_epoch_cost(const std::string& tenant, uint64_t epoch) const;
+  /// Current position of the deterministic virtual clock, µs.
+  double virtual_now_us() const { return virtual_now_us_; }
   /// FNV digest over every shard's retirement timeline, in shard order —
   /// bit-identical across thread counts and identical replays.
   uint64_t RetirementTimelineDigest() const;
@@ -292,23 +354,45 @@ class SortService {
  private:
   struct Shard;
 
+  /// One tenant's runtime state: the registered spec plus the driver-
+  /// thread-only accounting admission control reads (extsort budget,
+  /// per-epoch charged cost).
+  struct TenantState {
+    TenantSpec spec;
+    /// Bounds the tenant's concurrent extsort working memory; leases are
+    /// reserved at admission and released on report, both on the driver
+    /// thread, so occupancy is deterministic.
+    std::unique_ptr<MemoryBudget> extsort_budget;
+    /// Eq. 2 write cost charged per wear epoch (ServiceWearEpoch keys).
+    std::map<uint64_t, double> epoch_write_cost;
+  };
+
   core::ApproxSortEngine& EngineFor(Shard& shard, const TenantSpec& tenant);
   void ExecuteShard(Shard& shard);
   void RunJob(Shard& shard, uint64_t ticket);
   /// Retirements summed across all shard substrates — the epoch stamped on
-  /// jobs that never reached a shard.
+  /// jobs that never reached a shard, and the key tenant cost quotas are
+  /// charged under.
   uint64_t ServiceWearEpoch() const;
 
   ServiceOptions options_;
   std::shared_ptr<mlc::CalibrationCache> calibration_;
   std::unique_ptr<ThreadPool> pool_;
-  std::map<std::string, TenantSpec> tenants_;
+  std::map<std::string, TenantState> tenants_;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::vector<JobRecord> records_;
   /// Tickets awaiting admission, FIFO.
   std::deque<uint64_t> backlog_;
   /// Submit wall-clock stamps (seconds on a steady clock), per ticket.
   std::vector<double> submit_time_;
+  /// Virtual-clock submit stamps, µs, per ticket.
+  std::vector<double> virtual_submit_us_;
+  /// The deterministic service-wide virtual clock: advanced each batch to
+  /// the latest shard queue position.
+  double virtual_now_us_ = 0.0;
+  /// Live extsort leases by ticket (reserved at admission, released on
+  /// report).
+  std::map<uint64_t, BudgetReservation> extsort_leases_;
   ServiceStats stats_;
   SloLedger slo_;
 };

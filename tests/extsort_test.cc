@@ -43,7 +43,8 @@ class ExternalSortTest : public ::testing::Test {
     EXPECT_TRUE(report.ok()) << report.status().ToString();
     EXPECT_GE(output_file, 0);
     if (report.ok() && options.verify) {
-      EXPECT_EQ(device->FileSize(output_file), input.size());
+      EXPECT_EQ(device->FileSize(output_file),
+                input.size() * (options.record_payloads ? 2 : 1));
     }
     if (device_out != nullptr) *device_out = std::move(device);
     return report.ok() ? report.value() : ExternalSortReport{};
@@ -229,6 +230,148 @@ TEST_F(ExternalSortTest, RejectsBadOptions) {
   EXPECT_FALSE(ExternalSort(engine, device, file, options, nullptr).ok());
   options.run_elements = 4096;  // ... and with one it is accepted.
   EXPECT_TRUE(ExternalSort(engine, device, file, options, nullptr).ok());
+}
+
+// ---- Record-payload mode: <key, rowid> records through the spill path ----
+
+TEST_F(ExternalSortTest, RecordPayloadOutputIsPermutationCertificate) {
+  // Beyond report.verified: re-check the certificate by hand. Keys
+  // nondecreasing, rowids a permutation of [0, n), and every output key
+  // equal to the input key its rowid points at.
+  const auto input = core::MakeKeys(core::WorkloadKind::kSkewed, 20000, 12);
+  AsyncDevice device;
+  const int input_file = device.CreateFile();
+  device.Wait(device.SubmitWrite(input_file, input, 0.0));
+  device.ResetClock();
+  ExternalSortOptions options;
+  options.record_payloads = true;
+  options.memory_budget_bytes = 4000 * kRecordRunFootprintBytesPerElement;
+  int output_file = -1;
+  const auto report =
+      ExternalSort(engine_, device, input_file, options, &output_file);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->verified);
+  EXPECT_GT(report->initial_runs, 1u);
+  device.Drain();
+  const std::vector<uint32_t> pairs = device.PeekData(output_file);
+  ASSERT_EQ(pairs.size(), input.size() * 2);
+  std::vector<bool> seen(input.size(), false);
+  for (size_t i = 0; i < input.size(); ++i) {
+    const uint32_t key = pairs[2 * i];
+    const uint32_t rowid = pairs[2 * i + 1];
+    if (i > 0) {
+      EXPECT_LE(pairs[2 * (i - 1)], key) << "i=" << i;
+    }
+    ASSERT_LT(rowid, input.size());
+    EXPECT_FALSE(seen[rowid]) << "duplicate rowid " << rowid;
+    seen[rowid] = true;
+    EXPECT_EQ(key, input[rowid]) << "i=" << i;
+  }
+}
+
+TEST_F(ExternalSortTest, RecordPayloadRunSizingUses52BytesPerElement) {
+  // Payload mode widens the flush buffer from 4-byte keys to 8-byte
+  // records: 48 B/elem becomes 52 B/elem, so the same budget derives
+  // proportionally smaller runs (and the bare-key derivation is unchanged).
+  ASSERT_EQ(kRecordRunFootprintBytesPerElement, 52u);
+  const size_t budget = 4000 * kRecordRunFootprintBytesPerElement;
+  const auto input = core::MakeKeys(core::WorkloadKind::kUniform, 12000, 13);
+  ExternalSortOptions options;
+  options.memory_budget_bytes = budget;
+  options.record_payloads = true;
+  const ExternalSortReport payload = MustSort(input, options);
+  EXPECT_EQ(payload.run_elements, 4000u);
+  EXPECT_EQ(payload.initial_runs, 3u);
+  options.record_payloads = false;
+  const ExternalSortReport bare = MustSort(input, options);
+  EXPECT_EQ(bare.run_elements, budget / kRunFootprintBytesPerElement);
+  EXPECT_TRUE(payload.verified);
+  EXPECT_TRUE(bare.verified);
+}
+
+TEST_F(ExternalSortTest, RecordPayloadSpillsEightBytesPerRecord) {
+  // Block-aligned runs so whole-block charging is exact: each spill
+  // generation moves n records of 8 bytes, twice the bare-key traffic.
+  const size_t n = 16384;
+  const auto input = core::MakeKeys(core::WorkloadKind::kUniform, n, 14);
+  ExternalSortOptions options;
+  options.memory_budget_bytes = 1u << 20;
+  options.run_elements = 4096;  // 4 runs, single merge pass.
+  options.record_payloads = true;
+  const ExternalSortReport report = MustSort(input, options);
+  ASSERT_TRUE(report.verified);
+  EXPECT_EQ(report.merge_passes, 1u);
+  EXPECT_EQ(report.bytes_spilled, n * kRecordBytes);
+}
+
+TEST_F(ExternalSortTest, TinyBudgetClampsPayloadMergeBuffer) {
+  // The merge-buffer clamp, payload edge: 5 slots of 8-byte records must
+  // fit the budget, so the derived buffer is budget / 40 records and the
+  // fan-in floors at the minimum 2-way group. Without the clamp the
+  // default 4096-record buffer would breach the budget and CHECK-fail.
+  const size_t budget = 5120;
+  const auto input = core::MakeKeys(core::WorkloadKind::kUniform, 500, 15);
+  ExternalSortOptions options;
+  options.memory_budget_bytes = budget;
+  options.record_payloads = true;
+  const ExternalSortReport report = MustSort(input, options);
+  ASSERT_TRUE(report.verified);
+  // budget / 52 = 98-element runs; 500 elements -> 6 runs at fan-in 2.
+  EXPECT_EQ(report.run_elements, budget / kRecordRunFootprintBytesPerElement);
+  EXPECT_EQ(report.initial_runs, 6u);
+  EXPECT_EQ(report.merge_fan_in, 2u);
+  EXPECT_GT(report.merge_passes, 1u);
+  EXPECT_LE(report.budget_high_water, budget);
+}
+
+TEST_F(ExternalSortTest, RecordPayloadDigestsInvariantAcrossIoThreadCounts) {
+  // The determinism contract must survive the wider records: spill and
+  // output digests (now over interleaved pairs) are identical whether
+  // bytes move inline or on a 4-thread pool.
+  const auto input = core::MakeKeys(core::WorkloadKind::kUniform, 20000, 16);
+  ExternalSortOptions options;
+  options.memory_budget_bytes = BudgetFor(6000);
+  options.record_payloads = true;
+
+  core::ApproxSortEngine serial_engine(MakeOptions());
+  const ExternalSortReport serial =
+      MustSort(input, options, nullptr, &serial_engine);
+
+  ThreadPool pool(4);
+  core::ApproxSortEngine threaded_engine(MakeOptions());
+  const ExternalSortReport threaded =
+      MustSort(input, options, &pool, &threaded_engine);
+
+  ASSERT_TRUE(serial.verified);
+  ASSERT_TRUE(threaded.verified);
+  EXPECT_EQ(serial.spill_digest, threaded.spill_digest);
+  EXPECT_EQ(serial.output_digest, threaded.output_digest);
+  EXPECT_EQ(serial.bytes_spilled, threaded.bytes_spilled);
+}
+
+TEST_F(ExternalSortTest, PayloadAndBareDeviceTrafficDifferOnlyByStride) {
+  // Same input, same run count: payload mode's device traffic is exactly
+  // the bare-key traffic with spill and output bytes doubled (the input
+  // staging read is bare keys in both modes).
+  const size_t n = 16384;
+  const auto input = core::MakeKeys(core::WorkloadKind::kUniform, n, 17);
+  ExternalSortOptions options;
+  options.memory_budget_bytes = 1u << 20;
+  options.run_elements = 4096;
+  std::unique_ptr<AsyncDevice> bare_device;
+  const ExternalSortReport bare =
+      MustSort(input, options, nullptr, nullptr, &bare_device);
+  options.record_payloads = true;
+  std::unique_ptr<AsyncDevice> payload_device;
+  const ExternalSortReport payload =
+      MustSort(input, options, nullptr, nullptr, &payload_device);
+  ASSERT_TRUE(bare.verified);
+  ASSERT_TRUE(payload.verified);
+  EXPECT_EQ(bare.initial_runs, payload.initial_runs);
+  // Staging write: n keys in both. Runs + output: doubled under payloads.
+  EXPECT_EQ(payload_device->stats().bytes_written - n * 4,
+            2 * (bare_device->stats().bytes_written - n * 4));
+  EXPECT_EQ(payload.bytes_spilled, 2 * bare.bytes_spilled);
 }
 
 }  // namespace

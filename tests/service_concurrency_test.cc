@@ -49,7 +49,9 @@ uint64_t CostDigest(const approx::MemoryStats& stats) {
 }
 
 /// Everything about one job that must replay identically across thread
-/// counts. Latency is deliberately absent: it is the one wall-clock field.
+/// counts. Wall-clock latency is deliberately absent — but the
+/// virtual-time latency is included: it is computed from the cost ledgers
+/// alone, so it must replay bit-exactly too.
 struct JobSummary {
   service::JobState state = service::JobState::kQueued;
   int shard = -1;
@@ -59,13 +61,21 @@ struct JobSummary {
   uint64_t keys_digest = 0;
   uint64_t ids_digest = 0;
   uint64_t cost_digest = 0;
+  double virtual_latency_us = 0.0;
+  double service_us = 0.0;
+  uint64_t bytes_spilled = 0;
+  size_t merge_passes = 0;
 
   bool operator==(const JobSummary& other) const {
     return state == other.state && shard == other.shard &&
            batch == other.batch && attempts == other.attempts &&
            verified == other.verified && keys_digest == other.keys_digest &&
            ids_digest == other.ids_digest &&
-           cost_digest == other.cost_digest;
+           cost_digest == other.cost_digest &&
+           virtual_latency_us == other.virtual_latency_us &&
+           service_us == other.service_us &&
+           bytes_spilled == other.bytes_spilled &&
+           merge_passes == other.merge_passes;
   }
 };
 
@@ -98,6 +108,9 @@ service::RequestTrace MatrixTrace() {
   gen.max_burst_jobs = 6;
   gen.min_n = 16;
   gen.max_n = 128;
+  // Mix in out-of-core jobs: both plan classes must uphold the same
+  // replay contract through one admission queue.
+  gen.extsort_fraction = 0.3;
   return service::MakeRandomTrace(gen);
 }
 
@@ -132,6 +145,10 @@ MatrixRun RunMatrix(int threads, bool inject) {
     summary.keys_digest = record.keys_digest;
     summary.ids_digest = record.ids_digest;
     summary.cost_digest = CostDigest(record.cost);
+    summary.virtual_latency_us = record.virtual_latency_us;
+    summary.service_us = record.service_us;
+    summary.bytes_spilled = record.bytes_spilled;
+    summary.merge_passes = record.merge_passes;
     run.jobs.push_back(summary);
   }
   for (const std::string& name : sort_service.tenant_names()) {

@@ -4,12 +4,15 @@
 // an honest status, ledgers that add up), a mid-flight quarantine storm
 // must degrade gracefully, and a failing trace must shrink to a minimal
 // repro (see TESTING.md for the replay workflow).
+#include <cmath>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "core/job_plan.h"
 #include "mlc/calibration.h"
 #include "service/sort_service.h"
 #include "testing/fault_injection.h"
@@ -80,7 +83,8 @@ std::vector<service::TenantSpec> PropertyTenants() {
   return tenants;
 }
 
-service::TraceGenOptions PropertyGen(uint64_t seed) {
+service::TraceGenOptions PropertyGen(uint64_t seed,
+                                     double extsort_fraction = 0.0) {
   service::TraceGenOptions gen;
   gen.seed = seed;
   gen.tenants = {"hot", "cold", "spin"};
@@ -88,6 +92,7 @@ service::TraceGenOptions PropertyGen(uint64_t seed) {
   gen.max_burst_jobs = 12;  // Bursts can overflow the 8-slot queue.
   gen.min_n = 16;
   gen.max_n = 96;
+  gen.extsort_fraction = extsort_fraction;
   return gen;
 }
 
@@ -132,12 +137,22 @@ std::string CheckInvariants(const PropertyConfig& config, uint64_t seed,
             record.batch < 0) {
           return label + "completed without digest or placement";
         }
+        if (record.service_us <= 0.0 || record.virtual_latency_us <= 0.0) {
+          return label + "completed without a virtual-time latency";
+        }
+        if (record.request.job_class == core::JobClass::kExtSort &&
+            record.ids_digest == 0) {
+          return label + "extsort completed without a rowid digest";
+        }
         break;
       case service::JobState::kFailed:
         if (record.status.ok()) return label + "failed with an OK status";
         break;
       case service::JobState::kShed:
         if (record.status.ok()) return label + "shed with an OK status";
+        if (record.service_us != 0.0) {
+          return label + "shed but charged virtual service time";
+        }
         if (record.deferrals != 0 &&
             record.deferrals <= config.max_deferrals) {
           return label + "shed before exhausting its deferral budget";
@@ -150,6 +165,17 @@ std::string CheckInvariants(const PropertyConfig& config, uint64_t seed,
     const service::TenantLedger ledger = sort_service.tenant_ledger(name);
     ledger_total +=
         ledger.jobs_completed + ledger.jobs_failed + ledger.jobs_shed;
+    // Quota bookkeeping: with endurance off there is only wear epoch 0, so
+    // the epoch charge must equal the tenant ledger's write cost (both sum
+    // the same per-job costs; addition order may differ, hence the
+    // tolerance).
+    const double charged = sort_service.tenant_epoch_cost(name, 0);
+    const double expected = ledger.cost.write_cost;
+    if (std::abs(charged - expected) >
+        1e-6 * std::max(1.0, std::abs(expected))) {
+      return "tenant " + name + " epoch-0 charge " + std::to_string(charged) +
+             " != ledger write cost " + std::to_string(expected);
+    }
   }
   if (ledger_total != stats.jobs_submitted) {
     return "tenant ledgers cover " + std::to_string(ledger_total) + " of " +
@@ -170,9 +196,10 @@ std::string CheckInvariants(const PropertyConfig& config, uint64_t seed,
 
 // On an invariant violation, shrink to a minimal failing trace and print
 // the replay recipe; the assertion message is the whole repro.
-void ExpectInvariantsHold(const PropertyConfig& config, uint64_t seed) {
+void ExpectInvariantsHold(const PropertyConfig& config, uint64_t seed,
+                          double extsort_fraction = 0.0) {
   const service::RequestTrace trace =
-      service::MakeRandomTrace(PropertyGen(seed));
+      service::MakeRandomTrace(PropertyGen(seed, extsort_fraction));
   const std::string failure = CheckInvariants(config, seed, trace);
   if (failure.empty()) return;
   const service::RequestTrace minimal = service::ShrinkTrace(
@@ -268,6 +295,138 @@ TEST(ServiceProperty, StarvedJobsShedHonestlyAfterDeferralBudget) {
       EXPECT_FALSE(record.status.ok());
     }
   }
+}
+
+TEST(ServiceProperty, MixedClassInvariantsOnRandomTraces) {
+  // The tentpole invariants: in-memory and extsort jobs share one
+  // admission queue, and backlog / terminal-state / ledger / quota
+  // bookkeeping must hold across both classes.
+  for (uint64_t seed = 1; seed <= 4; ++seed) {
+    ExpectInvariantsHold(PropertyConfig{}, seed, /*extsort_fraction=*/0.4);
+  }
+}
+
+TEST(ServiceProperty, MixedTraceActuallyMixesClasses) {
+  const service::RequestTrace trace =
+      service::MakeRandomTrace(PropertyGen(2, /*extsort_fraction=*/0.4));
+  size_t in_memory = 0;
+  size_t extsort_jobs = 0;
+  for (const auto& burst : trace.bursts) {
+    for (const service::SortRequest& request : burst) {
+      (request.job_class == core::JobClass::kExtSort ? extsort_jobs
+                                                     : in_memory)++;
+    }
+  }
+  EXPECT_GT(in_memory, 0u);
+  EXPECT_GT(extsort_jobs, 0u);
+}
+
+TEST(ServiceProperty, QuotaExhaustionShedsHonestly) {
+  // A tenant whose Eq. 2 write-cost quota is far below one job's cost:
+  // the first batch runs (charges land at merge-on-report), every later
+  // admission sheds with an honest quota status.
+  PropertyConfig config;
+  service::SortService sort_service(MakeOptions(config, 7));
+  std::vector<service::TenantSpec> tenants = PropertyTenants();
+  tenants[0].epoch_cost_quota = 1.0;  // Simulated ns; one job costs more.
+  for (const service::TenantSpec& tenant : tenants) {
+    ASSERT_TRUE(sort_service.RegisterTenant(tenant).ok());
+  }
+  service::SortRequest request;
+  request.tenant = "hot";
+  request.n = 64;
+  request.seed = 1;
+  ASSERT_TRUE(sort_service.Submit(request).ok());
+  sort_service.RunUntilIdle();
+  ASSERT_EQ(sort_service.stats().jobs_completed, 1u);
+  EXPECT_GT(sort_service.tenant_epoch_cost("hot", 0), 1.0);
+
+  for (uint64_t i = 0; i < 3; ++i) {
+    request.seed = i + 2;
+    request.job_class = i == 0 ? core::JobClass::kExtSort
+                               : core::JobClass::kInMemory;
+    ASSERT_TRUE(sort_service.Submit(request).ok());
+  }
+  sort_service.RunUntilIdle();
+  const service::ServiceStats& stats = sort_service.stats();
+  EXPECT_EQ(stats.jobs_completed, 1u);
+  EXPECT_EQ(stats.jobs_shed, 3u);
+  EXPECT_EQ(stats.jobs_shed_quota, 3u);
+  for (const service::JobRecord& record : sort_service.jobs()) {
+    if (record.state != service::JobState::kShed) continue;
+    EXPECT_FALSE(record.status.ok());
+    EXPECT_NE(record.status.message().find("quota"), std::string::npos)
+        << record.status.ToString();
+  }
+  // Other tenants are unaffected by hot's quota.
+  request.tenant = "cold";
+  request.job_class = core::JobClass::kInMemory;
+  request.seed = 99;
+  ASSERT_TRUE(sort_service.Submit(request).ok());
+  sort_service.RunUntilIdle();
+  EXPECT_EQ(sort_service.stats().jobs_completed, 2u);
+}
+
+TEST(ServiceProperty, ExtsortLeaseContentionDefersNotDrops) {
+  // A tenant budget that holds exactly one lease: concurrent extsort jobs
+  // serialize through deferrals and all still complete.
+  PropertyConfig config;
+  config.shards = 4;
+  service::SortService sort_service(MakeOptions(config, 9));
+  std::vector<service::TenantSpec> tenants = PropertyTenants();
+  tenants[0].extsort_budget_bytes = tenants[0].extsort.lease_bytes;
+  for (const service::TenantSpec& tenant : tenants) {
+    ASSERT_TRUE(sort_service.RegisterTenant(tenant).ok());
+  }
+  service::SortRequest request;
+  request.tenant = "hot";
+  request.job_class = core::JobClass::kExtSort;
+  request.n = 48;
+  for (uint64_t i = 0; i < 3; ++i) {
+    request.seed = i + 1;
+    ASSERT_TRUE(sort_service.Submit(request).ok());
+  }
+  sort_service.RunUntilIdle();
+  const service::ServiceStats& stats = sort_service.stats();
+  EXPECT_EQ(stats.jobs_completed, 3u);
+  EXPECT_EQ(stats.jobs_shed, 0u);
+  EXPECT_GT(stats.deferral_events, 0u)
+      << "three one-lease jobs should not all fit one batch";
+  // At most one extsort job per batch under a single lease.
+  std::map<int, int> per_batch;
+  for (const service::JobRecord& record : sort_service.jobs()) {
+    EXPECT_LE(++per_batch[record.batch], 1)
+        << "two extsort jobs shared batch " << record.batch
+        << " despite a one-lease budget";
+  }
+}
+
+// A failure that only reproduces with an extsort job must shrink to a
+// single extsort job — the demote-to-in-memory shrink family keeps the
+// class only while it matters.
+TEST(ServiceProperty, ShrinkTraceKeepsExtsortOnlyWhileItMatters) {
+  service::TraceGenOptions gen = PropertyGen(13, /*extsort_fraction=*/0.5);
+  gen.max_n = 512;
+  const service::RequestTrace trace = service::MakeRandomTrace(gen);
+  const auto predicate = [](const service::RequestTrace& variant) {
+    for (const auto& burst : variant.bursts) {
+      for (const service::SortRequest& request : burst) {
+        if (request.job_class == core::JobClass::kExtSort &&
+            request.n >= 64) {
+          return true;
+        }
+      }
+    }
+    return false;
+  };
+  ASSERT_TRUE(predicate(trace));
+  const service::RequestTrace minimal =
+      service::ShrinkTrace(trace, predicate, /*max_steps=*/2048);
+  ASSERT_EQ(minimal.TotalJobs(), 1u) << service::TraceToString(minimal);
+  const service::SortRequest& survivor = minimal.bursts[0][0];
+  EXPECT_EQ(survivor.job_class, core::JobClass::kExtSort);
+  EXPECT_GE(survivor.n, 64u);
+  EXPECT_LT(survivor.n, 128u);
 }
 
 // The shrinker itself: an artificial predicate ("some job has n >= 64")

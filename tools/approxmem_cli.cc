@@ -67,25 +67,34 @@ constexpr char kUsage[] =
     "            multi-tenant sort service (service/sort_service.h): runs\n"
     "            a deterministic bursty trace over up to three tenants on\n"
     "            different backends and prints per-tenant ledgers,\n"
-    "            admission stats, and per-shard wear/quarantine;\n"
-    "            [--endurance=0] models device lifetime (bank budgets,\n"
-    "            wear-error escalation, retirement; approx/endurance.h)\n"
-    "            with [--age_multiplier=1] [--bank_budget_pv=4e6] and adds\n"
-    "            a per-shard wear-epoch/retirement table\n"
+    "            admission stats, virtual-time latency percentiles, and\n"
+    "            per-shard wear/quarantine; [--extsort_frac=0] makes that\n"
+    "            fraction of jobs out-of-core (core/job_plan.h plans under\n"
+    "            per-tenant MemoryBudget leases), [--cost_quota=0] caps\n"
+    "            each tenant's Eq. 2 write cost per wear epoch (simulated\n"
+    "            ns; over-quota jobs shed honestly), [--replay_check=0]\n"
+    "            re-runs the trace at threads=1 and exits 1 unless every\n"
+    "            per-tenant ledger digest matches; [--endurance=0] models\n"
+    "            device lifetime (bank budgets, wear-error escalation,\n"
+    "            retirement; approx/endurance.h) with\n"
+    "            [--age_multiplier=1] [--bank_budget_pv=4e6] and adds a\n"
+    "            per-shard wear-epoch/retirement table\n"
     "  extsort   [--budget_mb=8] [--threads=2] [--precise] [--compare=0]\n"
     "            [--replay_check=0] [--block_kb=4] [--bandwidth_mb=400]\n"
     "            [--latency_us=100] [--queue_depth=4] [--run_elements=0]\n"
-    "            [--fan_in=0] [--verify=1]  out-of-core sort of --n keys on\n"
-    "            a virtual block device (extsort/async_device.h) under a\n"
-    "            strict --budget_mb memory budget: double-buffered\n"
-    "            approx-refine run formation overlapping prefetch/sort/\n"
-    "            flush, then loser-tree merge passes; prints overlap\n"
-    "            ratios, spill accounting, and digests. --precise sorts\n"
-    "            runs in precise memory instead; --compare runs both and\n"
-    "            prints the Eq. 2 write reduction at scale; --replay_check\n"
-    "            re-runs at threads=1 and exits 1 unless the spill and\n"
-    "            output digests are byte-identical; --threads counts I/O\n"
-    "            workers (<=0 = hardware)\n"
+    "            [--fan_in=0] [--verify=1] [--payloads=0]  out-of-core sort\n"
+    "            of --n keys on a virtual block device\n"
+    "            (extsort/async_device.h) under a strict --budget_mb memory\n"
+    "            budget: double-buffered approx-refine run formation\n"
+    "            overlapping prefetch/sort/flush, then loser-tree merge\n"
+    "            passes; prints overlap ratios, spill accounting, and\n"
+    "            digests. --precise sorts runs in precise memory instead;\n"
+    "            --compare runs both and prints the Eq. 2 write reduction\n"
+    "            at scale; --payloads spills <key,rowid> records and\n"
+    "            verifies the output as a permutation certificate;\n"
+    "            --replay_check re-runs at threads=1 and exits 1 unless\n"
+    "            the spill and output digests are byte-identical;\n"
+    "            --threads counts I/O workers (<=0 = hardware)\n"
     "common: --n=N --seed=S --backend=mlc-pcm|mlc-pcm-banked|spintronic|\n"
     "        dram-precise (any registered backend; --t is the backend's\n"
     "        knob — half-width T on PCM, per-bit error prob on spintronic;\n"
@@ -527,18 +536,30 @@ int Serve(const Flags& flags, uint64_t seed) {
   };
   const size_t tenant_count = std::min<size_t>(
       std::max<int64_t>(flags.GetInt("tenants", 3), 1), 3);
+  const double cost_quota = flags.GetDouble("cost_quota", 0.0);
+  const auto register_tenants =
+      [&](service::SortService& target) -> Status {
+    for (size_t i = 0; i < tenant_count; ++i) {
+      service::TenantSpec tenant;
+      tenant.name = kProfiles[i].name;
+      tenant.backend = kProfiles[i].backend;
+      tenant.seed = seed + i;
+      tenant.epoch_cost_quota = cost_quota;
+      const Status status = target.RegisterTenant(tenant);
+      if (!status.ok()) return status;
+    }
+    return Status::Ok();
+  };
   std::vector<std::string> tenant_names;
   for (size_t i = 0; i < tenant_count; ++i) {
-    service::TenantSpec tenant;
-    tenant.name = kProfiles[i].name;
-    tenant.backend = kProfiles[i].backend;
-    tenant.seed = seed + i;
-    const Status status = service.RegisterTenant(tenant);
+    tenant_names.push_back(kProfiles[i].name);
+  }
+  {
+    const Status status = register_tenants(service);
     if (!status.ok()) {
       std::fprintf(stderr, "%s\n", status.ToString().c_str());
       return 1;
     }
-    tenant_names.push_back(tenant.name);
   }
 
   service::TraceGenOptions gen;
@@ -547,12 +568,20 @@ int Serve(const Flags& flags, uint64_t seed) {
   gen.bursts = static_cast<size_t>(flags.GetInt("bursts", 6));
   gen.max_burst_jobs = static_cast<size_t>(flags.GetInt("burst_jobs", 8));
   gen.max_n = static_cast<size_t>(flags.GetInt("n_max", 512));
+  gen.extsort_fraction = flags.GetDouble("extsort_frac", 0.0);
   const service::RequestTrace trace = service::MakeRandomTrace(gen);
+  size_t extsort_jobs = 0;
+  for (const auto& burst : trace.bursts) {
+    for (const service::SortRequest& request : burst) {
+      if (request.job_class == core::JobClass::kExtSort) ++extsort_jobs;
+    }
+  }
 
-  std::printf("serve: %zu jobs in %zu bursts over %zu tenants, %d shards "
-              "(seed=%llu%s)\n",
-              trace.TotalJobs(), trace.bursts.size(), tenant_count,
-              options.shards, static_cast<unsigned long long>(seed),
+  std::printf("serve: %zu jobs (%zu extsort) in %zu bursts over %zu "
+              "tenants, %d shards (seed=%llu%s)\n",
+              trace.TotalJobs(), extsort_jobs, trace.bursts.size(),
+              tenant_count, options.shards,
+              static_cast<unsigned long long>(seed),
               inject ? ", fault storm on" : "");
   const auto start = std::chrono::steady_clock::now();
   const service::ServiceStats stats = service.Run(trace);
@@ -635,18 +664,71 @@ int Serve(const Flags& flags, uint64_t seed) {
   std::printf("  batches           %zu (%zu shard-batches in cooldown)\n",
               stats.batches, stats.cooldown_batches);
   std::printf("  jobs              %zu submitted, %zu completed, %zu failed, "
-              "%zu shed\n",
+              "%zu shed (%zu on quota)\n",
               stats.jobs_submitted, stats.jobs_completed, stats.jobs_failed,
-              stats.jobs_shed);
+              stats.jobs_shed, stats.jobs_shed_quota);
   std::printf("  backlog           high water %zu (capacity %zu), "
               "%zu deferral events\n",
               stats.backlog_high_water, options.admission.queue_capacity,
               stats.deferral_events);
+  // Deterministic virtual-time latency: pure function of the trace and
+  // cost ledgers, unlike the wall-clock line below.
+  {
+    std::vector<double> virtual_latencies;
+    for (const service::JobRecord& record : service.jobs()) {
+      if (record.state == service::JobState::kCompleted) {
+        virtual_latencies.push_back(record.virtual_latency_us);
+      }
+    }
+    std::sort(virtual_latencies.begin(), virtual_latencies.end());
+    const auto percentile = [&](double p) {
+      if (virtual_latencies.empty()) return 0.0;
+      const size_t index = static_cast<size_t>(
+          p * static_cast<double>(virtual_latencies.size() - 1));
+      return virtual_latencies[index];
+    };
+    std::printf("  virtual latency   p50 %.1f us, p99 %.1f us "
+                "(clock end %.1f us)\n",
+                percentile(0.50), percentile(0.99),
+                service.virtual_now_us());
+  }
   std::printf("  throughput        %.1f jobs/sec (%.3fs wall)\n",
               elapsed > 0.0 ? static_cast<double>(stats.jobs_completed) /
                                   elapsed
                             : 0.0,
               elapsed);
+
+  if (flags.GetBool("replay_check", false)) {
+    // Same trace on a threads=1 service: every per-tenant ledger digest
+    // (keys, costs, counts) must be byte-identical — the tentpole's
+    // determinism contract, checked end to end from the CLI.
+    service::ServiceOptions replay_options = options;
+    replay_options.threads = 1;
+    service::SortService replay(replay_options);
+    const Status status = register_tenants(replay);
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      return 1;
+    }
+    replay.Run(trace);
+    bool match = true;
+    for (const std::string& name : tenant_names) {
+      const uint64_t threaded = service.tenant_ledger(name).Digest();
+      const uint64_t serial = replay.tenant_ledger(name).Digest();
+      if (threaded != serial) match = false;
+    }
+    match = match && replay.virtual_now_us() == service.virtual_now_us();
+    std::printf("  replay threads=1  per-tenant ledger digests -> %s\n",
+                match ? "MATCH" : "MISMATCH");
+    if (!match) {
+      std::fprintf(stderr,
+                   "serve: ledger digest MISMATCH between threads=%d and "
+                   "threads=1\n",
+                   options.threads);
+      return 1;
+    }
+  }
+
   // Aged banks genuinely err more, so an endurance run may exhaust the
   // ladder late in life; only a fault-free, wear-free run must be clean.
   if (!inject && !endurance && stats.jobs_failed > 0) {
@@ -688,6 +770,7 @@ int Extsort(const Flags& flags, const sort::AlgorithmId& algorithm,
       static_cast<size_t>(flags.GetInt("run_elements", 0));
   sort_options.merge_fan_in = static_cast<size_t>(flags.GetInt("fan_in", 0));
   sort_options.verify = flags.GetBool("verify", true);
+  sort_options.record_payloads = flags.GetBool("payloads", false);
 
   // One calibration cache across every engine this command builds, so the
   // replay and comparison runs see identical cell models.
@@ -726,10 +809,11 @@ int Extsort(const Flags& flags, const sort::AlgorithmId& algorithm,
 
   const extsort::PhaseMetrics total = report->Total();
   std::printf("extsort: %zu keys, %zu MiB budget, %d I/O threads "
-              "(%s, knob=%s, %s):\n",
+              "(%s, knob=%s, %s%s):\n",
               report->n, sort_options.memory_budget_bytes >> 20, threads,
               algorithm.Name().c_str(), FmtKnob(t).c_str(),
-              sort_options.use_approx_refine ? "approx-refine" : "precise");
+              sort_options.use_approx_refine ? "approx-refine" : "precise",
+              sort_options.record_payloads ? ", <key,rowid> records" : "");
   std::printf("  initial runs      %zu x %zu elements, fan-in %zu, "
               "%zu merge pass(es)\n",
               report->initial_runs, report->run_elements,
